@@ -1,0 +1,34 @@
+"""Shared settings for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+section and prints it (run pytest with ``-s`` to see them inline; they
+are also asserted structurally).  The circuits are scaled instances of
+the MCNC-like suite — EXPERIMENTS.md records the scale — and the whole
+suite shares one memoized sweep cache, so figure benchmarks reuse their
+table counterparts' routing runs.
+"""
+
+import pytest
+
+from repro.analysis.experiments import ExperimentSettings
+
+#: scale used by every shipped benchmark artifact
+BENCH_SCALE = 0.1
+BENCH_SEED = 1
+
+BENCH_SETTINGS = ExperimentSettings(scale=BENCH_SCALE, seed=BENCH_SEED, procs=(1, 2, 4, 8))
+
+
+@pytest.fixture(scope="session")
+def settings():
+    return BENCH_SETTINGS
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print an artifact so it lands in the benchmark log."""
+
+    def _emit(text: str) -> None:
+        print("\n" + text + "\n")
+
+    return _emit

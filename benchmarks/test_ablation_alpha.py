@@ -1,0 +1,30 @@
+"""Ablation A2 — the pin-number-weight exponent on avq.large.
+
+Paper §5 tunes the exponent of the pin-number-weight partition on
+AVQ-LARGE, whose >2000-pin clock nets dominate Steiner-tree time.  Since
+tree construction is O(p^2) per net, exponents near 2 should balance the
+modeled Steiner work best and yield the best speedups.
+"""
+
+from repro.analysis.experiments import run_alpha_ablation
+
+ALPHAS = (0.5, 1.0, 2.0, 3.0)
+
+
+def test_ablation_pin_weight_alpha(benchmark, settings, emit):
+    table, runs = benchmark.pedantic(
+        run_alpha_ablation,
+        args=(settings,),
+        kwargs={"circuit_name": "avq_large", "nprocs": 8, "alphas": ALPHAS},
+        rounds=1,
+        iterations=1,
+    )
+    emit(table.render())
+
+    imb = dict(zip(table.column("alpha"), table.column("steiner imbalance")))
+    # alpha = 2 matches the O(p^2) cost model: best or tied-best balance
+    assert imb[2.0] <= min(imb.values()) + 0.05
+    # far-off exponents balance worse
+    assert imb[0.5] >= imb[2.0]
+    speedups = dict(zip(table.column("alpha"), table.column("speedup")))
+    assert all(v is not None and v > 1.0 for v in speedups.values())

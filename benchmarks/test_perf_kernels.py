@@ -1,0 +1,62 @@
+"""Host-performance benchmarks of the routing kernels.
+
+Unlike the artifact benchmarks (one-shot regenerations of paper tables),
+these measure real wall time over several rounds and serve as the
+performance-regression harness for the library itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import mcnc
+from repro.geometry import Interval, max_overlap
+from repro.steiner import prim_mst
+from repro.twgr import GlobalRouter, RouterConfig
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return mcnc.generate("primary1", scale=0.3, seed=1)
+
+
+def test_perf_serial_route(benchmark, circuit):
+    router = GlobalRouter(RouterConfig(seed=1))
+    result = benchmark(router.route, circuit)
+    assert result.total_tracks > 0
+
+
+def test_perf_prim_mst_200_terminals(benchmark):
+    rng = np.random.default_rng(0)
+    coords = rng.integers(0, 2000, size=(200, 2))
+    edges = benchmark(prim_mst, coords)
+    assert len(edges) == 199
+
+
+def test_perf_density_sweep(benchmark):
+    rng = np.random.default_rng(0)
+    ivs = [
+        Interval.spanning(int(a), int(b))
+        for a, b in rng.integers(0, 5000, size=(2000, 2))
+    ]
+    depth = benchmark(max_overlap, ivs)
+    assert depth > 0
+
+
+def test_perf_circuit_generation(benchmark):
+    c = benchmark(mcnc.generate, "primary1", 0.3, 7)
+    assert c.stats().num_nets > 0
+
+
+def test_perf_parallel_route_4(benchmark, circuit):
+    from repro.parallel import route_parallel
+
+    config = RouterConfig(seed=1)
+    run = benchmark.pedantic(
+        route_parallel,
+        args=(circuit,),
+        kwargs={"algorithm": "hybrid", "nprocs": 4, "config": config,
+                "compute_baseline": False},
+        rounds=3,
+        iterations=1,
+    )
+    assert run.result.total_tracks > 0

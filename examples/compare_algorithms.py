@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""The paper's core experiment: all three parallel algorithms head-to-head.
+
+Routes one circuit with the row-wise (§4), net-wise (§5) and hybrid (§6)
+pin partition algorithms across processor counts, printing scaled track
+quality and modeled speedups — a one-circuit version of the paper's
+Tables 2–4 and Figures 4–6.
+
+Run:  python examples/compare_algorithms.py [circuit] [scale]
+      e.g. python examples/compare_algorithms.py biomed 0.15
+"""
+
+import sys
+
+from repro import RouterConfig, SPARCCENTER_1000, mcnc, route_parallel
+from repro.analysis import Table
+from repro.parallel.driver import serial_baseline
+
+PROCS = (1, 2, 4, 8)
+ALGORITHMS = ("rowwise", "netwise", "hybrid")
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "primary2"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.15
+
+    circuit = mcnc.generate(name, scale=scale, seed=1)
+    config = RouterConfig(seed=1)
+    print(f"circuit: {circuit}\n")
+
+    base = serial_baseline(circuit, config, machine=SPARCCENTER_1000)
+    print(f"serial: {base.total_tracks} tracks, {base.model_time:.1f} s modeled\n")
+
+    quality = Table(
+        title=f"Scaled tracks on {circuit.name}",
+        columns=["algorithm"] + [f"{p} proc" for p in PROCS],
+    )
+    speed = Table(
+        title=f"Modeled speedup on {circuit.name} ({SPARCCENTER_1000.name})",
+        columns=["algorithm"] + [f"{p} proc" for p in PROCS],
+    )
+    for algo in ALGORITHMS:
+        q_row, s_row = [algo], [algo]
+        for p in PROCS:
+            run = route_parallel(
+                circuit, algorithm=algo, nprocs=p,
+                machine=SPARCCENTER_1000, config=config, baseline=base,
+            )
+            q_row.append(run.scaled_tracks)
+            s_row.append(run.speedup)
+        quality.add_row(*q_row)
+        speed.add_row(*s_row)
+
+    print(quality.render())
+    print()
+    print(speed.render())
+    print(
+        "\nExpected shape (paper §7–§8): hybrid best quality, row-wise"
+        "\nfastest, net-wise worst on both axes."
+    )
+
+
+if __name__ == "__main__":
+    main()

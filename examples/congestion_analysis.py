@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Congestion and scalability analysis of a routed benchmark.
+
+Routes a biomed-like circuit, prints the circuit's statistical profile,
+the channel congestion report (hotspot table + heat map), a concrete
+left-edge track assignment of the busiest channel, and an Amdahl fit of
+the hybrid algorithm's speedup curve.
+
+Run:  python examples/congestion_analysis.py
+"""
+
+from repro import GlobalRouter, RouterConfig, SPARCCENTER_1000, mcnc, route_parallel
+from repro.analysis import congestion_report, fit_amdahl, hotspots
+from repro.circuits import degree_histogram_text, net_statistics, row_statistics
+from repro.grid.leftedge import render_channel
+from repro.parallel.driver import serial_baseline
+
+
+def main() -> None:
+    circuit = mcnc.generate("biomed", scale=0.1, seed=1)
+    print(f"circuit: {circuit}")
+    print(net_statistics(circuit).summary())
+    print(row_statistics(circuit).summary())
+    print()
+    print(degree_histogram_text(circuit, max_degree=8))
+    print()
+
+    config = RouterConfig(seed=1)
+    result, art = GlobalRouter(config).route_with_artifacts(circuit)
+    print(congestion_report(art.spans, circuit.num_rows + 1, top=5))
+
+    worst = hotspots(art.spans, circuit.num_rows + 1, top=1)[0]
+    print(f"\nleft-edge track assignment of channel {worst.channel} "
+          f"({worst.tracks} tracks):")
+    print(render_channel(art.spans, channel=worst.channel))
+
+    # scalability of the hybrid algorithm on this circuit
+    base = serial_baseline(circuit, config, machine=SPARCCENTER_1000)
+    speedups = {
+        p: route_parallel(
+            circuit, "hybrid", nprocs=p, machine=SPARCCENTER_1000,
+            config=config, baseline=base,
+        ).speedup
+        for p in (2, 4, 8)
+    }
+    fit = fit_amdahl(speedups)
+    print("\nhybrid speedups:", {p: round(s, 2) for p, s in speedups.items()})
+    print(f"Amdahl fit: {fit.summary()}")
+    print(f"predicted speedup at 32 processors: {fit.predict(32):.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Study of the §5 net-partition heuristics and the pin-weight exponent.
+
+Part 1 compares the four net-partition heuristics (center, locus,
+density, pin-number-weight) on an avq.large-like circuit whose huge
+clock nets dominate Steiner-tree construction time.
+
+Part 2 sweeps the pin-number-weight exponent alpha: tree construction is
+O(p^2) per net, so weighting nets by p^2 balances the modeled work best —
+the paper tunes exactly this exponent for AVQ-LARGE.
+
+Run:  python examples/net_partition_study.py
+"""
+
+from repro import RouterConfig, SPARCCENTER_1000, mcnc, route_parallel
+from repro.analysis import Table
+from repro.parallel import (
+    ParallelConfig,
+    RowPartition,
+    partition_nets,
+    partition_summary,
+)
+from repro.parallel.driver import serial_baseline
+
+NPROCS = 8
+
+
+def main() -> None:
+    circuit = mcnc.generate("avq_large", scale=0.08, seed=1)
+    config = RouterConfig(seed=1)
+    print(f"circuit: {circuit}")
+    big = sorted((n.degree for n in circuit.nets), reverse=True)[:4]
+    print(f"largest net degrees: {big}\n")
+
+    row_part = RowPartition.balanced(circuit, NPROCS)
+    base = serial_baseline(circuit, config, machine=SPARCCENTER_1000)
+
+    # --- part 1: the four heuristics -------------------------------------
+    table = Table(
+        title=f"Net partition heuristics on {circuit.name} (p={NPROCS})",
+        columns=["scheme", "pin imb.", "steiner imb.", "scaled tracks", "speedup"],
+    )
+    for scheme in ("center", "locus", "density", "pin_weight"):
+        owner = partition_nets(circuit, NPROCS, scheme=scheme, row_part=row_part)
+        s = partition_summary(circuit, owner, NPROCS)
+        run = route_parallel(
+            circuit, "rowwise", nprocs=NPROCS, machine=SPARCCENTER_1000,
+            config=config, pconfig=ParallelConfig(net_scheme=scheme),
+            baseline=base,
+        )
+        table.add_row(
+            scheme, s["pin_imbalance"], s["steiner_imbalance"],
+            run.scaled_tracks, run.speedup,
+        )
+    print(table.render())
+
+    # --- part 2: alpha sweep ----------------------------------------------
+    sweep = Table(
+        title="Pin-number-weight exponent sweep (rowwise, p=8)",
+        columns=["alpha", "steiner imb.", "speedup"],
+    )
+    for alpha in (0.5, 1.0, 1.5, 2.0, 3.0):
+        owner = partition_nets(
+            circuit, NPROCS, scheme="pin_weight", row_part=row_part, alpha=alpha
+        )
+        s = partition_summary(circuit, owner, NPROCS)
+        run = route_parallel(
+            circuit, "rowwise", nprocs=NPROCS, machine=SPARCCENTER_1000,
+            config=config,
+            pconfig=ParallelConfig(net_scheme="pin_weight", alpha=alpha),
+            baseline=base,
+        )
+        sweep.add_row(alpha, s["steiner_imbalance"], run.speedup)
+    print()
+    print(sweep.render())
+    print(
+        "\nNote: one >2000-pin clock net is indivisible, so its owner's"
+        "\nSteiner work bounds the balance whatever alpha is — the lever"
+        "\nis scheduling large nets first and spreading them (LPT), which"
+        "\nall alpha >= 1 achieve; alpha ~ 2 matches the O(p^2) tree cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

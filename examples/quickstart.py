@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Quickstart: route a benchmark circuit serially and in parallel.
+
+Generates a scaled MCNC-like benchmark, routes it with the serial
+TimberWolfSC-style global router, then with the paper's hybrid parallel
+algorithm on 8 simulated processors, and prints quality and modeled
+runtime side by side.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import GlobalRouter, RouterConfig, SPARCCENTER_1000, mcnc, route_parallel
+from repro.parallel.driver import serial_baseline
+
+
+def main() -> None:
+    # A primary2-like circuit at 20% of its published size (fast to route).
+    circuit = mcnc.generate("primary2", scale=0.2, seed=1)
+    print(f"circuit: {circuit}")
+
+    config = RouterConfig(seed=1)
+
+    # --- serial TWGR ----------------------------------------------------
+    serial = serial_baseline(circuit, config, machine=SPARCCENTER_1000)
+    print("\nserial router:")
+    print(f"  total tracks     : {serial.total_tracks}")
+    print(f"  feedthroughs     : {serial.num_feedthroughs}")
+    print(f"  wirelength       : {serial.wirelength}")
+    print(f"  chip area        : {serial.area}")
+    print(f"  modeled runtime  : {serial.model_time:.1f} s on {SPARCCENTER_1000.name}")
+
+    # --- hybrid parallel algorithm, 8 processors ------------------------
+    run = route_parallel(
+        circuit, algorithm="hybrid", nprocs=8,
+        machine=SPARCCENTER_1000, config=config, baseline=serial,
+    )
+    r = run.result
+    print("\nhybrid parallel algorithm (8 processors):")
+    print(f"  total tracks     : {r.total_tracks}  "
+          f"(scaled {run.scaled_tracks:.3f} vs serial)")
+    print(f"  chip area        : {r.area}  (scaled {run.scaled_area:.3f})")
+    print(f"  modeled runtime  : {r.model_time:.1f} s")
+    print(f"  speedup          : {run.speedup:.2f}x")
+    print(f"  load imbalance   : {run.timing.load_imbalance:.2f}")
+
+    print("\nper-rank modeled times (s):")
+    for rank, t in enumerate(run.timing.rank_times):
+        print(f"  rank {rank}: {t:6.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""repro — reproduction of *Parallel Global Routing Algorithms for Standard
+Cells* (Xing, Banerjee & Chandy, IPPS 1997).
+
+The package provides:
+
+* :mod:`repro.circuits` — a standard-cell circuit model (rows, cells, pins,
+  nets) plus synthetic MCNC-like benchmark generators.
+* :mod:`repro.twgr` — a from-scratch implementation of the five-step
+  TimberWolfSC global router (TWGR) the paper parallelizes.
+* :mod:`repro.mpi` — a deterministic in-process message-passing runtime with
+  an mpi4py-style interface used to execute SPMD rank programs.
+* :mod:`repro.perfmodel` — machine performance models (Sun SparcCenter 1000,
+  Intel Paragon) driving logical-clock speedup estimation.
+* :mod:`repro.parallel` — the paper's three parallel algorithms: row-wise,
+  net-wise and hybrid pin partitioning.
+* :mod:`repro.analysis` — experiment harness used to regenerate every table
+  and figure of the paper's evaluation section.
+
+Quickstart::
+
+    from repro import mcnc, GlobalRouter, route_parallel
+
+    circuit = mcnc.generate("primary1", seed=1)
+    serial = GlobalRouter().route(circuit)
+    par = route_parallel(circuit, algorithm="hybrid", nprocs=8)
+    print(serial.total_tracks, par.result.total_tracks, par.speedup)
+"""
+
+from repro.circuits import Circuit, CircuitBuilder, mcnc
+from repro.twgr import GlobalRouter, RouterConfig, RoutingResult
+from repro.parallel import route_parallel, ParallelRun
+from repro.perfmodel import MachineModel, SPARCCENTER_1000, INTEL_PARAGON
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Circuit",
+    "CircuitBuilder",
+    "mcnc",
+    "GlobalRouter",
+    "RouterConfig",
+    "RoutingResult",
+    "route_parallel",
+    "ParallelRun",
+    "MachineModel",
+    "SPARCCENTER_1000",
+    "INTEL_PARAGON",
+    "__version__",
+]

@@ -1,0 +1,67 @@
+"""Experiment harness: canned runners and table/figure rendering.
+
+Every table and figure of the paper's evaluation section maps to one
+function here (see DESIGN.md's experiment index); the benchmark suite in
+``benchmarks/`` is a thin wrapper that executes these and prints the
+rendered artifacts.
+"""
+
+from repro.analysis.tables import Table, render_table, render_series
+from repro.analysis.congestion import (
+    ChannelCongestion,
+    analyze as analyze_congestion,
+    hotspots,
+    density_surface,
+    render_heatmap,
+    report as congestion_report,
+)
+from repro.analysis.scaling import AmdahlFit, fit_amdahl, efficiency_curve
+from repro.analysis.records import (
+    save_results,
+    load_results,
+    result_to_dict,
+    result_from_dict,
+    timing_to_dict,
+    timing_from_dict,
+    compare_results,
+)
+from repro.analysis.experiments import (
+    ExperimentSettings,
+    run_circuit_characteristics,
+    run_quality_table,
+    run_speedup_figure,
+    run_platform_table,
+    run_net_partition_ablation,
+    run_alpha_ablation,
+    run_sync_frequency_ablation,
+)
+
+__all__ = [
+    "Table",
+    "render_table",
+    "render_series",
+    "ExperimentSettings",
+    "run_circuit_characteristics",
+    "run_quality_table",
+    "run_speedup_figure",
+    "run_platform_table",
+    "run_net_partition_ablation",
+    "run_alpha_ablation",
+    "run_sync_frequency_ablation",
+    "save_results",
+    "load_results",
+    "result_to_dict",
+    "result_from_dict",
+    "timing_to_dict",
+    "timing_from_dict",
+    "compare_results",
+    "ChannelCongestion",
+    "analyze_congestion",
+    "hotspots",
+    "density_surface",
+    "render_heatmap",
+    "congestion_report",
+    "AmdahlFit",
+    "fit_amdahl",
+    "efficiency_curve",
+]

@@ -1,0 +1,149 @@
+"""Congestion analysis of a routed circuit.
+
+Turns a routing run's channel spans into reviewable congestion data:
+per-channel utilization, hotspot columns, and an ASCII heat map of the
+(channel × column) density surface — the view a routing engineer uses
+to decide where a design needs another repeater row or a wider channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.geometry import Interval, IntervalSet
+from repro.grid.channels import ChannelSpan
+
+#: heat-map glyphs from empty to saturated
+_HEAT = " .:-=+*#%@"
+
+
+@dataclass(frozen=True, slots=True)
+class ChannelCongestion:
+    """Density statistics of one channel."""
+
+    channel: int
+    tracks: int
+    num_spans: int
+    wirelength: int
+    #: column where the density peaks (leftmost maximal column)
+    hotspot: int
+    #: mean density over the occupied extent (0 when empty)
+    mean_density: float
+
+    @property
+    def peak_to_mean(self) -> float:
+        """How spiky the channel is (1.0 = uniformly full)."""
+        return self.tracks / self.mean_density if self.mean_density else 0.0
+
+
+def analyze_channel(channel: int, spans: Sequence[ChannelSpan]) -> ChannelCongestion:
+    """Congestion statistics for one channel's spans."""
+    live = [s for s in spans if s.channel == channel and s.length > 0]
+    if not live:
+        return ChannelCongestion(channel, 0, 0, 0, 0, 0.0)
+    iset = IntervalSet(Interval(s.lo, s.hi) for s in live)
+    profile = iset.profile()
+    tracks = iset.density()
+    hotspot = next((col for col, d in profile if d == tracks), 0)
+    # integrate density over the occupied extent
+    area = 0
+    extent = 0
+    for (col, depth), (nxt, _) in zip(profile, profile[1:]):
+        width = nxt - col
+        area += depth * width
+        if depth > 0:
+            extent += width
+    mean = area / extent if extent else 0.0
+    return ChannelCongestion(
+        channel=channel,
+        tracks=tracks,
+        num_spans=len(live),
+        wirelength=sum(s.length for s in live),
+        hotspot=hotspot,
+        mean_density=mean,
+    )
+
+
+def analyze(spans: Sequence[ChannelSpan], num_channels: int) -> List[ChannelCongestion]:
+    """Per-channel congestion over a full span list."""
+    by_channel: Dict[int, List[ChannelSpan]] = {}
+    for s in spans:
+        by_channel.setdefault(s.channel, []).append(s)
+    return [
+        analyze_channel(ch, by_channel.get(ch, ())) for ch in range(num_channels)
+    ]
+
+
+def hotspots(
+    spans: Sequence[ChannelSpan], num_channels: int, top: int = 5
+) -> List[ChannelCongestion]:
+    """The ``top`` densest channels, densest first."""
+    stats = analyze(spans, num_channels)
+    return sorted(stats, key=lambda c: -c.tracks)[:top]
+
+
+def density_surface(
+    spans: Sequence[ChannelSpan], num_channels: int, columns: int = 64
+) -> List[List[int]]:
+    """Sampled (channel × column) density matrix.
+
+    Cell ``[ch][k]`` holds the maximum density channel ``ch`` reaches in
+    the x-range of column bucket ``k``.
+    """
+    x_max = max((s.hi for s in spans if s.length), default=1) or 1
+    surface = [[0] * columns for _ in range(num_channels)]
+    by_channel: Dict[int, List[ChannelSpan]] = {}
+    for s in spans:
+        if s.length:
+            by_channel.setdefault(s.channel, []).append(s)
+    for ch, group in by_channel.items():
+        if not 0 <= ch < num_channels:
+            continue
+        iset = IntervalSet(Interval(s.lo, s.hi) for s in group)
+        # piecewise-constant density: value of segment i holds over
+        # [steps[i].col, steps[i+1].col)
+        steps = iset.profile()
+        for (start, depth), nxt in zip(steps, steps[1:] + [(x_max, 0)]):
+            end = nxt[0]
+            if depth <= 0 or end <= start:
+                continue
+            k_lo = min(int(start * columns / x_max), columns - 1)
+            k_hi = min(int(max(end - 1, start) * columns / x_max), columns - 1)
+            for k in range(k_lo, k_hi + 1):
+                if depth > surface[ch][k]:
+                    surface[ch][k] = depth
+    return surface
+
+
+def render_heatmap(
+    spans: Sequence[ChannelSpan], num_channels: int, columns: int = 64
+) -> str:
+    """ASCII heat map of channel congestion (top channel printed first)."""
+    surface = density_surface(spans, num_channels, columns)
+    peak = max((d for row in surface for d in row), default=0) or 1
+    lines = [f"congestion heat map (peak density {peak})"]
+    for ch in range(num_channels - 1, -1, -1):
+        row = surface[ch]
+        glyphs = "".join(
+            _HEAT[min(int(d / peak * (len(_HEAT) - 1)), len(_HEAT) - 1)] for d in row
+        )
+        lines.append(f"ch {ch:>3} |{glyphs}|")
+    return "\n".join(lines)
+
+
+def report(spans: Sequence[ChannelSpan], num_channels: int, top: int = 5) -> str:
+    """Text congestion report: totals, hotspot table, heat map."""
+    stats = analyze(spans, num_channels)
+    total = sum(c.tracks for c in stats)
+    lines = [
+        f"total tracks: {total} across {num_channels} channels",
+        f"busiest channels (top {top}):",
+    ]
+    for c in hotspots(spans, num_channels, top):
+        lines.append(
+            f"  channel {c.channel:>3}: {c.tracks} tracks, {c.num_spans} spans, "
+            f"hotspot at x={c.hotspot}, peak/mean {c.peak_to_mean:.2f}"
+        )
+    lines.append(render_heatmap(spans, num_channels))
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Plain-text rendering of result tables and figure series.
+
+The paper's figures are speedup bar charts; in a terminal reproduction we
+render each figure as its underlying number series plus a coarse ASCII
+bar per value, which makes the *shape* (who scales, who saturates)
+reviewable in the benchmark logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Mapping, Optional
+
+
+@dataclass(slots=True)
+class Table:
+    """A titled grid of cells; first column is usually the circuit name."""
+
+    title: str
+    columns: List[str]
+    rows: List[List[Any]] = field(default_factory=list)
+
+    def add_row(self, *cells: Any) -> None:
+        """Append one row (must match the column count)."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def column(self, name: str) -> List[Any]:
+        """All cells of one named column."""
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+    def render(self) -> str:
+        """Monospace rendering (see :func:`render_table`)."""
+        return render_table(self)
+
+
+def _fmt(cell: Any) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, float):
+        return f"{cell:.3f}" if abs(cell) < 100 else f"{cell:,.1f}"
+    if isinstance(cell, int):
+        return f"{cell:,}"
+    return str(cell)
+
+
+def render_table(table: Table) -> str:
+    """Monospace rendering with a title rule and aligned columns."""
+    cells = [[_fmt(c) for c in row] for row in table.rows]
+    widths = [len(h) for h in table.columns]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [table.title, "=" * max(len(table.title), len(sep))]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(table.columns, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(
+            " | ".join(
+                c.rjust(w) if _looks_numeric(c) else c.ljust(w)
+                for c, w in zip(row, widths)
+            )
+        )
+    return "\n".join(lines)
+
+
+def _looks_numeric(s: str) -> bool:
+    return bool(s) and (s[0].isdigit() or (s[0] in "-+." and len(s) > 1) or s == "-")
+
+
+def render_series(
+    title: str,
+    series: Mapping[str, Mapping[Any, Optional[float]]],
+    unit: str = "x",
+    bar_scale: float = 8.0,
+    bar_width: int = 24,
+) -> str:
+    """Render figure data: one labelled row per (series, x) value with an
+    ASCII bar proportional to the value."""
+    lines = [title, "=" * len(title)]
+    for name in series:
+        lines.append(f"{name}:")
+        for x, y in series[name].items():
+            if y is None:
+                lines.append(f"  {x!s:>8}  n/a")
+                continue
+            n = int(round(min(y / bar_scale, 1.0) * bar_width))
+            lines.append(f"  {x!s:>8}  {y:6.2f}{unit} |{'#' * n}")
+    return "\n".join(lines)

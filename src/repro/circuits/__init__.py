@@ -1,0 +1,58 @@
+"""Standard-cell circuit model.
+
+A circuit is the four-component structure the paper describes (§3): *rows*
+of *cells*, each cell carrying *pins*, and *nets* connecting pins.  Pins
+belong simultaneously to a cell and to a net — the double ownership that
+drives the whole pin-partitioning design space of the paper.
+
+Beyond the data model the package provides a programmatic builder, a text
+serialization format, validation, a parameterized synthetic generator, and
+named MCNC-like benchmark circuits (:mod:`repro.circuits.mcnc`).
+"""
+
+from repro.circuits.model import (
+    Pin,
+    PinKind,
+    Cell,
+    Net,
+    Row,
+    Circuit,
+    CircuitStats,
+    FEED_WIDTH,
+)
+from repro.circuits.builder import CircuitBuilder
+from repro.circuits.validate import validate_circuit, CircuitError
+from repro.circuits.generator import SyntheticSpec, generate_circuit
+from repro.circuits import mcnc
+from repro.circuits.textio import save_circuit, load_circuit
+from repro.circuits.stats import (
+    NetStatistics,
+    RowStatistics,
+    net_statistics,
+    row_statistics,
+    degree_histogram_text,
+)
+
+__all__ = [
+    "Pin",
+    "PinKind",
+    "Cell",
+    "Net",
+    "Row",
+    "Circuit",
+    "CircuitStats",
+    "FEED_WIDTH",
+    "CircuitBuilder",
+    "validate_circuit",
+    "CircuitError",
+    "SyntheticSpec",
+    "generate_circuit",
+    "mcnc",
+    "save_circuit",
+    "load_circuit",
+    "NetStatistics",
+    "RowStatistics",
+    "net_statistics",
+    "row_statistics",
+    "degree_histogram_text",
+]

@@ -1,0 +1,112 @@
+"""Fluent construction of circuits through the public API.
+
+The builder packs cells into rows left-to-right and wires nets by
+``(cell, pin-offset)`` references, so examples and tests can create small
+hand-designed circuits without tracking ids manually::
+
+    b = CircuitBuilder(rows=3)
+    a = b.cell(row=0, width=4)
+    c = b.cell(row=2, width=4)
+    b.net("clk", [(a, 1), (c, 2)])
+    circuit = b.build()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.circuits.model import Circuit, PinKind
+from repro.circuits.validate import validate_circuit
+
+
+@dataclass(frozen=True, slots=True)
+class CellRef:
+    """Opaque handle to a cell being built."""
+
+    index: int
+
+
+class CircuitBuilder:
+    """Accumulates cells and nets, then emits a validated :class:`Circuit`."""
+
+    def __init__(self, rows: int, name: str = "circuit", spacing: int = 0) -> None:
+        if rows <= 0:
+            raise ValueError("a circuit needs at least one row")
+        self._name = name
+        self._rows = rows
+        self._spacing = spacing
+        # per-row current x cursor
+        self._cursor = [0] * rows
+        # (row, x, width)
+        self._cells: List[Tuple[int, int, int]] = []
+        # name, [(cellref, offset, side, has_equiv)]
+        self._nets: List[Tuple[str, List[Tuple[int, int, int, bool]]]] = []
+
+    def cell(self, row: int, width: int = 2, x: Optional[int] = None) -> CellRef:
+        """Place a cell; ``x`` defaults to packing after the previous cell."""
+        if not 0 <= row < self._rows:
+            raise IndexError(f"row {row} out of range 0..{self._rows - 1}")
+        if width <= 0:
+            raise ValueError("cell width must be positive")
+        if x is None:
+            x = self._cursor[row]
+        if x < self._cursor[row]:
+            raise ValueError(
+                f"cell at x={x} overlaps previous cell in row {row} "
+                f"(cursor={self._cursor[row]})"
+            )
+        self._cursor[row] = x + width + self._spacing
+        self._cells.append((row, x, width))
+        return CellRef(len(self._cells) - 1)
+
+    def net(
+        self,
+        name: str,
+        terminals: Sequence[Tuple[CellRef, int]],
+        sides: Optional[Sequence[int]] = None,
+        equiv: Optional[Sequence[bool]] = None,
+    ) -> int:
+        """Declare a net over ``(cell, pin_offset)`` terminals.
+
+        ``sides`` / ``equiv`` parallel the terminal list; they default to
+        top-side, non-equivalent pins.
+        """
+        if len(terminals) < 2:
+            raise ValueError(f"net {name!r} needs at least 2 terminals")
+        if sides is not None and len(sides) != len(terminals):
+            raise ValueError("sides must parallel terminals")
+        if equiv is not None and len(equiv) != len(terminals):
+            raise ValueError("equiv must parallel terminals")
+        entry: List[Tuple[int, int, int, bool]] = []
+        for i, (ref, offset) in enumerate(terminals):
+            side = sides[i] if sides is not None else 1
+            if side not in (-1, 1):
+                raise ValueError("side must be +1 (top) or -1 (bottom)")
+            eq = equiv[i] if equiv is not None else False
+            entry.append((ref.index, offset, side, eq))
+        self._nets.append((name, entry))
+        return len(self._nets) - 1
+
+    def build(self, validate: bool = True) -> Circuit:
+        """Materialize the circuit (and validate it by default)."""
+        circuit = Circuit(self._name)
+        for _ in range(self._rows):
+            circuit.add_row()
+        cell_ids: List[int] = []
+        for row, x, width in self._cells:
+            cell_ids.append(circuit.add_cell(row, x, width).id)
+        for name, terms in self._nets:
+            net = circuit.add_net(name)
+            for cell_idx, offset, side, eq in terms:
+                circuit.add_pin(
+                    net=net.id,
+                    cell=cell_ids[cell_idx],
+                    offset=offset,
+                    side=side,
+                    has_equiv=eq,
+                    kind=PinKind.CELL,
+                )
+        if validate:
+            validate_circuit(circuit)
+        return circuit

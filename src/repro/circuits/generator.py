@@ -1,0 +1,228 @@
+"""Parameterized synthetic circuit generation.
+
+The MCNC layout-synthesis benchmarks used in the paper are not
+redistributable, so experiments run on synthetic circuits that match each
+benchmark's *statistics*: row/cell/net/pin counts, the net-degree
+distribution (mostly 2–4 pin nets with a long tail, plus optional huge
+clock nets as in ``avq.large``), and spatial locality of net pins (a net's
+pins cluster around an anchor cell, with a small fraction of global nets).
+
+Those statistics are what the routing algorithms are sensitive to: net
+degree drives Steiner-tree work (and hence the pin-number-weight partition
+of paper §5), locality drives channel congestion and the fake-pin count of
+the row-wise algorithm, and row count bounds usable parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.circuits.model import Circuit, PinKind
+from repro.circuits.validate import validate_circuit
+
+
+@dataclass(frozen=True, slots=True)
+class SyntheticSpec:
+    """Recipe for one synthetic circuit.
+
+    ``clock_net_degrees`` lists the degrees of special huge nets (e.g. the
+    >2000-pin clock lines in avq.large, paper §5); they span the entire
+    core uniformly.
+    """
+
+    name: str
+    rows: int
+    cells: int
+    nets: int
+    #: mean net degree for the geometric tail; actual degree = 2 + Geom.
+    mean_degree: float = 3.0
+    #: fraction of nets that ignore locality and spread over the core
+    global_net_fraction: float = 0.05
+    #: std-dev of a local net's row spread, in *rows* — placement puts
+    #: connected cells in the same or neighbouring rows, independent of
+    #: how tall the circuit is (this is what makes same-row *switchable*
+    #: net segments as common as TWGR step 5 assumes)
+    row_locality: float = 0.6
+    #: std-dev of a local net's x spread, as a fraction of the row width
+    x_locality: float = 0.10
+    #: probability a pin exposes an electrically-equivalent twin
+    equiv_prob: float = 0.9
+    min_cell_width: int = 3
+    max_cell_width: int = 8
+    clock_net_degrees: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.rows < 2:
+            raise ValueError("need at least 2 rows")
+        if self.cells < self.rows:
+            raise ValueError("need at least one cell per row")
+        if self.nets < 1:
+            raise ValueError("need at least one net")
+        if self.mean_degree < 2.0:
+            raise ValueError("mean net degree must be >= 2")
+
+    def scaled(self, scale: float) -> "SyntheticSpec":
+        """Shrink cells/nets (and clock-net degrees) by ``scale``, keeping
+        the row count and all distribution shapes.
+
+        Scaling preserves the quality *ratios* and speedup shapes the
+        experiments measure while keeping pure-Python runtimes tractable;
+        ``tests/integration/test_scale_stability.py`` checks this.
+        """
+        if not 0 < scale <= 1:
+            raise ValueError("scale must be in (0, 1]")
+        if scale == 1.0:
+            return self
+        return SyntheticSpec(
+            name=self.name,
+            rows=self.rows,
+            cells=max(self.rows * 2, int(round(self.cells * scale))),
+            nets=max(1, int(round(self.nets * scale))),
+            mean_degree=self.mean_degree,
+            global_net_fraction=self.global_net_fraction,
+            row_locality=self.row_locality,
+            x_locality=self.x_locality,
+            equiv_prob=self.equiv_prob,
+            min_cell_width=self.min_cell_width,
+            max_cell_width=self.max_cell_width,
+            clock_net_degrees=tuple(
+                max(8, int(round(d * scale))) for d in self.clock_net_degrees
+            ),
+        )
+
+
+def generate_circuit(spec: SyntheticSpec, seed: int = 0, validate: bool = True) -> Circuit:
+    """Generate a circuit from ``spec`` deterministically for a given seed."""
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(spec.name)
+
+    # --- place cells: spread evenly over rows, pack left to right -------
+    per_row = _split_evenly(spec.cells, spec.rows, rng)
+    widths = rng.integers(spec.min_cell_width, spec.max_cell_width + 1, size=spec.cells)
+    cell_ids: List[int] = []
+    w_idx = 0
+    for r in range(spec.rows):
+        circuit.add_row()
+    for r, count in enumerate(per_row):
+        x = 0
+        for _ in range(count):
+            w = int(widths[w_idx])
+            w_idx += 1
+            cell_ids.append(circuit.add_cell(r, x, w).id)
+            x += w
+    core_width = circuit.max_row_width()
+
+    # Cell centers for locality-driven sampling.
+    centers_x = np.array([circuit.cells[c].x + circuit.cells[c].width / 2 for c in cell_ids])
+    centers_row = np.array([circuit.cells[c].row for c in cell_ids])
+    order = np.lexsort((centers_x, centers_row))
+    # index arrays sorted by (row, x) to find nearest cells quickly
+    sorted_rows = centers_row[order]
+    sorted_x = centers_x[order]
+    row_starts = np.searchsorted(sorted_rows, np.arange(spec.rows), side="left")
+    row_ends = np.searchsorted(sorted_rows, np.arange(spec.rows), side="right")
+
+    def nearest_cell(x: float, row: int) -> int:
+        """Cell in ``row`` whose center is closest to ``x``."""
+        lo, hi = row_starts[row], row_ends[row]
+        if lo == hi:  # empty row: walk outward
+            for d in range(1, spec.rows):
+                for rr in (row - d, row + d):
+                    if 0 <= rr < spec.rows and row_starts[rr] != row_ends[rr]:
+                        return nearest_cell(x, rr)
+            raise RuntimeError("no cells placed")
+        i = np.searchsorted(sorted_x[lo:hi], x) + lo
+        cands = [j for j in (i - 1, i) if lo <= j < hi]
+        best = min(cands, key=lambda j: abs(sorted_x[j] - x))
+        return cell_ids[order[best]]
+
+    # --- regular nets ----------------------------------------------------
+    n_regular = spec.nets - len(spec.clock_net_degrees)
+    if n_regular < 0:
+        raise ValueError("more clock nets than total nets")
+    extra = np.clip(rng.geometric(1.0 / max(spec.mean_degree - 1.0, 1e-9), size=n_regular) - 1, 0, 64)
+    degrees = 2 + extra
+    is_global = rng.random(n_regular) < spec.global_net_fraction
+    row_sigma = max(0.3, spec.row_locality)
+    x_sigma = max(2.0, spec.x_locality * core_width)
+
+    for i in range(n_regular):
+        deg = int(degrees[i])
+        net = circuit.add_net()
+        chosen: set[int] = set()
+        if is_global[i]:
+            anchor_row = None
+        else:
+            anchor_row = int(rng.integers(0, spec.rows))
+            anchor_x = float(rng.uniform(0, core_width))
+        attempts = 0
+        while len(chosen) < deg and attempts < deg * 20:
+            attempts += 1
+            if anchor_row is None:
+                row = int(rng.integers(0, spec.rows))
+                x = float(rng.uniform(0, core_width))
+            else:
+                row = int(np.clip(round(anchor_row + rng.normal(0, row_sigma)), 0, spec.rows - 1))
+                x = float(np.clip(anchor_x + rng.normal(0, x_sigma), 0, core_width - 1))
+            chosen.add(nearest_cell(x, row))
+        if len(chosen) < 2:
+            # degenerate corner (tiny circuit): grab any second cell
+            for cid in cell_ids:
+                if cid not in chosen:
+                    chosen.add(cid)
+                    break
+        _attach_pins(circuit, net.id, sorted(chosen), rng, spec.equiv_prob)
+
+    # --- clock-like huge nets --------------------------------------------
+    for k, deg in enumerate(spec.clock_net_degrees):
+        net = circuit.add_net(f"clk{k}")
+        deg = min(deg, len(cell_ids))
+        chosen_idx = rng.choice(len(cell_ids), size=deg, replace=False)
+        _attach_pins(
+            circuit, net.id, sorted(cell_ids[int(j)] for j in chosen_idx), rng, spec.equiv_prob
+        )
+
+    if validate:
+        validate_circuit(circuit)
+    return circuit
+
+
+def _attach_pins(
+    circuit: Circuit,
+    net_id: int,
+    cells: Sequence[int],
+    rng: np.random.Generator,
+    equiv_prob: float,
+) -> None:
+    for cid in cells:
+        cell = circuit.cells[cid]
+        offset = int(rng.integers(0, cell.width))
+        side = 1 if rng.random() < 0.5 else -1
+        has_equiv = bool(rng.random() < equiv_prob)
+        circuit.add_pin(
+            net=net_id,
+            cell=cid,
+            offset=offset,
+            side=side,
+            has_equiv=has_equiv,
+            kind=PinKind.CELL,
+        )
+
+
+def _split_evenly(total: int, parts: int, rng: np.random.Generator) -> List[int]:
+    """Split ``total`` into ``parts`` near-equal counts (tiny jitter for
+    realism, every part >= 1)."""
+    base = total // parts
+    rem = total - base * parts
+    counts = [base + (1 if i < rem else 0) for i in range(parts)]
+    # jitter +-5% while preserving the sum and positivity
+    for _ in range(parts // 2):
+        i, j = rng.integers(0, parts, size=2)
+        delta = int(min(counts[i] - 1, max(1, base // 20)))
+        if delta > 0 and i != j:
+            counts[i] -= delta
+            counts[j] += delta
+    return counts

@@ -1,0 +1,117 @@
+"""Named MCNC-like benchmark circuits.
+
+The paper (Table 1) evaluates on six circuits from the MCNC layout
+synthesis suite.  The original ``.yal`` files are not available here, so
+:func:`generate` synthesizes circuits whose headline statistics match the
+commonly-published numbers for each benchmark (cells / nets / pins / rows
+as used by TimberWolfSC placements).  ``avq.large`` additionally carries a
+handful of very large clock-line nets — the paper notes one with more than
+2000 pins while 99 % of nets are small — because those nets are what the
+pin-number-weight partition (§5) exists for.
+
+Published absolute numbers vary slightly across papers; the values below
+are representative, and the *experiments never depend on them exactly* —
+quality is always reported scaled against the serial run on the identical
+circuit.
+
+Use ``scale`` to shrink a benchmark proportionally for quick runs; the
+scale used per experiment is recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.circuits.generator import SyntheticSpec, generate_circuit
+from repro.circuits.model import Circuit
+
+#: The benchmark suite, keyed by canonical name.  ``primary1`` is included
+#: for quick experiments; the paper's six circuits are the remaining ones.
+SPECS: Dict[str, SyntheticSpec] = {
+    "primary1": SyntheticSpec(
+        name="primary1", rows=16, cells=752, nets=904, mean_degree=3.2,
+        global_net_fraction=0.06,
+    ),
+    "primary2": SyntheticSpec(
+        name="primary2", rows=24, cells=3014, nets=3029, mean_degree=3.6,
+        global_net_fraction=0.05,
+    ),
+    "biomed": SyntheticSpec(
+        name="biomed", rows=46, cells=6417, nets=5742, mean_degree=3.7,
+        global_net_fraction=0.04,
+        clock_net_degrees=(692,),
+    ),
+    "industry2": SyntheticSpec(
+        name="industry2", rows=72, cells=12142, nets=13419, mean_degree=3.5,
+        global_net_fraction=0.05,
+    ),
+    "industry3": SyntheticSpec(
+        name="industry3", rows=54, cells=15057, nets=21808, mean_degree=3.1,
+        global_net_fraction=0.05,
+    ),
+    "avq_small": SyntheticSpec(
+        name="avq_small", rows=80, cells=21854, nets=22124, mean_degree=3.0,
+        global_net_fraction=0.04,
+        clock_net_degrees=(820,),
+    ),
+    "avq_large": SyntheticSpec(
+        name="avq_large", rows=86, cells=25114, nets=25384, mean_degree=3.0,
+        global_net_fraction=0.04,
+        # the paper: "some very large clock line nets. One of them has more
+        # than 2000 pins. But 99% of the nets have less than ~5 pins."
+        clock_net_degrees=(2300, 1100, 600),
+    ),
+}
+
+#: The six circuits of the paper's evaluation section, in table order.
+PAPER_SUITE: List[str] = [
+    "primary2",
+    "biomed",
+    "industry2",
+    "industry3",
+    "avq_small",
+    "avq_large",
+]
+
+#: Aliases accepted by :func:`generate` (paper spelling included).
+ALIASES: Dict[str, str] = {
+    "avq.small": "avq_small",
+    "avq.large": "avq_large",
+    "primary": "primary2",
+}
+
+
+def names() -> List[str]:
+    """All benchmark names, in a stable order."""
+    return list(SPECS)
+
+
+def spec(name: str) -> SyntheticSpec:
+    """Look up a benchmark spec by (possibly aliased) name."""
+    key = ALIASES.get(name, name)
+    try:
+        return SPECS[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {', '.join(SPECS)}"
+        ) from None
+
+
+def generate(name: str, scale: float = 1.0, seed: int = 0) -> Circuit:
+    """Generate a benchmark circuit, optionally scaled down.
+
+    The seed fully determines the circuit, so serial and parallel runs in
+    one experiment route the *identical* netlist.
+    """
+    s = spec(name)
+    if scale != 1.0:
+        s = s.scaled(scale)
+    circuit = generate_circuit(s, seed=seed)
+    if scale != 1.0:
+        circuit.name = f"{s.name}@{scale:g}"
+    return circuit
+
+
+def generate_suite(scale: float = 1.0, seed: int = 0) -> List[Circuit]:
+    """Generate the paper's six evaluation circuits."""
+    return [generate(n, scale=scale, seed=seed) for n in PAPER_SUITE]

@@ -1,0 +1,135 @@
+"""Extended circuit statistics.
+
+Beyond the Table-1 headline counts, these are the distributions the
+routing algorithms are actually sensitive to — used to sanity-check that
+the synthetic generator produces circuits with the right character, and
+available to users profiling their own netlists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.circuits.model import Circuit, PinKind
+
+
+@dataclass(frozen=True, slots=True)
+class NetStatistics:
+    """Distributional statistics of a circuit's nets."""
+
+    num_nets: int
+    mean_degree: float
+    max_degree: int
+    #: fraction of nets with <= 4 pins (the paper: "99% of the nets have
+    #: less than ~5 pins" for avq.large)
+    small_net_fraction: float
+    #: mean vertical extent of a net in rows
+    mean_row_span: float
+    #: fraction of nets entirely within one row (switchable candidates)
+    same_row_fraction: float
+    #: fraction of pins with an electrically-equivalent twin
+    equiv_pin_fraction: float
+    degree_histogram: Dict[int, int]
+
+    def summary(self) -> str:
+        """One-line net-distribution summary."""
+        return (
+            f"nets={self.num_nets}, mean degree={self.mean_degree:.2f} "
+            f"(max {self.max_degree}), small nets={self.small_net_fraction:.0%}, "
+            f"row span={self.mean_row_span:.2f}, same-row={self.same_row_fraction:.0%}, "
+            f"equiv pins={self.equiv_pin_fraction:.0%}"
+        )
+
+
+def net_statistics(circuit: Circuit) -> NetStatistics:
+    """Compute :class:`NetStatistics` for a circuit."""
+    degrees: List[int] = []
+    spans: List[int] = []
+    same_row = 0
+    hist: Dict[int, int] = {}
+    for net in circuit.nets:
+        deg = net.degree
+        degrees.append(deg)
+        hist[deg] = hist.get(deg, 0) + 1
+        rows = [circuit.pins[p].row for p in net.pins]
+        if rows:
+            span = max(rows) - min(rows)
+            spans.append(span)
+            if span == 0:
+                same_row += 1
+    cell_pins = [p for p in circuit.pins if p.kind is PinKind.CELL]
+    equiv = sum(1 for p in cell_pins if p.has_equiv)
+    n = len(circuit.nets) or 1
+    return NetStatistics(
+        num_nets=len(circuit.nets),
+        mean_degree=float(np.mean(degrees)) if degrees else 0.0,
+        max_degree=max(degrees, default=0),
+        small_net_fraction=sum(1 for d in degrees if d <= 4) / n,
+        mean_row_span=float(np.mean(spans)) if spans else 0.0,
+        same_row_fraction=same_row / n,
+        equiv_pin_fraction=equiv / len(cell_pins) if cell_pins else 0.0,
+        degree_histogram=dict(sorted(hist.items())),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class RowStatistics:
+    """Occupancy statistics of the rows."""
+
+    num_rows: int
+    mean_cells_per_row: float
+    width_imbalance: float  # max/mean row width
+    pin_imbalance: float  # max/mean pins per row
+
+    def summary(self) -> str:
+        """One-line row-occupancy summary."""
+        return (
+            f"rows={self.num_rows}, cells/row={self.mean_cells_per_row:.1f}, "
+            f"width imbalance={self.width_imbalance:.2f}, "
+            f"pin imbalance={self.pin_imbalance:.2f}"
+        )
+
+
+def row_statistics(circuit: Circuit) -> RowStatistics:
+    """Compute :class:`RowStatistics` for a circuit."""
+    nrows = circuit.num_rows or 1
+    cells = np.array([len(r.cells) for r in circuit.rows], dtype=float)
+    widths = np.array([circuit.row_width(r) for r in range(nrows)], dtype=float)
+    pins = np.zeros(nrows)
+    for p in circuit.pins:
+        if 0 <= p.row < nrows:
+            pins[p.row] += 1
+
+    def imbalance(arr: np.ndarray) -> float:
+        m = arr.mean()
+        return float(arr.max() / m) if m > 0 else 1.0
+
+    return RowStatistics(
+        num_rows=circuit.num_rows,
+        mean_cells_per_row=float(cells.mean()) if len(cells) else 0.0,
+        width_imbalance=imbalance(widths),
+        pin_imbalance=imbalance(pins),
+    )
+
+
+def degree_histogram_text(circuit: Circuit, max_degree: int = 12, width: int = 40) -> str:
+    """ASCII histogram of net degrees (tail folded into one bucket)."""
+    stats = net_statistics(circuit)
+    buckets: Dict[str, int] = {}
+    tail = 0
+    for deg, count in stats.degree_histogram.items():
+        if deg <= max_degree:
+            buckets[str(deg)] = count
+        else:
+            tail += count
+    if tail:
+        buckets[f">{max_degree}"] = tail
+    peak = max(buckets.values(), default=1)
+    lines = ["net degree histogram:"]
+    for label, count in buckets.items():
+        bar = "#" * max(1, int(count / peak * width)) if count else ""
+        lines.append(f"  {label:>4} pins: {bar} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,269 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``circuits``
+    List the built-in MCNC-like benchmark circuits.
+``route``
+    Route one circuit (serially or with a parallel algorithm) and print
+    the metrics; optionally save a JSON record.
+``compare``
+    The paper's core experiment on one circuit: all three algorithms
+    across processor counts.
+``artifact``
+    Regenerate one of the paper's tables/figures (or an ablation) at a
+    chosen scale.
+``trace``
+    Route in parallel while recording communication, then print the
+    message timeline and the bytes-sent matrix.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.records import save_results
+from repro.circuits import mcnc
+from repro.perfmodel.machine import MACHINES, SPARCCENTER_1000
+from repro.twgr.config import RouterConfig
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--circuit", default="primary2", help="benchmark name (see `circuits`)")
+    parser.add_argument("--scale", type=float, default=0.1, help="size scale factor (default 0.1)")
+    parser.add_argument("--seed", type=int, default=1, help="circuit + router seed")
+    parser.add_argument(
+        "--machine", default=SPARCCENTER_1000.name, choices=sorted(MACHINES),
+        help="performance model",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel global routing for standard cells (IPPS'97 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("circuits", help="list benchmark circuits")
+
+    p_route = sub.add_parser("route", help="route one circuit")
+    _add_common(p_route)
+    p_route.add_argument(
+        "--algorithm", default="serial",
+        choices=("serial", "rowwise", "netwise", "hybrid"),
+    )
+    p_route.add_argument("--nprocs", type=int, default=8)
+    p_route.add_argument("--json", metavar="PATH", help="save the result record")
+
+    p_cmp = sub.add_parser("compare", help="all three algorithms on one circuit")
+    _add_common(p_cmp)
+    p_cmp.add_argument(
+        "--procs", type=int, nargs="+", default=[1, 2, 4, 8], metavar="P"
+    )
+
+    p_art = sub.add_parser("artifact", help="regenerate a paper table/figure")
+    p_art.add_argument(
+        "name",
+        choices=(
+            "table1", "table2", "table3", "table4", "table5",
+            "fig4", "fig5", "fig6",
+            "ablation-partitions", "ablation-alpha", "ablation-sync",
+        ),
+    )
+    p_art.add_argument("--scale", type=float, default=0.1)
+    p_art.add_argument("--seed", type=int, default=1)
+
+    p_tr = sub.add_parser("trace", help="route in parallel and show the comm trace")
+    _add_common(p_tr)
+    p_tr.add_argument(
+        "--algorithm", default="hybrid", choices=("rowwise", "netwise", "hybrid")
+    )
+    p_tr.add_argument("--nprocs", type=int, default=4)
+
+    p_st = sub.add_parser(
+        "stats", help="circuit statistics and post-route congestion report"
+    )
+    _add_common(p_st)
+    p_st.add_argument("--top", type=int, default=5, help="hotspot channels to list")
+
+    return parser
+
+
+def cmd_circuits(_args: argparse.Namespace) -> int:
+    """List the built-in benchmark circuits."""
+    print(f"{'name':<12} {'rows':>5} {'cells':>7} {'nets':>7}  clock nets")
+    for name in mcnc.names():
+        s = mcnc.spec(name)
+        clocks = ",".join(map(str, s.clock_net_degrees)) or "-"
+        print(f"{name:<12} {s.rows:>5} {s.cells:>7} {s.nets:>7}  {clocks}")
+    print(f"\npaper suite: {', '.join(mcnc.PAPER_SUITE)}")
+    return 0
+
+
+def cmd_route(args: argparse.Namespace) -> int:
+    """Route one circuit and print (optionally save) the metrics."""
+    from repro.parallel.driver import route_parallel, serial_baseline
+
+    circuit = mcnc.generate(args.circuit, scale=args.scale, seed=args.seed)
+    config = RouterConfig(seed=args.seed)
+    machine = MACHINES[args.machine]
+    print(f"circuit: {circuit}")
+    if args.algorithm == "serial":
+        result = serial_baseline(circuit, config, machine=machine)
+        print(result.summary())
+        results = [result]
+    else:
+        base = serial_baseline(circuit, config, machine=machine)
+        run = route_parallel(
+            circuit, algorithm=args.algorithm, nprocs=args.nprocs,
+            machine=machine, config=config, baseline=base,
+        )
+        print(f"serial  : {base.summary()}")
+        print(f"parallel: {run.summary()}")
+        results = [base, run.result]
+    if args.json:
+        save_results(results, args.json)
+        print(f"records written to {args.json}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Run the three algorithms across processor counts."""
+    from repro.analysis.tables import Table
+    from repro.parallel.driver import route_parallel, serial_baseline
+
+    circuit = mcnc.generate(args.circuit, scale=args.scale, seed=args.seed)
+    config = RouterConfig(seed=args.seed)
+    machine = MACHINES[args.machine]
+    base = serial_baseline(circuit, config, machine=machine)
+    print(f"circuit: {circuit}")
+    print(f"serial : {base.total_tracks} tracks, {base.model_time:.1f}s modeled\n")
+    quality = Table(
+        title=f"Scaled tracks on {circuit.name}",
+        columns=["algorithm"] + [f"{p}p" for p in args.procs],
+    )
+    speed = Table(
+        title=f"Modeled speedup on {circuit.name} ({machine.name})",
+        columns=["algorithm"] + [f"{p}p" for p in args.procs],
+    )
+    for algo in ("rowwise", "netwise", "hybrid"):
+        q_row, s_row = [algo], [algo]
+        for p in args.procs:
+            run = route_parallel(
+                circuit, algorithm=algo, nprocs=p,
+                machine=machine, config=config, baseline=base,
+            )
+            q_row.append(run.scaled_tracks)
+            s_row.append(run.speedup)
+        quality.add_row(*q_row)
+        speed.add_row(*s_row)
+    print(quality.render())
+    print()
+    print(speed.render())
+    return 0
+
+
+def cmd_artifact(args: argparse.Namespace) -> int:
+    """Regenerate one paper table/figure or ablation."""
+    from repro.analysis import experiments as ex
+
+    settings = ex.ExperimentSettings(scale=args.scale, seed=args.seed)
+    name = args.name
+    if name == "table1":
+        print(ex.run_circuit_characteristics(settings).render())
+    elif name in ("table2", "table3", "table4"):
+        algo = {"table2": "rowwise", "table3": "netwise", "table4": "hybrid"}[name]
+        table, _ = ex.run_quality_table(algo, settings)
+        print(table.render())
+    elif name in ("fig4", "fig5", "fig6"):
+        algo = {"fig4": "rowwise", "fig5": "netwise", "fig6": "hybrid"}[name]
+        rendered, _ = ex.run_speedup_figure(algo, settings)
+        print(rendered)
+    elif name == "table5":
+        table, _ = ex.run_platform_table(settings)
+        print(table.render())
+    elif name == "ablation-partitions":
+        table, _ = ex.run_net_partition_ablation(settings)
+        print(table.render())
+    elif name == "ablation-alpha":
+        table, _ = ex.run_alpha_ablation(settings)
+        print(table.render())
+    elif name == "ablation-sync":
+        from dataclasses import replace
+
+        profile = replace(
+            settings, pconfig=replace(settings.pconfig, switch_sync_mode="profile")
+        )
+        table, _ = ex.run_sync_frequency_ablation(profile)
+        print(table.render())
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Route with a trace recorder and render the comm structure."""
+    from repro.mpi.trace import TraceRecorder
+    from repro.parallel.driver import route_parallel
+
+    circuit = mcnc.generate(args.circuit, scale=args.scale, seed=args.seed)
+    config = RouterConfig(seed=args.seed)
+    machine = MACHINES[args.machine]
+    recorder = TraceRecorder()
+    run = route_parallel(
+        circuit, algorithm=args.algorithm, nprocs=args.nprocs,
+        machine=machine, config=config, compute_baseline=False, trace=recorder,
+    )
+    print(run.result.summary())
+    print(
+        f"messages: {recorder.total_messages():,}, "
+        f"bytes: {recorder.total_bytes():,}\n"
+    )
+    print(recorder.render_timeline(args.nprocs))
+    print()
+    print(recorder.render_matrix(args.nprocs))
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Print circuit statistics and a post-route congestion report."""
+    from repro.analysis.congestion import report
+    from repro.circuits.stats import (
+        degree_histogram_text,
+        net_statistics,
+        row_statistics,
+    )
+    from repro.twgr.router import GlobalRouter
+
+    circuit = mcnc.generate(args.circuit, scale=args.scale, seed=args.seed)
+    print(f"circuit: {circuit}")
+    print(net_statistics(circuit).summary())
+    print(row_statistics(circuit).summary())
+    print()
+    print(degree_histogram_text(circuit))
+    print()
+    _, art = GlobalRouter(RouterConfig(seed=args.seed)).route_with_artifacts(circuit)
+    print(report(art.spans, circuit.num_rows + 1, top=args.top))
+    return 0
+
+
+COMMANDS = {
+    "circuits": cmd_circuits,
+    "route": cmd_route,
+    "compare": cmd_compare,
+    "artifact": cmd_artifact,
+    "trace": cmd_trace,
+    "stats": cmd_stats,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""Axis-aligned bounding boxes over grid points."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True, slots=True)
+class BBox:
+    """Inclusive axis-aligned bounding box on the routing grid."""
+
+    xmin: int
+    xmax: int
+    rmin: int
+    rmax: int
+
+    def __post_init__(self) -> None:
+        if self.xmin > self.xmax or self.rmin > self.rmax:
+            raise ValueError(f"empty bbox: {self}")
+
+    @classmethod
+    def from_points(cls, points: Iterable[Point]) -> "BBox":
+        """Smallest box containing every point. Raises on an empty iterable."""
+        pts = list(points)
+        if not pts:
+            raise ValueError("BBox.from_points: no points")
+        xs = [p.x for p in pts]
+        rs = [p.row for p in pts]
+        return cls(min(xs), max(xs), min(rs), max(rs))
+
+    @property
+    def width(self) -> int:
+        """Horizontal extent (xmax - xmin)."""
+        return self.xmax - self.xmin
+
+    @property
+    def height(self) -> int:
+        """Vertical extent in rows (rmax - rmin)."""
+        return self.rmax - self.rmin
+
+    @property
+    def half_perimeter(self) -> int:
+        """HPWL-style size estimate (row pitch taken as 1)."""
+        return self.width + self.height
+
+    def center(self) -> Tuple[float, float]:
+        """Geometric center as ``(x, row)`` floats."""
+        return ((self.xmin + self.xmax) / 2.0, (self.rmin + self.rmax) / 2.0)
+
+    def lower_left(self) -> Point:
+        """The (xmin, rmin) corner (the locus partition's sort key)."""
+        return Point(self.xmin, self.rmin)
+
+    def contains(self, p: Point) -> bool:
+        """True when ``p`` lies inside the (inclusive) box."""
+        return self.xmin <= p.x <= self.xmax and self.rmin <= p.row <= self.rmax
+
+    def intersects(self, other: "BBox") -> bool:
+        """True when the boxes share at least one point."""
+        return not (
+            other.xmax < self.xmin
+            or self.xmax < other.xmin
+            or other.rmax < self.rmin
+            or self.rmax < other.rmin
+        )
+
+    def union(self, other: "BBox") -> "BBox":
+        """Smallest box containing both boxes."""
+        return BBox(
+            min(self.xmin, other.xmin),
+            max(self.xmax, other.xmax),
+            min(self.rmin, other.rmin),
+            max(self.rmax, other.rmax),
+        )
+
+    def expanded(self, margin: int) -> "BBox":
+        """Box grown by ``margin`` on every side."""
+        return BBox(
+            self.xmin - margin, self.xmax + margin, self.rmin - margin, self.rmax + margin
+        )

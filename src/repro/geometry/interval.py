@@ -1,0 +1,169 @@
+"""Half-open integer intervals and overlap ("density") computations.
+
+Channel density — the number of wires that must pass a given column of a
+routing channel — is the core quality metric of the router: the number of
+tracks a channel needs equals the maximum overlap of the horizontal wire
+spans assigned to it.  :func:`max_overlap` and :class:`IntervalSet` provide
+that computation, both one-shot and incrementally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    """Half-open interval ``[lo, hi)`` on the column axis.
+
+    A zero-length wire span (a via-only connection) is represented by
+    ``lo == hi`` and contributes nothing to density.
+    """
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"inverted interval [{self.lo}, {self.hi})")
+
+    @classmethod
+    def spanning(cls, a: int, b: int) -> "Interval":
+        """Interval covering columns between two endpoints, in either order."""
+        return cls(min(a, b), max(a, b))
+
+    @property
+    def length(self) -> int:
+        """Number of columns covered."""
+        return self.hi - self.lo
+
+    @property
+    def empty(self) -> bool:
+        """True for zero-length intervals (no density contribution)."""
+        return self.lo == self.hi
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True when the half-open intervals share a column."""
+        return self.lo < other.hi and other.lo < self.hi
+
+    def contains(self, x: int) -> bool:
+        """True when column ``x`` lies in ``[lo, hi)``."""
+        return self.lo <= x < self.hi
+
+
+def max_overlap(intervals: Iterable[Interval]) -> int:
+    """Maximum number of intervals covering any single column.
+
+    Runs an event sweep in ``O(n log n)``.  Empty intervals are ignored.
+    This is exactly the *channel density*, i.e. the minimum track count of
+    a channel containing the given wire spans.
+    """
+    events: List[Tuple[int, int]] = []
+    for iv in intervals:
+        if iv.empty:
+            continue
+        events.append((iv.lo, 1))
+        events.append((iv.hi, -1))
+    if not events:
+        return 0
+    # Process closings before openings at the same coordinate: the
+    # intervals are half-open, so a span ending where another begins does
+    # not overlap it.
+    events.sort(key=lambda e: (e[0], e[1]))
+    depth = best = 0
+    for _, delta in events:
+        depth += delta
+        if depth > best:
+            best = depth
+    return best
+
+
+class IntervalSet:
+    """A multiset of intervals with incremental density queries.
+
+    The router adds and removes wire spans while evaluating candidate moves
+    (L-shape flips, channel flips), so densities must be cheap to update.
+    The set keeps a sparse difference profile (``column -> +/- count``) and
+    recomputes the maximum lazily, caching it between mutations.
+    """
+
+    __slots__ = ("_diff", "_count", "_max_cache")
+
+    def __init__(self, intervals: Iterable[Interval] = ()) -> None:
+        self._diff: Dict[int, int] = {}
+        self._count = 0
+        self._max_cache: int | None = 0
+        for iv in intervals:
+            self.add(iv)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def add(self, iv: Interval) -> None:
+        """Insert one span (duplicates allowed)."""
+        self._count += 1
+        if iv.empty:
+            return
+        self._bump(iv.lo, 1)
+        self._bump(iv.hi, -1)
+        self._max_cache = None
+
+    def remove(self, iv: Interval) -> None:
+        """Remove one previously-added span.
+
+        The profile is a multiset difference: removing a span that was never
+        added corrupts the density, so callers must pair add/remove exactly.
+        """
+        if self._count == 0:
+            raise KeyError("remove from empty IntervalSet")
+        self._count -= 1
+        if iv.empty:
+            return
+        self._bump(iv.lo, -1)
+        self._bump(iv.hi, 1)
+        self._max_cache = None
+
+    def _bump(self, col: int, delta: int) -> None:
+        new = self._diff.get(col, 0) + delta
+        if new:
+            self._diff[col] = new
+        else:
+            self._diff.pop(col, None)
+
+    def density(self) -> int:
+        """Current maximum overlap (track requirement)."""
+        if self._max_cache is None:
+            depth = best = 0
+            for col in sorted(self._diff):
+                depth += self._diff[col]
+                if depth > best:
+                    best = depth
+            self._max_cache = best
+        return self._max_cache
+
+    def density_at(self, col: int) -> int:
+        """Overlap count at a single column."""
+        depth = 0
+        for c in sorted(self._diff):
+            if c > col:
+                break
+            depth += self._diff[c]
+        return depth
+
+    def profile(self) -> List[Tuple[int, int]]:
+        """Piecewise-constant density profile as ``(start_col, depth)`` steps."""
+        out: List[Tuple[int, int]] = []
+        depth = 0
+        for col in sorted(self._diff):
+            depth += self._diff[col]
+            out.append((col, depth))
+        return out
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        return iter(self.profile())
+
+
+def total_span_length(intervals: Sequence[Interval]) -> int:
+    """Sum of interval lengths (horizontal wirelength of the spans)."""
+    return sum(iv.length for iv in intervals)

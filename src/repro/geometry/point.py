@@ -1,0 +1,31 @@
+"""Integer grid points.
+
+A :class:`Point` is an ``(x, row)`` pair: ``x`` is a horizontal coordinate
+in routing-grid units and ``row`` is a standard-cell row index.  The
+vertical distance between adjacent rows is one *row pitch*; callers that
+need physical distances scale by the pitch themselves.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class Point(NamedTuple):
+    """A point on the routing grid: horizontal coordinate and row index."""
+
+    x: int
+    row: int
+
+    def translated(self, dx: int = 0, drow: int = 0) -> "Point":
+        """Return a copy shifted by ``dx`` columns and ``drow`` rows."""
+        return Point(self.x + dx, self.row + drow)
+
+
+def manhattan(a: Point, b: Point, row_pitch: int = 1) -> int:
+    """Rectilinear distance between two points.
+
+    ``row_pitch`` converts the row-index difference into the same unit as
+    the horizontal coordinate.
+    """
+    return abs(a.x - b.x) + row_pitch * abs(a.row - b.row)

@@ -1,0 +1,66 @@
+"""Rectilinear tree segments.
+
+A :class:`Segment` is one edge of a net's approximate Steiner tree.  It is
+*not* yet a wire: the coarse router decides how a diagonal segment bends
+(its L orientation), and only then do channel spans and feedthrough demands
+exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.point import Point, manhattan
+
+
+@dataclass(frozen=True, slots=True)
+class Segment:
+    """An edge between two grid points, endpoints in canonical order."""
+
+    a: Point
+    b: Point
+
+    @classmethod
+    def make(cls, a: Point, b: Point) -> "Segment":
+        """Create a segment with endpoints sorted by ``(row, x)``."""
+        if (a.row, a.x) <= (b.row, b.x):
+            return cls(a, b)
+        return cls(b, a)
+
+    @property
+    def is_horizontal(self) -> bool:
+        """True when both endpoints share a row."""
+        return self.a.row == self.b.row
+
+    @property
+    def is_vertical(self) -> bool:
+        """True when both endpoints share a column."""
+        return self.a.x == self.b.x
+
+    @property
+    def is_flat(self) -> bool:
+        """True when no bend is needed (purely horizontal or vertical)."""
+        return self.is_horizontal or self.is_vertical
+
+    @property
+    def row_span(self) -> tuple[int, int]:
+        """``(min_row, max_row)`` touched by the segment."""
+        return (min(self.a.row, self.b.row), max(self.a.row, self.b.row))
+
+    @property
+    def col_span(self) -> tuple[int, int]:
+        """``(min_x, max_x)`` touched by the segment."""
+        return (min(self.a.x, self.b.x), max(self.a.x, self.b.x))
+
+    def length(self, row_pitch: int = 1) -> int:
+        """Manhattan length with rows scaled by ``row_pitch``."""
+        return manhattan(self.a, self.b, row_pitch)
+
+    def crosses_row_boundary(self, boundary_row: int) -> bool:
+        """True if the segment spans from below to at-or-above ``boundary_row``.
+
+        Used when inserting fake pins: a partition boundary sits between
+        ``boundary_row - 1`` and ``boundary_row``.
+        """
+        lo, hi = self.row_span
+        return lo < boundary_row <= hi

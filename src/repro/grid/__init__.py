@@ -1,0 +1,34 @@
+"""Coarse global-routing grid (substrate of TWGR step 2).
+
+The core is partitioned into a coarse grid: columns of ``col_width`` x
+units by standard-cell rows.  The grid tracks two congestion maps —
+per-(row, column) *feedthrough demand* and per-(channel, column)
+*horizontal usage* — with per-net sharing: a net crossing the same row at
+the same grid column twice needs only one feedthrough, and overlapping
+horizontal runs of one net share a track.  The maps drive the L-shape
+cost function used when coarse-routing tree segments.
+"""
+
+from repro.grid.coarse import CoarseGrid, RoutedSegment, Orientation, CostWeights
+from repro.grid.channels import ChannelSpan, ChannelState
+from repro.grid.leftedge import (
+    assign_tracks,
+    assign_all_channels,
+    verify_assignment,
+    track_count_equals_density,
+    render_channel,
+)
+
+__all__ = [
+    "CoarseGrid",
+    "RoutedSegment",
+    "Orientation",
+    "CostWeights",
+    "ChannelSpan",
+    "ChannelState",
+    "assign_tracks",
+    "assign_all_channels",
+    "verify_assignment",
+    "track_count_equals_density",
+    "render_channel",
+]

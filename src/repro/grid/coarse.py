@@ -1,0 +1,294 @@
+"""The coarse global-routing grid and L-shape cost evaluation.
+
+A diagonal Steiner-tree segment admits two one-bend routes (paper §2):
+
+* ``VERT_AT_LOW`` — run vertically at the *lower* endpoint's column, then
+  horizontally to the upper endpoint (the horizontal part lands in the
+  channel just below the upper row);
+* ``VERT_AT_HIGH`` — run horizontally first (in the channel just above
+  the lower row), then vertically at the *upper* endpoint's column.
+
+Both orientations cross the same rows, so what the cost function weighs is
+*where* the feedthroughs land (sharing with the net's existing verticals)
+and which channel columns absorb the horizontal run (congestion).  The
+grid keeps per-net usage multisets so marginal cost — "the needed
+feedthrough number and the channel density change when the side ... is
+switched" — is exact under sharing.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.geometry import Segment
+from repro.perfmodel.counter import WorkCounter, NULL_COUNTER
+
+
+class Orientation(enum.IntEnum):
+    """Which endpoint's column carries the vertical run of an L."""
+
+    VERT_AT_LOW = 0
+    VERT_AT_HIGH = 1
+
+
+@dataclass(frozen=True, slots=True)
+class CostWeights:
+    """Tunable weights of the coarse cost function.
+
+    ``feed`` — cost of each *new* feedthrough the route needs;
+    ``feed_congestion`` — extra cost per already-demanded feed at the same
+    (row, column), spreading feeds to limit row widening;
+    ``channel_congestion`` — extra cost per existing track of horizontal
+    usage in a covered channel column, spreading wires away from dense
+    regions.
+    """
+
+    feed: float = 2.0
+    feed_congestion: float = 0.15
+    channel_congestion: float = 0.35
+
+
+@dataclass(frozen=True, slots=True)
+class RoutedSegment:
+    """A segment's committed coarse route.
+
+    ``vert`` is ``(gcol, row_lo, row_hi)`` — a vertical run at grid column
+    ``gcol`` from ``row_lo`` up to ``row_hi`` (inclusive endpoints; the
+    crossed rows are the strict interior).  ``horiz`` is
+    ``(channel, gcol_lo, gcol_hi)`` with inclusive column bounds.  Either
+    part may be absent (flat segments).
+    """
+
+    net: int
+    vert: Optional[Tuple[int, int, int]] = None
+    horiz: Optional[Tuple[int, int, int]] = None
+
+
+class CoarseGrid:
+    """Congestion state of the coarse routing grid.
+
+    The grid may describe a row *window* (``row_lo .. row_lo+nrows-1``) so
+    the row-wise parallel algorithm can hold only its own block; all row
+    and channel indices remain global.
+    """
+
+    def __init__(
+        self,
+        ncols: int,
+        nrows: int,
+        col_width: int,
+        row_lo: int = 0,
+        weights: CostWeights = CostWeights(),
+    ) -> None:
+        if ncols <= 0 or nrows <= 0 or col_width <= 0:
+            raise ValueError("grid dimensions must be positive")
+        self.ncols = ncols
+        self.nrows = nrows
+        self.col_width = col_width
+        self.row_lo = row_lo
+        self.weights = weights
+        #: distinct nets demanding a feedthrough per (row, gcol)
+        self.feed_demand = np.zeros((nrows, ncols), dtype=np.int32)
+        #: distinct-net horizontal usage per (channel, gcol); channel c is
+        #: below row c, so the window spans channels row_lo..row_lo+nrows.
+        self.husage = np.zeros((nrows + 1, ncols), dtype=np.int32)
+        # per-net multiplicity with sharing: value >= 1 means the net
+        # already owns that resource, so re-use is free.
+        self._net_vert: Counter = Counter()   # (net, row, gcol) -> multiplicity
+        self._net_horiz: Counter = Counter()  # (net, channel, gcol) -> multiplicity
+        # congestion contributed by other ranks' nets (net-wise algorithm);
+        # folded into costs but never into this rank's own maps.
+        self.ext_feed: Optional[np.ndarray] = None
+        self.ext_husage: Optional[np.ndarray] = None
+
+    def set_external(self, feed: Optional[np.ndarray], husage: Optional[np.ndarray]) -> None:
+        """Replace the external congestion snapshot (None clears it)."""
+        if feed is not None and feed.shape != self.feed_demand.shape:
+            raise ValueError("external feed shape mismatch")
+        if husage is not None and husage.shape != self.husage.shape:
+            raise ValueError("external husage shape mismatch")
+        self.ext_feed = feed
+        self.ext_husage = husage
+
+    # -- index helpers ----------------------------------------------------
+
+    def gcol(self, x: int) -> int:
+        """Grid column containing coordinate ``x`` (clamped to the core)."""
+        return min(max(x // self.col_width, 0), self.ncols - 1)
+
+    def gcol_center(self, g: int) -> int:
+        """Representative x coordinate of grid column ``g``."""
+        return g * self.col_width + self.col_width // 2
+
+    def _ri(self, row: int) -> int:
+        idx = row - self.row_lo
+        if not 0 <= idx < self.nrows:
+            raise IndexError(f"row {row} outside grid window [{self.row_lo}, {self.row_lo + self.nrows})")
+        return idx
+
+    def _ci(self, channel: int) -> int:
+        idx = channel - self.row_lo
+        if not 0 <= idx < self.nrows + 1:
+            raise IndexError(
+                f"channel {channel} outside grid window "
+                f"[{self.row_lo}, {self.row_lo + self.nrows}]"
+            )
+        return idx
+
+    # -- route construction ----------------------------------------------
+
+    def route_for(self, net: int, seg: Segment, orient: Orientation) -> RoutedSegment:
+        """Build the :class:`RoutedSegment` for ``seg`` in ``orient``.
+
+        Flat segments ignore the orientation: a vertical segment is a pure
+        vertical run; a horizontal segment at row ``r`` defaults its span
+        to the channel *above* the row (``r + 1``) — the final channel
+        choice is step 5's job, the coarse stage only needs a consistent
+        congestion estimate.
+        """
+        (r_lo, r_hi) = seg.row_span
+        (x_lo, x_hi) = seg.col_span
+        if seg.is_vertical:
+            if r_lo == r_hi:
+                return RoutedSegment(net=net)  # degenerate point
+            return RoutedSegment(net=net, vert=(self.gcol(seg.a.x), r_lo, r_hi))
+        if seg.is_horizontal:
+            ch = r_lo + 1
+            return RoutedSegment(
+                net=net, horiz=(ch, self.gcol(x_lo), self.gcol(x_hi))
+            )
+        low, high = (seg.a, seg.b) if seg.a.row < seg.b.row else (seg.b, seg.a)
+        if orient is Orientation.VERT_AT_LOW:
+            vert = (self.gcol(low.x), low.row, high.row)
+            horiz = (high.row, *sorted((self.gcol(low.x), self.gcol(high.x))))
+        else:
+            vert = (self.gcol(high.x), low.row, high.row)
+            horiz = (low.row + 1, *sorted((self.gcol(low.x), self.gcol(high.x))))
+        return RoutedSegment(net=net, vert=vert, horiz=horiz)
+
+    def _vert_cells(self, route: RoutedSegment) -> Iterable[Tuple[int, int]]:
+        """(row, gcol) crossings needing a feedthrough (strict interior),
+        clipped to this grid's row window."""
+        if route.vert is None:
+            return ()
+        g, r_lo, r_hi = route.vert
+        lo = max(r_lo + 1, self.row_lo)
+        hi = min(r_hi - 1, self.row_lo + self.nrows - 1)
+        return ((r, g) for r in range(lo, hi + 1))
+
+    def _horiz_cells(self, route: RoutedSegment) -> Iterable[Tuple[int, int]]:
+        """(channel, gcol) columns the horizontal part covers, clipped."""
+        if route.horiz is None:
+            return ()
+        ch, g_lo, g_hi = route.horiz
+        if not self.row_lo <= ch <= self.row_lo + self.nrows:
+            return ()
+        return ((ch, g) for g in range(g_lo, g_hi + 1))
+
+    # -- mutation ----------------------------------------------------------
+
+    def add_route(self, route: RoutedSegment) -> None:
+        """Commit a route, updating shared usage maps."""
+        net = route.net
+        for r, g in self._vert_cells(route):
+            key = (net, r, g)
+            self._net_vert[key] += 1
+            if self._net_vert[key] == 1:
+                self.feed_demand[self._ri(r), g] += 1
+        for ch, g in self._horiz_cells(route):
+            key = (net, ch, g)
+            self._net_horiz[key] += 1
+            if self._net_horiz[key] == 1:
+                self.husage[self._ci(ch), g] += 1
+
+    def remove_route(self, route: RoutedSegment) -> None:
+        """Undo a previously-committed route."""
+        net = route.net
+        for r, g in self._vert_cells(route):
+            key = (net, r, g)
+            if self._net_vert[key] <= 0:
+                raise KeyError(f"vertical usage underflow at {key}")
+            self._net_vert[key] -= 1
+            if self._net_vert[key] == 0:
+                del self._net_vert[key]
+                self.feed_demand[self._ri(r), g] -= 1
+        for ch, g in self._horiz_cells(route):
+            key = (net, ch, g)
+            if self._net_horiz[key] <= 0:
+                raise KeyError(f"horizontal usage underflow at {key}")
+            self._net_horiz[key] -= 1
+            if self._net_horiz[key] == 0:
+                del self._net_horiz[key]
+                self.husage[self._ci(ch), g] -= 1
+
+    # -- cost --------------------------------------------------------------
+
+    def eval_cost(
+        self, route: RoutedSegment, counter: WorkCounter = NULL_COUNTER
+    ) -> float:
+        """Marginal cost of committing ``route`` on the current state.
+
+        New feedthroughs cost ``weights.feed`` each plus a congestion term;
+        horizontal columns cost 1 each plus a congestion term; resources
+        the net already owns are free (sharing).
+        """
+        w = self.weights
+        cost = 0.0
+        ops = 0
+        net = route.net
+        for r, g in self._vert_cells(route):
+            ops += 1
+            if self._net_vert.get((net, r, g), 0) == 0:
+                demand = float(self.feed_demand[self._ri(r), g])
+                if self.ext_feed is not None:
+                    demand += float(self.ext_feed[self._ri(r), g])
+                cost += w.feed + w.feed_congestion * demand
+        for ch, g in self._horiz_cells(route):
+            ops += 1
+            if self._net_horiz.get((net, ch, g), 0) == 0:
+                usage = float(self.husage[self._ci(ch), g])
+                if self.ext_husage is not None:
+                    usage += float(self.ext_husage[self._ci(ch), g])
+                cost += 1.0 + w.channel_congestion * usage
+        counter.add("coarse", max(ops, 1))
+        return cost
+
+    # -- aggregate views ----------------------------------------------------
+
+    def total_feed_demand(self) -> int:
+        """Total feedthroughs currently demanded across the window."""
+        return int(self.feed_demand.sum())
+
+    def demand_for_row(self, row: int) -> np.ndarray:
+        """Copy of the feed demand across one row's grid columns."""
+        return self.feed_demand[self._ri(row)].copy()
+
+    def crossings_for_row(self, row: int) -> List[Tuple[int, int]]:
+        """Sorted ``(gcol, net)`` crossings through ``row`` (one per
+        demanded feed)."""
+        out = [
+            (g, net)
+            for (net, r, g), cnt in self._net_vert.items()
+            if r == row and cnt > 0
+        ]
+        out.sort()
+        return out
+
+    def all_crossings(self) -> List[Tuple[int, int, int]]:
+        """Sorted ``(row, gcol, net)`` for every demanded feedthrough."""
+        out = [
+            (r, g, net) for (net, r, g), cnt in self._net_vert.items() if cnt > 0
+        ]
+        out.sort()
+        return out
+
+    # -- synchronization support (net-wise parallel algorithm) --------------
+
+    def snapshot_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Copies of this rank's own aggregate maps (for allreduce sync)."""
+        return self.feed_demand.copy(), self.husage.copy()

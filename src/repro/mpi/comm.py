@@ -1,0 +1,294 @@
+"""The communicator: point-to-point and collective operations.
+
+Point-to-point sends are buffered (MPI "eager" mode): ``send`` never
+blocks, ``recv`` blocks until a message matching ``(source, tag)`` is
+available.  Collectives are built from point-to-point messages —
+binomial trees for broadcast/reduce, flat fan-in for gather — so their
+modeled cost scales the way a real MPI implementation's would
+(:math:`O(\\log p)` latency terms for trees, :math:`O(p)` for fan-ins).
+
+Tag discipline: user tags must be non-negative; collectives use a
+reserved negative tag space keyed by a per-rank collective sequence
+number.  Rank programs call collectives in the same order on every rank
+(SPMD), so sequence numbers agree without any central coordination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.mpi.sizes import estimate_size
+from repro.perfmodel.clock import LogicalClock
+
+
+@dataclass(frozen=True, slots=True)
+class ReduceOp:
+    """A named, associative reduction operator."""
+
+    name: str
+    fn: Callable[[Any, Any], Any]
+
+    def __call__(self, a: Any, b: Any) -> Any:
+        return self.fn(a, b)
+
+
+SUM = ReduceOp("sum", lambda a, b: a + b)
+MAX = ReduceOp("max", lambda a, b: a if a >= b else b)
+MIN = ReduceOp("min", lambda a, b: a if a <= b else b)
+CONCAT = ReduceOp("concat", lambda a, b: list(a) + list(b))
+
+
+class Request:
+    """Handle for a non-blocking operation.
+
+    Sends are buffered, so an isend's request is complete at creation;
+    an irecv's request performs the matching blocking receive on
+    :meth:`wait` (sufficient for deterministic SPMD programs, which
+    never rely on true receive-side overlap).
+    """
+
+    __slots__ = ("_resolve", "_done", "_value")
+
+    def __init__(self, resolve: Optional[Callable[[], Any]] = None, value: Any = None) -> None:
+        self._resolve = resolve
+        self._done = resolve is None
+        self._value = value
+
+    def test(self) -> bool:
+        """True once the operation has completed."""
+        return self._done
+
+    def wait(self) -> Any:
+        """Complete the operation; returns the payload for receives."""
+        if not self._done:
+            self._value = self._resolve()  # type: ignore[misc]
+            self._done = True
+        return self._value
+
+
+class Communicator:
+    """One rank's endpoint in an SPMD run.
+
+    Created by :func:`repro.mpi.runtime.run_spmd`; rank programs receive
+    it as their first argument.  When a machine model was supplied the
+    communicator carries a :class:`LogicalClock` which also serves as the
+    rank's work counter (``comm.counter``).
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        router: "object",
+        clock: Optional[LogicalClock],
+        trace: Optional["object"] = None,
+    ) -> None:
+        self.rank = rank
+        self.size = size
+        self._router = router
+        self.clock = clock
+        self.trace = trace
+        self._coll_seq = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def counter(self):
+        """Work counter for router kernels (the clock, or a no-op)."""
+        if self.clock is not None:
+            return self.clock
+        from repro.perfmodel.counter import NULL_COUNTER
+
+        return NULL_COUNTER
+
+    def _check_peer(self, peer: int) -> None:
+        if not 0 <= peer < self.size:
+            raise ValueError(f"peer {peer} out of range for size {self.size}")
+
+    # -- point-to-point -------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Buffered send (never blocks)."""
+        self._check_peer(dest)
+        if tag < 0:
+            raise ValueError("negative tags are reserved for collectives")
+        self._post(obj, dest, tag)
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Blocking receive matched by exact ``(source, tag)``."""
+        self._check_peer(source)
+        if tag < 0:
+            raise ValueError("negative tags are reserved for collectives")
+        return self._fetch(source, tag)
+
+    def sendrecv(self, obj: Any, peer: int, tag: int = 0) -> Any:
+        """Exchange with ``peer``: send ``obj``, return their object.
+
+        Safe against deadlock because sends are buffered.
+        """
+        self.send(obj, peer, tag)
+        return self.recv(peer, tag)
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Non-blocking send: buffered, so complete immediately."""
+        self.send(obj, dest, tag)
+        return Request()
+
+    def irecv(self, source: int, tag: int = 0) -> Request:
+        """Non-blocking receive: the matching wait performs the receive."""
+        self._check_peer(source)
+        if tag < 0:
+            raise ValueError("negative tags are reserved for collectives")
+        return Request(resolve=lambda: self._fetch(source, tag))
+
+    # -- internals shared with collectives --------------------------------
+    def _post(self, obj: Any, dest: int, tag: int) -> None:
+        nbytes = estimate_size(obj)
+        timestamp = None
+        if self.clock is not None:
+            cost = self.clock.machine.msg_seconds(nbytes)
+            self.clock.charge_comm(cost)
+            timestamp = self.clock.time
+        if self.trace is not None:
+            self.trace.record(
+                "send", timestamp or 0.0, self.rank, dest, tag, nbytes
+            )
+        self._router.deliver(self.rank, dest, tag, obj, timestamp, nbytes)
+
+    def _fetch(self, source: int, tag: int) -> Any:
+        obj, timestamp, nbytes = self._router.collect(self.rank, source, tag)
+        if self.clock is not None:
+            if timestamp is not None:
+                self.clock.wait_until(timestamp)
+            # receive-side software overhead
+            self.clock.charge_comm(self.clock.machine.latency_s * 0.5)
+        if self.trace is not None:
+            self.trace.record(
+                "recv",
+                self.clock.time if self.clock is not None else 0.0,
+                self.rank, source, tag, nbytes,
+            )
+        return obj
+
+    def _coll_tag(self) -> int:
+        """Fresh reserved tag for the next collective (SPMD order)."""
+        self._coll_seq += 1
+        return -self._coll_seq
+
+    def _overhead(self) -> None:
+        if self.clock is not None:
+            self.clock.charge_comm(self.clock.machine.collective_overhead_s)
+
+    # -- collectives --------------------------------------------------------
+    def barrier(self) -> None:
+        """Synchronize all ranks (and their logical clocks)."""
+        self.allreduce(0, SUM)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast ``obj`` from ``root`` via a binomial tree."""
+        self._check_peer(root)
+        tag = self._coll_tag()
+        self._overhead()
+        vrank = (self.rank - root) % self.size
+        mask = 1
+        while mask < self.size:
+            if vrank & mask:
+                src = (self.rank - mask) % self.size
+                obj = self._fetch(src, tag)
+                break
+            mask <<= 1
+        mask >>= 1
+        while mask > 0:
+            if vrank + mask < self.size:
+                dest = (self.rank + mask) % self.size
+                self._post(obj, dest, tag)
+            mask >>= 1
+        return obj
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        """Gather one object per rank to ``root`` (flat fan-in).
+
+        Returns the rank-ordered list at root, ``None`` elsewhere.
+        """
+        self._check_peer(root)
+        tag = self._coll_tag()
+        self._overhead()
+        if self.rank == root:
+            out: List[Any] = []
+            for r in range(self.size):
+                out.append(obj if r == root else self._fetch(r, tag))
+            return out
+        self._post(obj, root, tag)
+        return None
+
+    def scatter(self, objs: Optional[Sequence[Any]], root: int = 0) -> Any:
+        """Scatter one object to each rank from ``root``."""
+        self._check_peer(root)
+        tag = self._coll_tag()
+        self._overhead()
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                raise ValueError("scatter root needs exactly one object per rank")
+            for r in range(self.size):
+                if r != root:
+                    self._post(objs[r], r, tag)
+            return objs[root]
+        return self._fetch(root, tag)
+
+    def allgather(self, obj: Any) -> List[Any]:
+        """Gather to rank 0, then broadcast the full list."""
+        gathered = self.gather(obj, root=0)
+        return self.bcast(gathered, root=0)
+
+    def reduce(self, obj: Any, op: ReduceOp = SUM, root: int = 0) -> Optional[Any]:
+        """Tree reduction to ``root`` (associative ``op``, fixed order).
+
+        The combine order is the binomial-tree order, identical on every
+        run, so even non-commutative-looking payloads reduce
+        deterministically.
+        """
+        self._check_peer(root)
+        tag = self._coll_tag()
+        self._overhead()
+        vrank = (self.rank - root) % self.size
+        acc = obj
+        mask = 1
+        while mask < self.size:
+            if vrank & mask:
+                dest = (self.rank - mask) % self.size
+                self._post(acc, dest, tag)
+                break
+            partner = vrank | mask
+            if partner < self.size:
+                src = (self.rank + mask) % self.size
+                other = self._fetch(src, tag)
+                if self.clock is not None:
+                    self.clock.charge_comm(
+                        self.clock.machine.collective_overhead_s
+                    )  # combine cost
+                acc = op(acc, other)
+            mask <<= 1
+        return acc if self.rank == root else None
+
+    def allreduce(self, obj: Any, op: ReduceOp = SUM) -> Any:
+        """Reduce to rank 0 then broadcast the result."""
+        acc = self.reduce(obj, op, root=0)
+        return self.bcast(acc, root=0)
+
+    def alltoall(self, objs: Sequence[Any]) -> List[Any]:
+        """Personalized all-to-all: ``objs[r]`` goes to rank ``r``.
+
+        Returns the rank-ordered list of objects received.  Implemented as
+        ``size - 1`` shifted exchange rounds.
+        """
+        if len(objs) != self.size:
+            raise ValueError("alltoall needs exactly one object per rank")
+        tag = self._coll_tag()
+        self._overhead()
+        out: List[Any] = [None] * self.size
+        out[self.rank] = objs[self.rank]
+        for shift in range(1, self.size):
+            dest = (self.rank + shift) % self.size
+            src = (self.rank - shift) % self.size
+            self._post(objs[dest], dest, tag)
+            out[src] = self._fetch(src, tag)
+        return out

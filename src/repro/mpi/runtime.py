@@ -1,0 +1,195 @@
+"""SPMD execution of rank programs on threads.
+
+:func:`run_spmd` launches ``nprocs`` threads, each running the same
+function with its own :class:`~repro.mpi.comm.Communicator`.  Messages
+travel through an in-process mailbox router; a receive blocks (with an
+abort check) until the matching message arrives.  Threads are not a
+performance device here — the host has one core — they only provide MPI's
+blocking-receive control flow; modeled speedups come from the logical
+clocks, not from wall time.
+
+Failure semantics: if any rank raises, the run aborts — pending and
+future receives in other ranks raise :class:`RankError` so no thread
+hangs — and the originating rank's exception is re-raised (wrapped) to
+the caller.  A receive that waits longer than ``deadlock_timeout`` real
+seconds raises :class:`DeadlockError` (wildcard-free matching means a
+genuinely missing message is a program bug, not a race).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.mpi.comm import Communicator
+from repro.perfmodel.clock import LogicalClock
+from repro.perfmodel.machine import MachineModel
+
+
+class RankError(RuntimeError):
+    """A rank program raised; carries the failing rank."""
+
+    def __init__(self, rank: int, original: BaseException) -> None:
+        super().__init__(f"rank {rank} failed: {original!r}")
+        self.rank = rank
+        self.original = original
+
+
+class DeadlockError(RuntimeError):
+    """A receive waited past the deadlock timeout."""
+
+
+class _MailboxRouter:
+    """Shared mailbox state for one SPMD run."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self._cond = threading.Condition()
+        # mailbox[dest][(src, tag)] -> deque of (obj, timestamp, nbytes)
+        self._boxes: List[Dict[Tuple[int, int], deque]] = [dict() for _ in range(size)]
+        self.aborted: Optional[RankError] = None
+        #: total messages and bytes, for reporting
+        self.message_count = 0
+        self.byte_count = 0
+
+    def deliver(
+        self, src: int, dest: int, tag: int, obj: Any, timestamp: Optional[float], nbytes: int
+    ) -> None:
+        with self._cond:
+            if self.aborted is not None:
+                raise self.aborted
+            self._boxes[dest].setdefault((src, tag), deque()).append(
+                (obj, timestamp, nbytes)
+            )
+            self.message_count += 1
+            self.byte_count += nbytes
+            self._cond.notify_all()
+
+    def collect(
+        self, dest: int, src: int, tag: int, timeout: float = 60.0
+    ) -> Tuple[Any, Optional[float], int]:
+        key = (src, tag)
+        with self._cond:
+            waited = 0.0
+            while True:
+                if self.aborted is not None:
+                    raise self.aborted
+                q = self._boxes[dest].get(key)
+                if q:
+                    item = q.popleft()
+                    if not q:
+                        del self._boxes[dest][key]
+                    return item
+                if waited >= timeout:
+                    raise DeadlockError(
+                        f"rank {dest} waited {timeout}s for message from "
+                        f"rank {src} tag {tag}"
+                    )
+                self._cond.wait(timeout=0.5)
+                waited += 0.5
+
+    def abort(self, err: RankError) -> None:
+        with self._cond:
+            if self.aborted is None:
+                self.aborted = err
+            self._cond.notify_all()
+
+
+@dataclass(slots=True)
+class SpmdResult:
+    """Everything :func:`run_spmd` returns."""
+
+    values: List[Any]
+    clocks: List[Optional[LogicalClock]]
+    message_count: int = 0
+    byte_count: int = 0
+
+    @property
+    def rank_times(self) -> List[float]:
+        """Per-rank final clock times (zeros without a machine model)."""
+        return [c.time if c is not None else 0.0 for c in self.clocks]
+
+    @property
+    def elapsed(self) -> float:
+        """Modeled parallel runtime (max over rank clocks)."""
+        times = self.rank_times
+        return max(times) if times else 0.0
+
+
+def run_spmd(
+    nprocs: int,
+    fn: Callable[..., Any],
+    args: Sequence[Any] = (),
+    kwargs: Optional[Dict[str, Any]] = None,
+    machine: Optional[MachineModel] = None,
+    deadlock_timeout: float = 60.0,
+    trace: Optional[Any] = None,
+) -> SpmdResult:
+    """Run ``fn(comm, *args, **kwargs)`` on ``nprocs`` ranks.
+
+    With a ``machine`` model, each rank gets a logical clock charged by
+    both the communicator and any kernels using ``comm.counter``.  A
+    :class:`~repro.mpi.trace.TraceRecorder` passed as ``trace`` collects
+    one event per message for post-run analysis.
+    """
+    if nprocs <= 0:
+        raise ValueError("nprocs must be positive")
+    kwargs = kwargs or {}
+    router = _MailboxRouter(nprocs)
+    clocks: List[Optional[LogicalClock]] = [
+        LogicalClock(machine) if machine is not None else None for _ in range(nprocs)
+    ]
+    values: List[Any] = [None] * nprocs
+    errors: List[Optional[RankError]] = [None] * nprocs
+
+    class _BoundRouter:
+        """Router view honouring the run's deadlock timeout."""
+
+        def __init__(self, inner: _MailboxRouter) -> None:
+            self._inner = inner
+
+        def deliver(self, *a: Any) -> None:
+            self._inner.deliver(*a)
+
+        def collect(self, dest: int, src: int, tag: int):
+            return self._inner.collect(dest, src, tag, timeout=deadlock_timeout)
+
+    bound = _BoundRouter(router)
+
+    def runner(rank: int) -> None:
+        comm = Communicator(rank, nprocs, bound, clocks[rank], trace=trace)
+        try:
+            values[rank] = fn(comm, *args, **kwargs)
+        except RankError as err:  # propagated abort from another rank
+            errors[rank] = err
+        except BaseException as exc:  # noqa: BLE001 - must not hang siblings
+            err = RankError(rank, exc)
+            errors[rank] = err
+            router.abort(err)
+
+    if nprocs == 1:
+        runner(0)
+    else:
+        threads = [
+            threading.Thread(target=runner, args=(r,), name=f"spmd-rank-{r}", daemon=True)
+            for r in range(nprocs)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    if router.aborted is not None:
+        raise router.aborted
+    first_err = next((e for e in errors if e is not None), None)
+    if first_err is not None:
+        raise first_err
+
+    return SpmdResult(
+        values=values,
+        clocks=clocks,
+        message_count=router.message_count,
+        byte_count=router.byte_count,
+    )

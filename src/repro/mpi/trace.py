@@ -1,0 +1,100 @@
+"""Message tracing: record what a parallel run communicated, when.
+
+A :class:`TraceRecorder` attached to a run collects one event per
+message and collective, in simulated time.  The text timeline renderer
+gives a quick visual of communication structure (who talks to whom, how
+synchronization phases line up) without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One communication event."""
+
+    kind: str  # "send" | "recv"
+    time: float  # simulated seconds (0.0 when no machine model)
+    rank: int
+    peer: int
+    tag: int
+    nbytes: int
+
+
+class TraceRecorder:
+    """Collects trace events from a run (thread-safe by append-only use)."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def record(self, kind: str, time: float, rank: int, peer: int, tag: int, nbytes: int) -> None:
+        """Append one event (called by the communicator)."""
+        self.events.append(TraceEvent(kind, time, rank, peer, tag, nbytes))
+
+    # -- queries -----------------------------------------------------------
+
+    def for_rank(self, rank: int) -> List[TraceEvent]:
+        """One rank's events, time-ordered."""
+        return sorted(
+            (e for e in self.events if e.rank == rank), key=lambda e: e.time
+        )
+
+    def bytes_by_pair(self) -> Dict[tuple, int]:
+        """(src, dst) -> bytes sent."""
+        out: Dict[tuple, int] = {}
+        for e in self.events:
+            if e.kind == "send":
+                key = (e.rank, e.peer)
+                out[key] = out.get(key, 0) + e.nbytes
+        return out
+
+    def total_bytes(self) -> int:
+        """Bytes sent across the whole run."""
+        return sum(e.nbytes for e in self.events if e.kind == "send")
+
+    def total_messages(self) -> int:
+        """Messages sent across the whole run."""
+        return sum(1 for e in self.events if e.kind == "send")
+
+    # -- rendering ----------------------------------------------------------
+
+    def render_timeline(self, nprocs: int, width: int = 64) -> str:
+        """Per-rank send/receive activity over simulated time as text.
+
+        Each rank gets one lane; ``>`` marks a send, ``<`` a receive,
+        ``*`` both in the same bucket.
+        """
+        sends = [e for e in self.events if e.kind == "send"]
+        recvs = [e for e in self.events if e.kind == "recv"]
+        if not sends and not recvs:
+            return "(no traffic)"
+        t_max = max(e.time for e in self.events) or 1.0
+        lanes = []
+        for rank in range(nprocs):
+            lane = [" "] * width
+            for e in self.events:
+                if e.rank != rank:
+                    continue
+                slot = min(int(e.time / t_max * (width - 1)), width - 1)
+                mark = ">" if e.kind == "send" else "<"
+                lane[slot] = "*" if lane[slot] not in (" ", mark) else mark
+            lanes.append(f"rank {rank:>2} |{''.join(lane)}|")
+        header = f"comm timeline (0 .. {t_max:.4f}s, '>' send, '<' recv)"
+        return "\n".join([header] + lanes)
+
+    def render_matrix(self, nprocs: int) -> str:
+        """Bytes-sent matrix (src rows, dst columns)."""
+        pairs = self.bytes_by_pair()
+        widths = max(8, max((len(f"{v:,}") for v in pairs.values()), default=8))
+        lines = ["bytes sent (row = source, column = destination)"]
+        head = "        " + " ".join(f"r{d:<{widths - 1}}" for d in range(nprocs))
+        lines.append(head)
+        for s in range(nprocs):
+            cells = " ".join(
+                f"{pairs.get((s, d), 0):>{widths},}" for d in range(nprocs)
+            )
+            lines.append(f"rank {s:>2} {cells}")
+        return "\n".join(lines)

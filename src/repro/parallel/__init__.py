@@ -1,0 +1,53 @@
+"""The paper's three parallel global-routing algorithms.
+
+All three partition rows (and their cells) contiguously across
+processors; they differ in who owns pins and which steps run where:
+
+========= ===================== ========================= =================
+algorithm pins owned by         net connection (step 4)   paper result
+========= ===================== ========================= =================
+rowwise   row blocks (§4)       per-rank net *fragments*  fast, ~5 % worse
+netwise   whole nets (§5)       per net owner             slow, ~12 % worse
+hybrid    row blocks (§6)       per net owner, whole nets best quality
+========= ===================== ========================= =================
+
+Entry point: :func:`route_parallel`.
+"""
+
+from repro.parallel.driver import (
+    ALGORITHMS,
+    ParallelConfig,
+    ParallelRun,
+    route_parallel,
+    serial_baseline,
+)
+from repro.parallel.partition import (
+    NET_SCHEMES,
+    RowPartition,
+    net_weights,
+    partition_nets,
+    partition_summary,
+)
+from repro.parallel.fakepins import LocalBlock, crossing_columns, extract_block
+from repro.parallel.rowwise import rowwise_program
+from repro.parallel.netwise import netwise_program
+from repro.parallel.hybrid import hybrid_program
+
+__all__ = [
+    "ALGORITHMS",
+    "ParallelConfig",
+    "ParallelRun",
+    "route_parallel",
+    "serial_baseline",
+    "NET_SCHEMES",
+    "RowPartition",
+    "net_weights",
+    "partition_nets",
+    "partition_summary",
+    "LocalBlock",
+    "crossing_columns",
+    "extract_block",
+    "rowwise_program",
+    "netwise_program",
+    "hybrid_program",
+]

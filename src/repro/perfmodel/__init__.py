@@ -1,0 +1,48 @@
+"""Performance modeling of the paper's parallel platforms.
+
+The host running this reproduction has one CPU core and no MPI, so the
+runtime/speedup numbers of the paper's evaluation cannot be *measured*;
+they are *modeled*.  The model is execution-driven, not analytic: the
+router charges every algorithmic operation it actually performs to a
+:class:`WorkCounter`, and the simulated MPI layer charges every message it
+actually sends with a latency + size/bandwidth cost from a
+:class:`MachineModel`.  Each virtual rank therefore carries a logical
+clock whose final maximum is the modeled parallel runtime; load imbalance,
+synchronization stalls and communication volume all show up because they
+really happened during the run.
+
+Machine presets correspond to the two platforms of the paper's Table 5:
+:data:`SPARCCENTER_1000` (8-processor shared-memory SMP) and
+:data:`INTEL_PARAGON` (distributed-memory MPP with 32 MB nodes — small
+enough that the big circuits cannot be routed serially, which the paper
+reports as timeouts).
+"""
+
+from repro.perfmodel.counter import WorkCounter, NullCounter, NULL_COUNTER, TallyCounter
+from repro.perfmodel.machine import (
+    MachineModel,
+    SPARCCENTER_1000,
+    INTEL_PARAGON,
+    GENERIC_CLUSTER,
+    MACHINES,
+)
+from repro.perfmodel.clock import LogicalClock
+from repro.perfmodel.memory import estimate_circuit_bytes, estimate_rank_bytes
+from repro.perfmodel.report import TimingReport, speedup_table
+
+__all__ = [
+    "WorkCounter",
+    "NullCounter",
+    "NULL_COUNTER",
+    "TallyCounter",
+    "MachineModel",
+    "SPARCCENTER_1000",
+    "INTEL_PARAGON",
+    "GENERIC_CLUSTER",
+    "MACHINES",
+    "LogicalClock",
+    "estimate_circuit_bytes",
+    "estimate_rank_bytes",
+    "TimingReport",
+    "speedup_table",
+]

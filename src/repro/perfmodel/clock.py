@@ -1,0 +1,60 @@
+"""Per-rank logical clocks.
+
+A :class:`LogicalClock` implements the :class:`~repro.perfmodel.counter.
+WorkCounter` protocol, so router kernels charge computation to it exactly
+as they would to a tally; the simulated MPI layer additionally advances it
+across messages (a receive completes no earlier than the matching send's
+timestamp plus transfer time).  The final maximum over ranks is the
+modeled parallel runtime.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict
+
+from repro.perfmodel.machine import MachineModel
+
+
+class LogicalClock:
+    """Simulated elapsed time of one rank."""
+
+    __slots__ = ("machine", "time", "work_units", "comm_seconds", "idle_seconds")
+
+    def __init__(self, machine: MachineModel, start: float = 0.0) -> None:
+        self.machine = machine
+        self.time = start
+        self.work_units: Dict[str, float] = defaultdict(float)
+        self.comm_seconds = 0.0
+        self.idle_seconds = 0.0
+
+    # WorkCounter protocol -------------------------------------------------
+    def add(self, kind: str, units: float) -> None:
+        """Charge work and advance simulated time accordingly."""
+        self.work_units[kind] += units
+        self.time += self.machine.work_seconds(kind, units)
+
+    # Communication accounting ----------------------------------------------
+    def charge_comm(self, seconds: float) -> None:
+        """Time spent actively sending/receiving."""
+        self.comm_seconds += seconds
+        self.time += seconds
+
+    def wait_until(self, t: float) -> None:
+        """Block until simulated time ``t`` (no-op if already past)."""
+        if t > self.time:
+            self.idle_seconds += t - self.time
+            self.time = t
+
+    def compute_seconds(self) -> float:
+        """Modeled time spent computing (excludes comm and idle)."""
+        return sum(
+            self.machine.work_seconds(kind, units)
+            for kind, units in self.work_units.items()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"LogicalClock(t={self.time:.4f}s, comm={self.comm_seconds:.4f}s, "
+            f"idle={self.idle_seconds:.4f}s)"
+        )

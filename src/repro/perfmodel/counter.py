@@ -1,0 +1,65 @@
+"""Work accounting.
+
+Every router kernel charges the operations it performs — MST relaxation
+rounds, L-shape cost evaluations, feedthrough matches, flip evaluations —
+to a counter under a *work kind*.  Serial runs use a :class:`TallyCounter`
+to obtain the modeled serial runtime; parallel ranks use their logical
+clock (which implements the same protocol) so per-rank load imbalance is
+captured exactly.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class WorkCounter(Protocol):
+    """Anything accepting ``add(kind, units)`` charges."""
+
+    def add(self, kind: str, units: float) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class NullCounter:
+    """Discards all charges (default when nobody asks for timing)."""
+
+    __slots__ = ()
+
+    def add(self, kind: str, units: float) -> None:
+        """Discard the charge."""
+        return None
+
+
+#: Shared no-op counter.
+NULL_COUNTER = NullCounter()
+
+
+class TallyCounter:
+    """Accumulates charged units per work kind."""
+
+    __slots__ = ("units",)
+
+    def __init__(self) -> None:
+        self.units: Dict[str, float] = defaultdict(float)
+
+    def add(self, kind: str, units: float) -> None:
+        """Charge ``units`` of ``kind`` work."""
+        self.units[kind] += units
+
+    def total(self) -> float:
+        """Sum of charged units across all kinds."""
+        return sum(self.units.values())
+
+    def merged_with(self, other: "TallyCounter") -> "TallyCounter":
+        """A new tally holding both counters' charges."""
+        out = TallyCounter()
+        for src in (self, other):
+            for kind, units in src.units.items():
+                out.units[kind] += units
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(f"{k}={v:g}" for k, v in sorted(self.units.items()))
+        return f"TallyCounter({inner})"

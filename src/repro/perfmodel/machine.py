@@ -1,0 +1,94 @@
+"""Machine models for the paper's evaluation platforms.
+
+Calibration philosophy: *shape over seconds*.  The per-unit work costs are
+chosen so modeled serial runtimes land in the ballpark the paper reports
+(minutes for the small circuits, tens of minutes for avq.large on the Sun
+SparcCenter 1000 — "we have been able to reduce runtimes of some circuits
+from half an hour to minutes"), but the experiments only ever interpret
+*ratios* (speedups) and orderings, which come from measured work and
+messages, not from these constants.
+
+The Intel Paragon preset models the properties the paper leans on:
+slower per-node compute than the SparcCenter's SuperSPARC modules, a much
+larger message latency than the SMP's shared memory, and 32 MB of memory
+per node — too little to route the largest circuits serially (Table 5's
+"timeout" entries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass(frozen=True, slots=True)
+class MachineModel:
+    """Cost model of one parallel platform."""
+
+    name: str
+    #: seconds per work unit (multiplied by per-kind factors)
+    base_seconds_per_unit: float
+    #: message startup cost, seconds
+    latency_s: float
+    #: message transfer rate, bytes/second
+    bandwidth_Bps: float
+    #: memory available to one rank, bytes
+    per_node_memory: int
+    #: how many processors the platform offers
+    max_procs: int
+    #: relative cost of each work kind (default 1.0)
+    kind_factor: Dict[str, float] = field(default_factory=dict)
+    #: fixed per-collective software overhead, seconds
+    collective_overhead_s: float = 0.0
+
+    def work_seconds(self, kind: str, units: float) -> float:
+        """Modeled CPU seconds for ``units`` of ``kind`` work."""
+        return self.base_seconds_per_unit * self.kind_factor.get(kind, 1.0) * units
+
+    def msg_seconds(self, nbytes: int) -> float:
+        """Modeled transfer time of one point-to-point message."""
+        return self.latency_s + nbytes / self.bandwidth_Bps
+
+    def fits_in_memory(self, nbytes: int) -> bool:
+        """True when one node can hold a footprint of ``nbytes``."""
+        return nbytes <= self.per_node_memory
+
+
+#: Sun SparcCenter 1000: 8-processor shared-memory SMP.  Message passing
+#: through shared memory: low latency, high bandwidth.
+SPARCCENTER_1000 = MachineModel(
+    name="SparcCenter-1000",
+    base_seconds_per_unit=4.0e-5,
+    latency_s=8.0e-5,
+    bandwidth_Bps=40e6,
+    per_node_memory=512 * 1024 * 1024 // 8,  # 512 MB shared across 8 CPUs
+    max_procs=8,
+    collective_overhead_s=2.5e-4,
+)
+
+#: Intel Paragon: distributed-memory MPP, i860 nodes with 32 MB each.
+INTEL_PARAGON = MachineModel(
+    name="Intel-Paragon",
+    base_seconds_per_unit=5.5e-5,
+    latency_s=1.8e-4,
+    bandwidth_Bps=25e6,
+    per_node_memory=32 * 1024 * 1024,
+    max_procs=20,
+    collective_overhead_s=5.0e-4,
+)
+
+#: A present-day commodity cluster, for extension experiments.
+GENERIC_CLUSTER = MachineModel(
+    name="generic-cluster",
+    base_seconds_per_unit=2.0e-8,
+    latency_s=2.0e-6,
+    bandwidth_Bps=10e9,
+    per_node_memory=16 * 1024 * 1024 * 1024,
+    max_procs=64,
+    collective_overhead_s=5.0e-6,
+)
+
+#: Registry by name (used by the CLI-ish experiment helpers).
+MACHINES: Dict[str, MachineModel] = {
+    m.name: m for m in (SPARCCENTER_1000, INTEL_PARAGON, GENERIC_CLUSTER)
+}

@@ -1,0 +1,62 @@
+"""Per-rank memory footprint estimation.
+
+The paper partitions circuits across processors precisely "in order to
+solve large routing problems which require considerable amount of memory"
+(§3), and its Table 5 shows the Intel Paragon's 32 MB nodes failing to
+route the largest circuits serially.  This module estimates the resident
+footprint of a (sub-)circuit inside the router so experiments can
+reproduce that memory wall.
+
+Constants approximate a C implementation of TWGR (structs plus routing
+working state), not Python object sizes — the model asks "would the 1997
+code have fit", not "does CPython fit".
+"""
+
+from __future__ import annotations
+
+from repro.circuits.model import Circuit, CircuitStats
+
+#: bytes per pin record incl. routing state (net lists, tree vertices)
+BYTES_PER_PIN = 300
+#: bytes per cell record
+BYTES_PER_CELL = 100
+#: bytes per net record incl. segment bookkeeping
+BYTES_PER_NET = 300
+#: process fixed overhead (code, grid, buffers)
+FIXED_BYTES = 2 * 1024 * 1024
+#: working-set multiplier (temporary arrays, fragmentation)
+OVERHEAD = 1.2
+
+
+def estimate_bytes(num_pins: int, num_cells: int, num_nets: int) -> int:
+    """Footprint of a rank holding the given object counts."""
+    dynamic = (
+        BYTES_PER_PIN * num_pins + BYTES_PER_CELL * num_cells + BYTES_PER_NET * num_nets
+    )
+    return int(FIXED_BYTES + OVERHEAD * dynamic)
+
+
+def estimate_circuit_bytes(source: Circuit | CircuitStats) -> int:
+    """Footprint of one rank holding the entire circuit (the serial case)."""
+    stats = source.stats() if isinstance(source, Circuit) else source
+    return estimate_bytes(stats.num_pins, stats.num_cells, stats.num_nets)
+
+
+def estimate_rank_bytes(
+    source: Circuit | CircuitStats, nprocs: int, replication: float = 0.15
+) -> int:
+    """Footprint of one of ``nprocs`` ranks under row-wise partitioning.
+
+    Cells, pins and nets split roughly evenly; ``replication`` accounts
+    for boundary structures each rank additionally holds (fake pins,
+    shared-channel state, whole-net trees it owns).
+    """
+    if nprocs <= 0:
+        raise ValueError("nprocs must be positive")
+    stats = source.stats() if isinstance(source, Circuit) else source
+    share = 1.0 / nprocs + replication
+    return estimate_bytes(
+        int(stats.num_pins * share),
+        int(stats.num_cells * share),
+        int(stats.num_nets * share),
+    )

@@ -1,0 +1,63 @@
+"""Timing reports and speedup computation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+
+@dataclass(slots=True)
+class TimingReport:
+    """Modeled timing of one parallel run."""
+
+    machine: str
+    nprocs: int
+    rank_times: List[float]
+    rank_compute: List[float] = field(default_factory=list)
+    rank_comm: List[float] = field(default_factory=list)
+    rank_idle: List[float] = field(default_factory=list)
+    serial_time: Optional[float] = None
+    serial_oom: bool = False
+
+    @property
+    def elapsed(self) -> float:
+        """Parallel runtime = the slowest rank's clock."""
+        return max(self.rank_times) if self.rank_times else 0.0
+
+    @property
+    def speedup(self) -> Optional[float]:
+        """Speedup over the modeled serial run (None when serial is
+        unavailable, e.g. it would not fit in node memory)."""
+        if self.serial_time is None or self.elapsed == 0.0:
+            return None
+        return self.serial_time / self.elapsed
+
+    @property
+    def efficiency(self) -> Optional[float]:
+        """Speedup divided by the processor count."""
+        s = self.speedup
+        return None if s is None else s / self.nprocs
+
+    @property
+    def load_imbalance(self) -> float:
+        """max/mean of per-rank compute time (1.0 = perfectly balanced)."""
+        times = self.rank_compute or self.rank_times
+        if not times:
+            return 1.0
+        mean = sum(times) / len(times)
+        return (max(times) / mean) if mean > 0 else 1.0
+
+    def summary(self) -> str:
+        """One-line human-readable timing summary."""
+        sp = self.speedup
+        sp_s = f"{sp:.2f}x" if sp is not None else "n/a (serial OOM)" if self.serial_oom else "n/a"
+        return (
+            f"{self.machine} p={self.nprocs}: elapsed={self.elapsed:.2f}s, "
+            f"speedup={sp_s}, imbalance={self.load_imbalance:.2f}"
+        )
+
+
+def speedup_table(reports: Sequence[TimingReport]) -> Dict[int, Optional[float]]:
+    """``nprocs -> speedup`` over a list of runs (figure-series helper)."""
+    return {r.nprocs: r.speedup for r in reports}

@@ -1,0 +1,29 @@
+"""Approximate Steiner trees (TWGR step 1).
+
+TWGR bases each net's route on an approximate rectilinear Steiner tree
+derived from the net's minimum spanning tree (paper §2).  This package
+provides:
+
+* :func:`prim_mst` — dense-graph Prim over Manhattan distances (the hot
+  path; vectorized with NumPy),
+* :func:`kruskal_mst` — a reference implementation used for
+  cross-validation,
+* :class:`NetTree` / :func:`build_net_tree` — the MST-based approximate
+  Steiner tree with local Steiner-point refinement,
+* :func:`tree_segments` — the tree decomposed into the segments the coarse
+  router processes.
+"""
+
+from repro.steiner.mst import prim_mst, kruskal_mst, mst_length
+from repro.steiner.tree import NetTree, build_net_tree, steinerize
+from repro.steiner.tree import tree_segments
+
+__all__ = [
+    "prim_mst",
+    "kruskal_mst",
+    "mst_length",
+    "NetTree",
+    "build_net_tree",
+    "steinerize",
+    "tree_segments",
+]

@@ -1,0 +1,217 @@
+"""MST-based approximate Steiner trees and their segment decomposition.
+
+TWGR's step 1 builds "an approximate Steiner tree ... based on the minimum
+spanning tree of this net" (paper §2, following Lee & Sechen).  We realize
+that as: Prim MST over the net's terminals, followed by a local
+Steiner-point refinement — for every tree vertex with two or more
+neighbours, the rectilinear median of the vertex and a neighbour pair is
+inserted as a Steiner point whenever it shortens the tree.
+
+The tree is then cut into :class:`~repro.geometry.Segment` objects.  A
+*flat* segment (horizontal or vertical) is already routable; a *diagonal*
+segment is later bent into one of two L shapes by the coarse router
+(step 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.geometry import Point, Segment, manhattan
+from repro.perfmodel.counter import WorkCounter, NULL_COUNTER
+from repro.steiner.mst import prim_mst
+
+
+@dataclass(slots=True)
+class NetTree:
+    """An approximate Steiner tree for one net.
+
+    ``points[i]`` is a tree vertex; indices below ``num_terminals`` are the
+    net's terminals in their original order, the rest are Steiner points.
+    ``edges`` are index pairs into ``points``.
+    """
+
+    net: int
+    points: List[Point]
+    edges: List[Tuple[int, int]]
+    num_terminals: int
+
+    def length(self, row_pitch: int = 1) -> int:
+        """Total Manhattan length of the tree's edges."""
+        return sum(
+            manhattan(self.points[i], self.points[j], row_pitch) for i, j in self.edges
+        )
+
+    def degree_of(self, vertex: int) -> int:
+        """Number of tree edges incident to ``vertex``."""
+        return sum(1 for i, j in self.edges if i == vertex or j == vertex)
+
+    def neighbors(self, vertex: int) -> List[int]:
+        """Vertices adjacent to ``vertex`` in the tree."""
+        out = []
+        for i, j in self.edges:
+            if i == vertex:
+                out.append(j)
+            elif j == vertex:
+                out.append(i)
+        return out
+
+    def is_connected(self) -> bool:
+        """Spanning-tree check used by tests and the parallel validators."""
+        n = len(self.points)
+        if n == 0:
+            return True
+        if len(self.edges) != n - 1:
+            return False
+        adj: Dict[int, List[int]] = {}
+        for i, j in self.edges:
+            adj.setdefault(i, []).append(j)
+            adj.setdefault(j, []).append(i)
+        seen: Set[int] = {0}
+        stack = [0]
+        while stack:
+            v = stack.pop()
+            for w in adj.get(v, ()):
+                if w not in seen:
+                    seen.add(w)
+                    stack.append(w)
+        return len(seen) == n
+
+
+def build_net_tree(
+    net_id: int,
+    terminals: Sequence[Point],
+    row_pitch: int = 1,
+    refine: bool = True,
+    counter: WorkCounter = NULL_COUNTER,
+) -> NetTree:
+    """Build the approximate Steiner tree over ``terminals``.
+
+    Duplicate terminal positions are kept (they become zero-length edges),
+    so terminal indices always map 1:1 onto the caller's pin list.
+    """
+    points = [Point(int(p[0]), int(p[1])) for p in terminals]
+    if len(points) < 2:
+        return NetTree(net=net_id, points=list(points), edges=[], num_terminals=len(points))
+    coords = np.array([(p.x, p.row) for p in points], dtype=np.int64)
+    edges = prim_mst(coords, row_pitch=row_pitch, counter=counter)
+    tree = NetTree(net=net_id, points=list(points), edges=list(edges), num_terminals=len(points))
+    if refine and len(points) >= 3:
+        steinerize(tree, row_pitch=row_pitch, counter=counter)
+    return tree
+
+
+def steinerize(tree: NetTree, row_pitch: int = 1, counter: WorkCounter = NULL_COUNTER) -> int:
+    """Insert Steiner points where they shorten the tree; returns the gain.
+
+    For each vertex ``v`` with neighbours ``a, b``: the component-wise
+    median of ``(v, a, b)`` is the optimal meeting point for the two edges;
+    if it differs from all three, replacing edges ``(v,a), (v,b)`` with
+    ``(v,m), (m,a), (m,b)`` saves wirelength.  One pass in deterministic
+    vertex order; pairs re-evaluated greedily.
+    """
+    saved_total = 0
+    v = 0
+    while v < len(tree.points):
+        improved = True
+        while improved:
+            improved = False
+            nbrs = tree.neighbors(v)
+            counter.add("steiner", len(nbrs))
+            if len(nbrs) < 2:
+                break
+            pv = tree.points[v]
+            best_gain = 0
+            best: Tuple[int, int, Point] | None = None
+            for ai in range(len(nbrs)):
+                for bi in range(ai + 1, len(nbrs)):
+                    a, b = nbrs[ai], nbrs[bi]
+                    pa, pb = tree.points[a], tree.points[b]
+                    mx = _median(pv.x, pa.x, pb.x)
+                    mrow = _median(pv.row, pa.row, pb.row)
+                    m = Point(mx, mrow)
+                    old = manhattan(pv, pa, row_pitch) + manhattan(pv, pb, row_pitch)
+                    new = (
+                        manhattan(pv, m, row_pitch)
+                        + manhattan(m, pa, row_pitch)
+                        + manhattan(m, pb, row_pitch)
+                    )
+                    gain = old - new
+                    if gain > best_gain:
+                        best_gain = gain
+                        best = (a, b, m)
+            counter.add("steiner", len(nbrs) * (len(nbrs) - 1) / 2)
+            if best is None:
+                break
+            a, b, m = best
+            m_idx = len(tree.points)
+            tree.points.append(m)
+            tree.edges = [
+                e for e in tree.edges if e not in ((v, a), (a, v), (v, b), (b, v))
+            ]
+            tree.edges.append((v, m_idx))
+            tree.edges.append((m_idx, a))
+            tree.edges.append((m_idx, b))
+            saved_total += best_gain
+            improved = True
+        v += 1
+    return saved_total
+
+
+def _median(a: int, b: int, c: int) -> int:
+    return sorted((a, b, c))[1]
+
+
+def tree_segments(tree: NetTree) -> List[Segment]:
+    """The tree's edges as canonical segments, zero-length edges dropped."""
+    out: List[Segment] = []
+    for i, j in tree.edges:
+        a, b = tree.points[i], tree.points[j]
+        if a == b:
+            continue
+        out.append(Segment.make(a, b))
+    return out
+
+
+def clip_tree_to_rows(
+    tree: NetTree, row_lo: int, row_hi: int
+) -> List[Segment]:
+    """Segments of ``tree`` restricted to rows ``[row_lo, row_hi]``.
+
+    Used by the row-wise parallel algorithm: a rank keeps the portions of
+    whole-net trees that fall inside its row block (the crossing points
+    having been materialized as fake pins).  Diagonal segments are split at
+    block boundaries along their vertical extent, pinning the crossing at
+    the segment's *lower endpoint column* — the same convention
+    :func:`repro.parallel.fakepins.crossing_points` uses, so fake pins and
+    clipped segments always agree.
+
+    Cut endpoints are *phantoms* placed one row beyond the block: a wire
+    continuing past the boundary still passes **through** the boundary
+    rows, so they must keep demanding feedthroughs.  With phantoms, the
+    union of the clipped pieces' interior rows across all blocks equals
+    the original segment's interior rows exactly — parallel runs plan the
+    same feedthroughs the serial router would.  The coarse grid clips the
+    phantom rows back to its own window.
+    """
+    out: List[Segment] = []
+    for seg in tree_segments(tree):
+        lo, hi = seg.row_span
+        if hi < row_lo or lo > row_hi:
+            continue
+        if lo >= row_lo and hi <= row_hi:
+            out.append(seg)
+            continue
+        # The segment sticks out of the block: clip its vertical extent.
+        # The vertical run is at the lower endpoint's column by convention.
+        bottom, top = (seg.a, seg.b) if seg.a.row <= seg.b.row else (seg.b, seg.a)
+        run_x = bottom.x
+        p_low = bottom if bottom.row >= row_lo else Point(run_x, row_lo - 1)
+        p_high = top if top.row <= row_hi else Point(run_x, row_hi + 1)
+        if p_low == p_high:
+            continue
+        out.append(Segment.make(p_low, p_high))
+    return out

@@ -1,0 +1,42 @@
+"""TWGR — the TimberWolfSC global router (serial core, paper §2).
+
+The router minimizes total channel density (track count) and feedthrough
+count through five steps:
+
+1. approximate Steiner tree per net (:mod:`repro.steiner`),
+2. coarse global routing — L-shape selection on a coarse grid with
+   random segment order (:mod:`repro.twgr.coarse_step`),
+3. feedthrough insertion and assignment (:mod:`repro.twgr.feedthrough`),
+4. net connection via MSTs over pins + feedthroughs
+   (:mod:`repro.twgr.connect`),
+5. switchable-net-segment channel optimization
+   (:mod:`repro.twgr.switchable`).
+
+:class:`GlobalRouter` runs all five on a cloned circuit; the step
+functions are also public because the parallel algorithms
+(:mod:`repro.parallel`) re-orchestrate them across ranks.
+"""
+
+from repro.twgr.config import RouterConfig
+from repro.twgr.result import RoutingResult, StepArtifacts
+from repro.twgr.router import GlobalRouter
+from repro.twgr.coarse_step import coarse_route, collect_segments
+from repro.twgr.feedthrough import insert_feedthroughs, assign_feedthroughs
+from repro.twgr.connect import connect_nets, connection_mst
+from repro.twgr.switchable import optimize_switchable
+from repro.twgr.metrics import compute_result
+
+__all__ = [
+    "RouterConfig",
+    "RoutingResult",
+    "StepArtifacts",
+    "GlobalRouter",
+    "coarse_route",
+    "collect_segments",
+    "insert_feedthroughs",
+    "assign_feedthroughs",
+    "connect_nets",
+    "connection_mst",
+    "optimize_switchable",
+    "compute_result",
+]

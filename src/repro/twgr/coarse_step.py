@@ -1,0 +1,127 @@
+"""TWGR step 2 — coarse global routing.
+
+Every Steiner-tree segment is assumed to be routed by a one-bend L-shaped
+wire.  "To reduce the order dependence of the segments processed, a
+segment is randomly picked from the whole segment pool.  By evaluating the
+needed feedthrough number and the channel density change when the side of
+an L shaped segment is switched, the L shape for this segment can be
+determined." (paper §2)
+
+We realize the random pool as one random permutation per improvement
+pass: every pass rips up each diagonal segment in random order and
+recommits it in its cheaper orientation given everything currently
+routed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry import Segment
+from repro.grid.coarse import CoarseGrid, Orientation, RoutedSegment
+from repro.perfmodel.counter import WorkCounter, NULL_COUNTER
+from repro.steiner.tree import NetTree, tree_segments
+
+
+@dataclass(slots=True)
+class PooledSegment:
+    """A tree segment in the coarse pool with its committed route."""
+
+    net: int
+    seg: Segment
+    orient: Orientation
+    route: RoutedSegment
+
+
+def collect_segments(trees: Mapping[int, NetTree]) -> List[Tuple[int, Segment, bool]]:
+    """Flatten trees into the global ``(net, segment, locked)`` pool.
+
+    Iteration order is by net id then tree edge order, so the pool is
+    identical however the trees were computed (serially or gathered from
+    ranks).  Serial pools are never orientation-locked.
+    """
+    pool: List[Tuple[int, Segment, bool]] = []
+    for net_id in sorted(trees):
+        for seg in tree_segments(trees[net_id]):
+            pool.append((net_id, seg, False))
+    return pool
+
+
+def coarse_route(
+    pool: Sequence[Tuple],
+    grid: CoarseGrid,
+    rng: np.random.Generator,
+    passes: int = 2,
+    counter: WorkCounter = NULL_COUNTER,
+    sync: Optional[Callable[[], None]] = None,
+    syncs_per_pass: int = 0,
+) -> List[PooledSegment]:
+    """Commit every pool segment to the grid, optimizing L orientations.
+
+    Pool entries are ``(net, segment)`` or ``(net, segment, locked)``.
+    Returns the committed segments (the grid is left loaded with their
+    routes).  Flat segments have no orientation freedom and are committed
+    once; *locked* diagonal segments (cross-boundary pieces whose entry
+    column a neighbouring rank already fixed via a fake pin) keep
+    ``VERT_AT_LOW``; other diagonals are re-evaluated each pass.
+
+    ``sync``/``syncs_per_pass`` support the net-wise parallel algorithm:
+    when given, ``sync()`` is called once right after the initial commit
+    and then exactly ``syncs_per_pass`` times per pass, at evenly spaced
+    points of the random order — the *same* number of calls on every
+    rank, however many segments a rank holds, so it can safely contain
+    collectives.  Early termination is disabled in that mode for the same
+    reason.
+    """
+    committed: List[PooledSegment] = []
+    diagonal_idx: List[int] = []
+    for entry in pool:
+        net, seg = entry[0], entry[1]
+        locked = bool(entry[2]) if len(entry) > 2 else False
+        route = grid.route_for(net, seg, Orientation.VERT_AT_LOW)
+        grid.add_route(route)
+        committed.append(PooledSegment(net, seg, Orientation.VERT_AT_LOW, route))
+        if not seg.is_flat and not locked:
+            diagonal_idx.append(len(committed) - 1)
+        counter.add("coarse", 1)
+
+    synced = sync is not None and syncs_per_pass > 0
+    if sync is not None:
+        # one congestion snapshot right after the initial commit; in
+        # sync-once mode (syncs_per_pass == 0) it is also the only one
+        sync()
+
+    for _ in range(passes):
+        changed = 0
+        order = rng.permutation(len(diagonal_idx)) if diagonal_idx else np.empty(0, dtype=np.int64)
+        for chunk in _chunks(order, syncs_per_pass if synced else 1):
+            for k in chunk:
+                ps = committed[diagonal_idx[int(k)]]
+                grid.remove_route(ps.route)
+                low = grid.route_for(ps.net, ps.seg, Orientation.VERT_AT_LOW)
+                high = grid.route_for(ps.net, ps.seg, Orientation.VERT_AT_HIGH)
+                c_low = grid.eval_cost(low, counter)
+                c_high = grid.eval_cost(high, counter)
+                if c_high < c_low:
+                    new_orient, new_route = Orientation.VERT_AT_HIGH, high
+                else:
+                    new_orient, new_route = Orientation.VERT_AT_LOW, low
+                if new_orient != ps.orient:
+                    changed += 1
+                ps.orient, ps.route = new_orient, new_route
+                grid.add_route(new_route)
+            if synced:
+                sync()
+        if changed == 0 and not synced:
+            break
+    return committed
+
+
+def _chunks(order: np.ndarray, n: int) -> List[np.ndarray]:
+    """Split ``order`` into exactly ``n`` contiguous (possibly empty) parts."""
+    n = max(1, n)
+    bounds = [len(order) * i // n for i in range(n + 1)]
+    return [order[bounds[i] : bounds[i + 1]] for i in range(n)]

@@ -1,0 +1,201 @@
+"""TWGR step 4 — net connection.
+
+"The fourth step connects the feedthroughs of each net with regular pins
+of that net by building a minimum spanning tree from a complete graph of
+the pins and feedthroughs in the adjacent rows." (paper §2)
+
+Each net's terminal set now contains its original pins plus the
+feedthrough pins bound in step 3, so terminals occupy a contiguous band of
+rows and an MST restricted to same-row / adjacent-row edges exists.  Edges
+that would skip rows carry a huge penalty; if one is ever chosen (only
+possible when a parallel scheme mis-planned feedthroughs) it is realized
+as spans through every intermediate channel and reported as an
+``unplanned_crossings`` quality defect.
+
+MST edges map to channel spans:
+
+* same-row edge → a span in the channel above or below the row, picked
+  from the endpoint pin sides; *switchable* iff both endpoints have
+  electrically-equivalent twins (the step-5 optimization targets);
+* adjacent-row edge → a span in the channel between the two rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+from repro.circuits.model import Circuit, Pin, PinKind
+from repro.grid.channels import ChannelSpan
+from repro.perfmodel.counter import WorkCounter, NULL_COUNTER
+
+
+@dataclass(slots=True)
+class ConnectStats:
+    """Quality counters accumulated while connecting nets."""
+
+    vertical_wirelength: int = 0
+    side_conflicts: int = 0
+    unplanned_crossings: int = 0
+
+
+def connection_mst(
+    xs: np.ndarray,
+    rows: np.ndarray,
+    row_pitch: int,
+    skip_row_penalty: int,
+    counter: WorkCounter = NULL_COUNTER,
+) -> List[Tuple[int, int]]:
+    """Prim MST over terminals with a penalty for row-skipping edges.
+
+    Weight of an edge is ``|dx| + row_pitch*|dr| + penalty*max(0, |dr|-1)``;
+    the penalty keeps the tree inside the same-row/adjacent-row graph
+    whenever that graph is connected.
+    """
+    n = len(xs)
+    if n <= 1:
+        return []
+    xs = np.asarray(xs, dtype=np.int64)
+    rows = np.asarray(rows, dtype=np.int64)
+    INF = np.iinfo(np.int64).max
+    in_tree = np.zeros(n, dtype=bool)
+    best = np.full(n, INF, dtype=np.int64)
+    parent = np.full(n, -1, dtype=np.int64)
+    edges: List[Tuple[int, int]] = []
+    current = 0
+    in_tree[0] = True
+    for _ in range(n - 1):
+        dr = np.abs(rows - rows[current])
+        d = (
+            np.abs(xs - xs[current])
+            + row_pitch * dr
+            + skip_row_penalty * np.maximum(dr - 1, 0)
+        )
+        improved = (d < best) & ~in_tree
+        best[improved] = d[improved]
+        parent[improved] = current
+        counter.add("connect", n)
+        masked = np.where(in_tree, INF, best)
+        nxt = int(np.argmin(masked))
+        edges.append((int(parent[nxt]), nxt))
+        in_tree[nxt] = True
+        current = nxt
+    return edges
+
+
+def spans_for_edge(a: Pin, b: Pin, stats: ConnectStats, row_pitch: int) -> List[ChannelSpan]:
+    """Channel spans realizing the connection between two terminals."""
+    out: List[ChannelSpan] = []
+    dr = abs(a.row - b.row)
+    stats.vertical_wirelength += row_pitch * dr
+    if dr == 0:
+        lo, hi = sorted((a.x, b.x))
+        if lo == hi:
+            return out
+        switchable = a.has_equiv and b.has_equiv
+        channel = _pick_channel(a, b, stats)
+        out.append(
+            ChannelSpan(
+                net=a.net, channel=channel, lo=lo, hi=hi,
+                switchable=switchable, row=a.row if switchable else -1,
+            )
+        )
+        return out
+    lo_pin, hi_pin = (a, b) if a.row < b.row else (b, a)
+    if dr == 1:
+        lo, hi = sorted((a.x, b.x))
+        if lo != hi:
+            out.append(ChannelSpan(net=a.net, channel=hi_pin.row, lo=lo, hi=hi))
+        return out
+    # Row-skipping fallback: realize as spans through every channel
+    # strictly between the terminals (plus the attachment channels' share)
+    # and record the defect.
+    stats.unplanned_crossings += dr - 1
+    lo, hi = sorted((a.x, b.x))
+    for ch in range(lo_pin.row + 1, hi_pin.row + 1):
+        out.append(ChannelSpan(net=a.net, channel=ch, lo=lo, hi=max(lo + 1, hi)))
+    return out
+
+
+def _pick_channel(a: Pin, b: Pin, stats: ConnectStats) -> int:
+    """Channel of a same-row span, from the endpoint pin sides.
+
+    ``side=+1`` prefers the channel above (``row + 1``), ``-1`` below.
+    A *switchable* span (both pins equivalent) starts in the channel
+    above — choosing its channel well is exactly what TWGR step 5 is for.
+    When fixed pins disagree, the wire still has to pick one channel; we
+    take the channel above and count a side conflict.
+    """
+    row = a.row
+    if a.has_equiv and b.has_equiv:
+        return row + 1
+    pref_a = row + 1 if a.side > 0 else row
+    pref_b = row + 1 if b.side > 0 else row
+    if pref_a == pref_b:
+        return pref_a
+    if a.has_equiv and not b.has_equiv:
+        return pref_b
+    if b.has_equiv and not a.has_equiv:
+        return pref_a
+    stats.side_conflicts += 1
+    return row + 1
+
+
+def connect_nets(
+    circuit: Circuit,
+    net_ids: Iterable[int],
+    row_pitch: int,
+    skip_row_penalty: int = 10_000,
+    counter: WorkCounter = NULL_COUNTER,
+    fakes_as_leaves: bool = False,
+) -> Tuple[List[ChannelSpan], ConnectStats]:
+    """Connect each net's terminals (pins + bound feeds) into spans.
+
+    ``fakes_as_leaves`` is the row-wise parallel mode: a fake pin marks
+    where the net *continues into a neighbouring partition*, so the
+    fragment does not need to interconnect its fake pins — the
+    continuation on the other side already does.  Each fake pin then
+    attaches by a single cheapest edge to the fragment's nearest real
+    terminal, and only a fragment with no real terminals at all (a
+    pass-through net) chains its fake pins directly.  Without this, both
+    fragments adjacent to a boundary would duplicate the same rails in
+    the shared channel — a much larger version of the paper's Fig. 3
+    effect than the paper's algorithm exhibits.
+    """
+    spans: List[ChannelSpan] = []
+    stats = ConnectStats()
+    for net_id in net_ids:
+        pins = circuit.net_pins(net_id)
+        if len(pins) < 2:
+            continue
+        if fakes_as_leaves:
+            reals = [p for p in pins if p.kind is not PinKind.FAKE]
+            fakes = [p for p in pins if p.kind is PinKind.FAKE]
+        else:
+            reals, fakes = pins, []
+        if len(reals) >= 2:
+            xs = np.array([p.x for p in reals], dtype=np.int64)
+            rows = np.array([p.row for p in reals], dtype=np.int64)
+            edges = connection_mst(xs, rows, row_pitch, skip_row_penalty, counter)
+            for i, j in edges:
+                spans.extend(spans_for_edge(reals[i], reals[j], stats, row_pitch))
+        if fakes and reals:
+            for f in fakes:
+                counter.add("connect", len(reals))
+                best = min(
+                    reals,
+                    key=lambda p: abs(p.x - f.x)
+                    + row_pitch * abs(p.row - f.row)
+                    + skip_row_penalty * max(abs(p.row - f.row) - 1, 0),
+                )
+                spans.extend(spans_for_edge(f, best, stats, row_pitch))
+        elif fakes and not reals:
+            # Pass-through fragment: chain the fake pins so the local
+            # piece of the net stays connected.
+            chain = sorted(fakes, key=lambda p: (p.row, p.x))
+            counter.add("connect", len(chain))
+            for a, b in zip(chain, chain[1:]):
+                spans.extend(spans_for_edge(a, b, stats, row_pitch))
+    return spans, stats

@@ -1,0 +1,122 @@
+"""TWGR steps 2b/3 — feedthrough insertion and assignment.
+
+After coarse routing the grid knows, per (row, grid column), how many
+distinct nets must cross the row there.  "Those needed feedthroughs will
+be added at each grid point" (§2): we insert one feedthrough cell per
+demanded crossing, snapped to the nearest cell boundary so rows stay
+non-overlapping, which widens the row (and shifts every cell/pin to the
+right of the insertion — the row-width cost of feedthroughs the router's
+cost function tries to contain).
+
+Step 3 then assigns each crossing net a concrete feedthrough "from those
+available in this row": both the crossings and the feeds of a row are
+sorted by x and matched in order, which is the displacement-minimizing
+non-crossing matching; the matched feed pin is bound to the net and
+becomes a routing terminal for step 4.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.circuits.model import Circuit
+from repro.grid.coarse import CoarseGrid
+from repro.perfmodel.counter import WorkCounter, NULL_COUNTER
+
+
+@dataclass(frozen=True, slots=True)
+class FeedPlan:
+    """Inserted feedthroughs of one routing run."""
+
+    #: per row: list of inserted feed cell ids, sorted by x
+    feeds_by_row: Dict[int, List[int]]
+
+    @property
+    def total(self) -> int:
+        """Total feedthrough cells inserted."""
+        return sum(len(v) for v in self.feeds_by_row.values())
+
+
+def snap_to_boundary(circuit: Circuit, row: int, x: int) -> int:
+    """Closest legal insertion x in ``row`` (a gap or a cell edge).
+
+    A feedthrough cell may not land inside an existing cell; we snap to
+    whichever edge of the covering cell is closer.
+    """
+    ids = circuit.rows[row].cells
+    if not ids:
+        return max(x, 0)
+    xs = [circuit.cells[c].x for c in ids]
+    i = bisect.bisect_right(xs, x) - 1
+    if i < 0:
+        return max(x, 0)
+    cell = circuit.cells[ids[i]]
+    if x >= cell.right:
+        return x  # in a gap (or right of the row) — fine as-is
+    # inside the cell: snap to the nearer edge
+    return cell.x if (x - cell.x) <= (cell.right - x) else cell.right
+
+
+def insert_feedthroughs(
+    circuit: Circuit,
+    grid: CoarseGrid,
+    rows: Sequence[int] | None = None,
+    counter: WorkCounter = NULL_COUNTER,
+) -> FeedPlan:
+    """Insert one feedthrough cell per demanded crossing.
+
+    ``rows`` restricts insertion to a row subset (parallel ranks pass
+    their own block); default is every row in the grid window.  Returns
+    the per-row feed cells, sorted by x, ready for assignment.
+    """
+    if rows is None:
+        rows = range(grid.row_lo, grid.row_lo + grid.nrows)
+    feeds_by_row: Dict[int, List[int]] = {}
+    for row in rows:
+        crossings = grid.crossings_for_row(row)
+        if not crossings:
+            feeds_by_row[row] = []
+            continue
+        positions = [
+            snap_to_boundary(circuit, row, grid.gcol_center(g)) for g, _net in crossings
+        ]
+        created = circuit.insert_feedthroughs(row, positions)
+        counter.add("feeds", len(created) + len(circuit.rows[row].cells))
+        feeds_by_row[row] = sorted((c.id for c in created), key=lambda cid: circuit.cells[cid].x)
+    return FeedPlan(feeds_by_row=feeds_by_row)
+
+
+def assign_feedthroughs(
+    circuit: Circuit,
+    grid: CoarseGrid,
+    plan: FeedPlan,
+    counter: WorkCounter = NULL_COUNTER,
+) -> Dict[int, List[int]]:
+    """Bind each crossing net to a feed pin (step 3).
+
+    Returns ``net -> [feed pin ids]`` for the processed rows.  Crossings
+    and feeds are matched in x order; counts always agree because exactly
+    one feed was inserted per crossing.
+    """
+    bound: Dict[int, List[int]] = {}
+    for row, feed_cells in plan.feeds_by_row.items():
+        crossings = grid.crossings_for_row(row)  # sorted by (gcol, net)
+        if len(crossings) != len(feed_cells):
+            raise RuntimeError(
+                f"row {row}: {len(crossings)} crossings vs {len(feed_cells)} feeds"
+            )
+        counter.add("assign", len(crossings) + 1)
+        for (g, net), cell_id in zip(crossings, feed_cells):
+            pin_id = _feed_pin_of(circuit, cell_id)
+            circuit.bind_feed_pin(pin_id, net)
+            bound.setdefault(net, []).append(pin_id)
+    return bound
+
+
+def _feed_pin_of(circuit: Circuit, cell_id: int) -> int:
+    cell = circuit.cells[cell_id]
+    if not cell.is_feed or not cell.pins:
+        raise ValueError(f"cell {cell_id} is not a feedthrough cell")
+    return cell.pins[0]

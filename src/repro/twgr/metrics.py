@@ -1,0 +1,65 @@
+"""Quality metric computation (tracks, area, wirelength).
+
+TWGR's objective is "to minimize the total area of the chip by minimizing
+the total channel density and minimizing the number of feedthroughs in
+various rows (which increase the row widths)" (paper §2).  The area model
+reflects exactly that coupling:
+
+``area = core_width × (num_rows × cell_height + total_tracks × track_pitch)``
+
+where ``core_width`` grows with every inserted feedthrough and
+``total_tracks`` is the sum of per-channel densities.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.circuits.model import Circuit
+from repro.grid.channels import ChannelSpan, ChannelState
+from repro.perfmodel.counter import WorkCounter, NULL_COUNTER
+from repro.twgr.config import RouterConfig
+from repro.twgr.connect import ConnectStats
+from repro.twgr.result import RoutingResult
+
+
+def compute_result(
+    circuit: Circuit,
+    state: ChannelState,
+    spans: Sequence[ChannelSpan],
+    connect_stats: ConnectStats,
+    num_feeds: int,
+    flips: int,
+    config: RouterConfig,
+    algorithm: str = "serial",
+    nprocs: int = 1,
+    counter: WorkCounter = NULL_COUNTER,
+    work_units: Optional[Dict[str, float]] = None,
+) -> RoutingResult:
+    """Assemble the final :class:`RoutingResult` from routing state."""
+    channel_tracks = state.densities()
+    total_tracks = sum(channel_tracks.values())
+    counter.add("metrics", len(spans) + len(channel_tracks))
+
+    core_width = circuit.max_row_width()
+    height = circuit.num_rows * config.cell_height + total_tracks * config.track_pitch
+    hwl = sum(s.length for s in spans)
+
+    return RoutingResult(
+        circuit_name=circuit.name,
+        algorithm=algorithm,
+        nprocs=nprocs,
+        total_tracks=total_tracks,
+        channel_tracks=dict(sorted(channel_tracks.items())),
+        num_feedthroughs=num_feeds,
+        horizontal_wirelength=hwl,
+        vertical_wirelength=connect_stats.vertical_wirelength,
+        core_width=core_width,
+        area=core_width * height,
+        side_conflicts=connect_stats.side_conflicts,
+        unplanned_crossings=connect_stats.unplanned_crossings,
+        num_spans=len(spans),
+        flips=flips,
+        work_units=dict(work_units or {}),
+        seed=config.seed,
+    )

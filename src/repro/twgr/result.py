@@ -1,0 +1,79 @@
+"""Routing result records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.grid.channels import ChannelSpan, ChannelState
+
+
+@dataclass(slots=True)
+class RoutingResult:
+    """Outcome of one routing run (serial or parallel).
+
+    Quality fields mirror what the paper reports: ``total_tracks`` (the
+    headline metric of Tables 2–4), ``area`` and ``num_feedthroughs``
+    (Table 5), plus wirelength and defect counters useful for analysis.
+    ``model_time`` is the modeled runtime in seconds when a machine model
+    was attached, else ``None``.
+    """
+
+    circuit_name: str
+    algorithm: str = "serial"
+    nprocs: int = 1
+    total_tracks: int = 0
+    channel_tracks: Dict[int, int] = field(default_factory=dict)
+    num_feedthroughs: int = 0
+    horizontal_wirelength: int = 0
+    vertical_wirelength: int = 0
+    core_width: int = 0
+    area: int = 0
+    side_conflicts: int = 0
+    unplanned_crossings: int = 0
+    num_spans: int = 0
+    flips: int = 0
+    work_units: Dict[str, float] = field(default_factory=dict)
+    model_time: Optional[float] = None
+    seed: int = 0
+
+    @property
+    def wirelength(self) -> int:
+        """Total wirelength (horizontal + vertical)."""
+        return self.horizontal_wirelength + self.vertical_wirelength
+
+    def scaled_tracks(self, baseline: "RoutingResult") -> float:
+        """Track count relative to a (serial) baseline — the paper's
+        'scaled track' quality measure."""
+        if baseline.total_tracks == 0:
+            return 1.0
+        return self.total_tracks / baseline.total_tracks
+
+    def scaled_area(self, baseline: "RoutingResult") -> float:
+        """Area relative to a (serial) baseline."""
+        if baseline.area == 0:
+            return 1.0
+        return self.area / baseline.area
+
+    def summary(self) -> str:
+        """One-line human-readable quality summary."""
+        t = f", time={self.model_time:.1f}s" if self.model_time is not None else ""
+        return (
+            f"{self.circuit_name}: tracks={self.total_tracks}, "
+            f"feeds={self.num_feedthroughs}, wl={self.wirelength}, "
+            f"area={self.area}{t} [{self.algorithm}, p={self.nprocs}]"
+        )
+
+
+@dataclass(slots=True)
+class StepArtifacts:
+    """Intermediate products of a routing run, for inspection and tests."""
+
+    trees: Dict[int, Any] = field(default_factory=dict)
+    pool_size: int = 0
+    grid: Any = None
+    feed_plan: Any = None
+    bound_feeds: Dict[int, List[int]] = field(default_factory=dict)
+    spans: List[ChannelSpan] = field(default_factory=list)
+    state: Optional[ChannelState] = None
+    connect_stats: Any = None

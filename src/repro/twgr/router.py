@@ -1,0 +1,114 @@
+"""The serial TWGR orchestrator.
+
+:class:`GlobalRouter` runs the five TWGR steps end-to-end on a *clone* of
+the input circuit (feedthrough insertion mutates rows and pin positions,
+so the caller's circuit stays pristine).  Each step's randomness comes
+from a named sub-stream of the config seed, making runs reproducible and
+letting the parallel algorithms reuse the exact same streams where their
+structure matches the serial one.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.circuits.model import Circuit
+from repro.grid.channels import build_state
+from repro.grid.coarse import CoarseGrid
+from repro.perfmodel.counter import TallyCounter, WorkCounter, NULL_COUNTER
+from repro.steiner.tree import build_net_tree
+from repro.twgr.coarse_step import coarse_route, collect_segments
+from repro.twgr.config import RouterConfig
+from repro.twgr.connect import connect_nets
+from repro.twgr.feedthrough import assign_feedthroughs, insert_feedthroughs
+from repro.twgr.metrics import compute_result
+from repro.twgr.result import RoutingResult, StepArtifacts
+from repro.twgr.switchable import optimize_switchable
+
+
+class GlobalRouter:
+    """Serial TimberWolfSC-style global router (paper §2)."""
+
+    def __init__(self, config: Optional[RouterConfig] = None) -> None:
+        self.config = config or RouterConfig()
+        self.config.validate()
+
+    def route(self, circuit: Circuit, counter: WorkCounter = NULL_COUNTER) -> RoutingResult:
+        """Route ``circuit`` and return quality metrics."""
+        result, _ = self.route_with_artifacts(circuit, counter)
+        return result
+
+    def route_with_artifacts(
+        self, circuit: Circuit, counter: WorkCounter = NULL_COUNTER
+    ) -> Tuple[RoutingResult, StepArtifacts]:
+        """Route ``circuit``, also returning every intermediate product."""
+        cfg = self.config
+        tally = TallyCounter()
+
+        def charge(kind: str, units: float) -> None:
+            tally.add(kind, units)
+            counter.add(kind, units)
+
+        class _Fan:
+            add = staticmethod(charge)
+
+        fan = _Fan()
+        work = circuit.clone()
+        art = StepArtifacts()
+
+        # Step 1 — approximate Steiner trees.
+        for net in work.nets:
+            art.trees[net.id] = build_net_tree(
+                net.id,
+                work.net_points(net.id),
+                row_pitch=cfg.row_pitch,
+                refine=cfg.refine_steiner,
+                counter=fan,
+            )
+
+        # Step 2 — coarse global routing.
+        ncols = max(1, -(-max(work.max_row_width(), 1) // cfg.col_width))
+        grid = CoarseGrid(
+            ncols=ncols, nrows=work.num_rows, col_width=cfg.col_width, weights=cfg.weights
+        )
+        pool = collect_segments(art.trees)
+        art.pool_size = len(pool)
+        coarse_route(pool, grid, cfg.rng(2, 0), passes=cfg.coarse_passes, counter=fan)
+        art.grid = grid
+
+        # Step 2b/3 — feedthrough insertion and assignment.
+        art.feed_plan = insert_feedthroughs(work, grid, counter=fan)
+        art.bound_feeds = assign_feedthroughs(work, grid, art.feed_plan, counter=fan)
+
+        # Step 4 — net connection.
+        spans, stats = connect_nets(
+            work,
+            range(len(work.nets)),
+            row_pitch=cfg.row_pitch,
+            skip_row_penalty=cfg.skip_row_penalty,
+            counter=fan,
+        )
+        art.spans = spans
+        art.connect_stats = stats
+
+        # Step 5 — switchable segment optimization.
+        state = build_state(spans, 0, work.num_rows)
+        flips = optimize_switchable(
+            spans, state, cfg.rng(5, 0), passes=cfg.switch_passes, counter=fan
+        )
+        art.state = state
+
+        result = compute_result(
+            work,
+            state,
+            spans,
+            stats,
+            num_feeds=art.feed_plan.total,
+            flips=flips,
+            config=cfg,
+            algorithm="serial",
+            nprocs=1,
+            counter=fan,
+            work_units=dict(tally.units),
+        )
+        return result, art

@@ -1,0 +1,75 @@
+"""TWGR step 5 — switchable-net-segment optimization.
+
+"To optimize the channel placement of each switchable net segment, and
+reduce the order dependence of the segment processed, the fifth step
+randomly picks one switchable net segment and determines its channel by
+evaluating the channel track change when the segment is flipped to the
+opposite channel." (paper §2)
+
+The optimizer makes random-order improvement passes over the switchable
+spans, flipping whenever the two affected channels' combined track count
+drops.  A ``sync`` callback fires every ``sync_period`` evaluations: the
+net-wise parallel algorithm uses it to exchange channel densities between
+ranks (paper §5 — synchronizing often is costly, rarely is inaccurate;
+both effects reproduce through this hook).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.grid.channels import ChannelSpan, ChannelState
+from repro.perfmodel.counter import WorkCounter, NULL_COUNTER
+
+
+def optimize_switchable(
+    spans: Sequence[ChannelSpan],
+    state: ChannelState,
+    rng: np.random.Generator,
+    passes: int = 3,
+    counter: WorkCounter = NULL_COUNTER,
+    sync: Optional[Callable[[], None]] = None,
+    syncs_per_pass: int = 0,
+) -> int:
+    """Improve channel placement of switchable spans in ``state``.
+
+    Returns the number of flips committed.  Stops early when a full pass
+    makes no flips.  ``spans`` may include non-switchable entries; they
+    are ignored.
+
+    With ``sync``/``syncs_per_pass``, each pass's random order is split
+    into exactly ``syncs_per_pass`` chunks and ``sync()`` runs before each
+    chunk — the same call count on every rank regardless of how many
+    spans it holds, so the callback may contain collectives (the net-wise
+    density resynchronization, paper §5).  Early termination is disabled
+    in that mode.
+    """
+    candidates: List[ChannelSpan] = [s for s in spans if s.switchable]
+    synced = sync is not None and syncs_per_pass > 0
+    if sync is not None and syncs_per_pass == 0:
+        # sync-once mode: one density snapshot up front, then fly blind
+        # (the paper's low-frequency operating point).
+        sync()
+    if not candidates and not synced:
+        return 0
+    flips = 0
+    for _ in range(max(passes, 0)):
+        changed = 0
+        order = rng.permutation(len(candidates)) if candidates else np.empty(0, dtype=np.int64)
+        nchunks = syncs_per_pass if synced else 1
+        bounds = [len(order) * i // nchunks for i in range(nchunks + 1)]
+        for c in range(nchunks):
+            if synced:
+                sync()
+            for k in order[bounds[c] : bounds[c + 1]]:
+                span = candidates[int(k)]
+                gain = state.flip_gain(span, counter)
+                if gain > 0:
+                    state.flip(span)
+                    changed += 1
+        flips += changed
+        if changed == 0 and sync is None:
+            break
+    return flips

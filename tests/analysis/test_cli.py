@@ -1,0 +1,86 @@
+"""CLI smoke tests (capsys-based, tiny workloads)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_circuits(capsys):
+    code, out = run(capsys, "circuits")
+    assert code == 0
+    assert "avq_large" in out
+    assert "paper suite" in out
+
+
+def test_route_serial(capsys):
+    code, out = run(
+        capsys, "route", "--circuit", "primary1", "--scale", "0.08",
+        "--algorithm", "serial",
+    )
+    assert code == 0
+    assert "tracks=" in out
+
+
+def test_route_parallel_with_json(capsys, tmp_path):
+    path = tmp_path / "out.json"
+    code, out = run(
+        capsys, "route", "--circuit", "primary1", "--scale", "0.08",
+        "--algorithm", "rowwise", "--nprocs", "2", "--json", str(path),
+    )
+    assert code == 0
+    assert "speedup" in out
+    assert path.exists()
+    from repro.analysis import load_results
+
+    assert len(load_results(path)) == 2
+
+
+def test_compare(capsys):
+    code, out = run(
+        capsys, "compare", "--circuit", "primary1", "--scale", "0.06",
+        "--procs", "1", "2",
+    )
+    assert code == 0
+    assert "Scaled tracks" in out
+    assert "hybrid" in out and "netwise" in out
+
+
+def test_artifact_table1(capsys):
+    code, out = run(capsys, "artifact", "table1", "--scale", "0.02")
+    assert code == 0
+    assert "Table 1" in out
+
+
+def test_trace(capsys):
+    code, out = run(
+        capsys, "trace", "--circuit", "primary1", "--scale", "0.06",
+        "--nprocs", "2", "--algorithm", "hybrid",
+    )
+    assert code == 0
+    assert "comm timeline" in out
+    assert "bytes sent" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["bogus"])
+
+
+def test_bad_artifact_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["artifact", "table9"])
+
+
+def test_stats(capsys):
+    code, out = run(
+        capsys, "stats", "--circuit", "primary1", "--scale", "0.06", "--top", "2",
+    )
+    assert code == 0
+    assert "net degree histogram" in out
+    assert "busiest channels" in out

@@ -1,0 +1,98 @@
+import pytest
+
+from repro.analysis.congestion import (
+    analyze,
+    analyze_channel,
+    density_surface,
+    hotspots,
+    render_heatmap,
+    report,
+)
+from repro.grid import ChannelSpan
+
+
+def span(net, ch, lo, hi):
+    return ChannelSpan(net=net, channel=ch, lo=lo, hi=hi)
+
+
+def test_empty_channel():
+    c = analyze_channel(3, [])
+    assert c.tracks == 0
+    assert c.num_spans == 0
+    assert c.peak_to_mean == 0.0
+
+
+def test_single_span():
+    c = analyze_channel(1, [span(0, 1, 0, 10)])
+    assert c.tracks == 1
+    assert c.wirelength == 10
+    assert c.hotspot == 0
+    assert c.mean_density == 1.0
+
+
+def test_hotspot_position():
+    spans = [span(0, 1, 0, 30), span(1, 1, 10, 20)]
+    c = analyze_channel(1, spans)
+    assert c.tracks == 2
+    assert c.hotspot == 10  # leftmost maximal column
+
+
+def test_mean_density_over_occupied_extent():
+    # density 2 over [0,10), 1 over [10,30): area 40, extent 30
+    spans = [span(0, 1, 0, 30), span(1, 1, 0, 10)]
+    c = analyze_channel(1, spans)
+    assert c.mean_density == pytest.approx(40 / 30)
+    assert c.peak_to_mean == pytest.approx(2 / (40 / 30))
+
+
+def test_zero_length_spans_ignored():
+    c = analyze_channel(1, [span(0, 1, 5, 5)])
+    assert c.tracks == 0
+
+
+def test_analyze_covers_all_channels():
+    spans = [span(0, 0, 0, 5), span(1, 2, 0, 5)]
+    stats = analyze(spans, num_channels=4)
+    assert [c.channel for c in stats] == [0, 1, 2, 3]
+    assert stats[1].tracks == 0
+
+
+def test_hotspots_sorted():
+    spans = [span(i, 1, 0, 10) for i in range(5)] + [span(9, 2, 0, 10)]
+    top = hotspots(spans, num_channels=3, top=2)
+    assert top[0].channel == 1 and top[0].tracks == 5
+    assert top[1].channel == 2
+
+
+class TestSurface:
+    def test_peak_preserved(self):
+        spans = [span(i, 1, 40, 60) for i in range(3)]
+        surface = density_surface(spans, num_channels=2, columns=10)
+        assert max(surface[1]) == 3
+        assert max(surface[0]) == 0
+
+    def test_spatial_position(self):
+        spans = [span(0, 0, 90, 100)]
+        surface = density_surface(spans, num_channels=1, columns=10)
+        assert surface[0][9] == 1
+        assert surface[0][0] == 0
+
+    def test_empty(self):
+        assert density_surface([], 2, columns=4) == [[0] * 4, [0] * 4]
+
+
+def test_render_heatmap():
+    spans = [span(i, 1, 0, 50) for i in range(4)] + [span(9, 0, 25, 30)]
+    art = render_heatmap(spans, num_channels=2, columns=20)
+    lines = art.splitlines()
+    assert "peak density 4" in lines[0]
+    assert lines[1].startswith("ch   1")  # top channel first
+    assert lines[2].startswith("ch   0")
+
+
+def test_report_roundtrip(small_circuit, router):
+    result, art = router.route_with_artifacts(small_circuit)
+    text = report(art.spans, small_circuit.num_rows + 1, top=3)
+    assert f"total tracks: {result.total_tracks}" in text
+    assert "busiest channels" in text
+    assert "heat map" in text

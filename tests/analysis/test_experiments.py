@@ -1,0 +1,108 @@
+"""Experiment harness tests, run on very small settings for speed."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    ExperimentSettings,
+    clear_cache,
+    run_alpha_ablation,
+    run_circuit_characteristics,
+    run_net_partition_ablation,
+    run_platform_table,
+    run_quality_table,
+    run_speedup_figure,
+    run_sync_frequency_ablation,
+)
+
+TINY = ExperimentSettings(
+    circuits=("primary1",), procs=(1, 2, 4), scale=0.1, seed=2
+)
+
+
+@pytest.fixture(autouse=True, scope="module")
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def test_settings_hashable():
+    assert hash(TINY) == hash(
+        ExperimentSettings(circuits=("primary1",), procs=(1, 2, 4), scale=0.1, seed=2)
+    )
+
+
+def test_characteristics_table():
+    t = run_circuit_characteristics(TINY)
+    assert t.columns == ["circuit", "rows", "pins", "cells", "nets"]
+    assert len(t.rows) == 1
+    assert t.rows[0][0] == "primary1"
+    assert all(v > 0 for v in t.rows[0][1:])
+
+
+@pytest.mark.parametrize("algo,number", [("rowwise", 2), ("netwise", 3), ("hybrid", 4)])
+def test_quality_tables(algo, number):
+    table, runs = run_quality_table(algo, TINY)
+    assert f"Table {number}" in table.title
+    # one row per circuit plus the average
+    assert len(table.rows) == 2
+    # 1-proc column is exactly 1.0 (parity with serial)
+    one_proc = table.column("1 proc")
+    assert one_proc[0] == pytest.approx(1.0)
+    assert runs["primary1"][2].result.nprocs == 2
+
+
+@pytest.mark.parametrize("algo,number", [("rowwise", 4), ("netwise", 5), ("hybrid", 6)])
+def test_speedup_figures(algo, number):
+    rendered, series = run_speedup_figure(algo, TINY)
+    assert f"Figure {number}" in rendered
+    assert set(series) == {"primary1"}
+    assert set(series["primary1"]) == {2, 4}
+    assert all(v is not None and v > 0 for v in series["primary1"].values())
+
+
+def test_quality_and_figure_share_runs():
+    """The memoized sweep must be reused between table and figure."""
+    clear_cache()
+    _, runs_a = run_quality_table("hybrid", TINY)
+    _, series = run_speedup_figure("hybrid", TINY)
+    assert series["primary1"][2] == runs_a["primary1"][2].speedup
+
+
+def test_platform_table():
+    table, runs = run_platform_table(
+        TINY, platforms=(("SparcCenter-1000", (1, 2)), ("Intel-Paragon", (1, 2)))
+    )
+    assert "Table 5" in table.title
+    platforms = {row[0] for row in table.rows}
+    assert platforms == {"SparcCenter-1000", "Intel-Paragon"}
+    metrics = {row[2] for row in table.rows}
+    assert {"tracks", "area", "time (s)", "scaled tracks", "speedup"} <= metrics
+
+
+def test_net_partition_ablation():
+    table, runs = run_net_partition_ablation(
+        TINY, circuit_name="primary1", nprocs=4
+    )
+    schemes = table.column("scheme")
+    assert schemes == ["center", "locus", "density", "pin_weight"]
+    imb = dict(zip(schemes, table.column("steiner imbalance")))
+    assert imb["pin_weight"] <= min(imb.values()) + 1e-9
+
+
+def test_alpha_ablation():
+    table, runs = run_alpha_ablation(
+        TINY, circuit_name="primary1", nprocs=4, alphas=(1.0, 2.0)
+    )
+    assert table.column("alpha") == [1.0, 2.0]
+    assert all(v is not None for v in table.column("speedup"))
+
+
+def test_sync_frequency_ablation():
+    table, runs = run_sync_frequency_ablation(
+        TINY, circuit_name="primary1", nprocs=4, frequencies=(1, 4)
+    )
+    assert table.column("syncs/pass") == [1, 4]
+    speedups = table.column("speedup")
+    # more synchronization must cost runtime (paper §7.2)
+    assert speedups[1] <= speedups[0] * 1.05

@@ -1,0 +1,61 @@
+import pytest
+
+from repro.analysis import Table, render_series, render_table
+
+
+def test_table_add_row_and_column():
+    t = Table(title="T", columns=["a", "b"])
+    t.add_row("x", 1)
+    t.add_row("y", 2)
+    assert t.column("b") == [1, 2]
+
+
+def test_add_row_wrong_arity():
+    t = Table(title="T", columns=["a", "b"])
+    with pytest.raises(ValueError):
+        t.add_row("only-one")
+
+
+def test_render_contains_everything():
+    t = Table(title="My Table", columns=["circuit", "tracks"])
+    t.add_row("primary2", 1268)
+    t.add_row("biomed", 3456)
+    out = render_table(t)
+    assert "My Table" in out
+    assert "primary2" in out
+    assert "1,268" in out  # thousands separator
+    assert "circuit" in out and "tracks" in out
+
+
+def test_render_floats_and_none():
+    t = Table(title="T", columns=["x", "v"])
+    t.add_row("a", 1.2345)
+    t.add_row("b", None)
+    out = render_table(t)
+    assert "1.234" in out or "1.235" in out
+    assert "-" in out
+
+
+def test_render_alignment_stable():
+    t = Table(title="T", columns=["n", "v"])
+    t.add_row("short", 1)
+    t.add_row("a-much-longer-name", 100000)
+    lines = render_table(t).splitlines()
+    widths = {len(l) for l in lines[2:]}
+    assert len(widths) == 1  # all data/header rows same width
+
+
+def test_render_series_bars():
+    out = render_series(
+        "Figure X", {"primary2": {2: 1.8, 4: 3.1, 8: 5.0}, "biomed": {8: None}}
+    )
+    assert "Figure X" in out
+    assert "primary2" in out
+    assert "#" in out
+    assert "n/a" in out
+
+
+def test_render_series_bar_length_monotone():
+    out = render_series("F", {"c": {2: 1.0, 8: 7.0}})
+    lines = [l for l in out.splitlines() if "|" in l]
+    assert lines[0].count("#") < lines[1].count("#")

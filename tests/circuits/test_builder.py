@@ -1,0 +1,96 @@
+import pytest
+
+from repro.circuits import CircuitBuilder
+
+
+def test_basic_build(tiny_circuit):
+    s = tiny_circuit.stats()
+    assert s.num_rows == 3
+    assert s.num_cells == 6
+    assert s.num_nets == 3
+
+
+def test_cells_pack_left_to_right():
+    b = CircuitBuilder(rows=1)
+    r1 = b.cell(row=0, width=3)
+    r2 = b.cell(row=0, width=5)
+    b.net("n", [(r1, 0), (r2, 0)])
+    c = b.build()
+    assert c.cells[0].x == 0
+    assert c.cells[1].x == 3
+
+
+def test_spacing():
+    b = CircuitBuilder(rows=1, spacing=2)
+    r1 = b.cell(row=0, width=3)
+    r2 = b.cell(row=0, width=3)
+    b.net("n", [(r1, 0), (r2, 0)])
+    c = b.build()
+    assert c.cells[1].x == 5
+
+
+def test_explicit_x():
+    b = CircuitBuilder(rows=1)
+    r1 = b.cell(row=0, width=3, x=10)
+    r2 = b.cell(row=0, width=3)
+    b.net("n", [(r1, 0), (r2, 0)])
+    c = b.build()
+    assert c.cells[0].x == 10
+    assert c.cells[1].x == 13
+
+
+def test_overlapping_x_rejected():
+    b = CircuitBuilder(rows=1)
+    b.cell(row=0, width=5)
+    with pytest.raises(ValueError):
+        b.cell(row=0, width=2, x=3)
+
+
+def test_bad_row_rejected():
+    b = CircuitBuilder(rows=2)
+    with pytest.raises(IndexError):
+        b.cell(row=2)
+
+
+def test_net_needs_two_terminals():
+    b = CircuitBuilder(rows=1)
+    r1 = b.cell(row=0)
+    with pytest.raises(ValueError):
+        b.net("n", [(r1, 0)])
+
+
+def test_sides_and_equiv():
+    b = CircuitBuilder(rows=1)
+    r1 = b.cell(row=0, width=4)
+    r2 = b.cell(row=0, width=4)
+    b.net("n", [(r1, 0), (r2, 1)], sides=[1, -1], equiv=[True, False])
+    c = b.build()
+    assert c.pins[0].side == 1 and c.pins[0].has_equiv
+    assert c.pins[1].side == -1 and not c.pins[1].has_equiv
+
+
+def test_bad_side_rejected():
+    b = CircuitBuilder(rows=1)
+    r1 = b.cell(row=0)
+    r2 = b.cell(row=0)
+    with pytest.raises(ValueError):
+        b.net("n", [(r1, 0), (r2, 0)], sides=[0, 1])
+
+
+def test_mismatched_sides_length():
+    b = CircuitBuilder(rows=1)
+    r1 = b.cell(row=0)
+    r2 = b.cell(row=0)
+    with pytest.raises(ValueError):
+        b.net("n", [(r1, 0), (r2, 0)], sides=[1])
+
+
+def test_zero_rows_rejected():
+    with pytest.raises(ValueError):
+        CircuitBuilder(rows=0)
+
+
+def test_zero_width_rejected():
+    b = CircuitBuilder(rows=1)
+    with pytest.raises(ValueError):
+        b.cell(row=0, width=0)

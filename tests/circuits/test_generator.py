@@ -1,0 +1,109 @@
+import numpy as np
+import pytest
+
+from repro.circuits.generator import SyntheticSpec, generate_circuit
+from repro.circuits.validate import validate_circuit
+
+
+def spec(**kw):
+    base = dict(name="g", rows=6, cells=90, nets=100, mean_degree=3.0)
+    base.update(kw)
+    return SyntheticSpec(**base)
+
+
+def test_generated_is_valid():
+    c = generate_circuit(spec(), seed=1)
+    validate_circuit(c)
+
+
+def test_counts_match_spec():
+    s = spec()
+    c = generate_circuit(s, seed=2)
+    st = c.stats()
+    assert st.num_rows == s.rows
+    assert st.num_cells == s.cells
+    assert st.num_nets == s.nets
+
+
+def test_deterministic_per_seed():
+    a = generate_circuit(spec(), seed=5)
+    b = generate_circuit(spec(), seed=5)
+    assert [(p.x, p.row, p.net) for p in a.pins] == [(p.x, p.row, p.net) for p in b.pins]
+
+
+def test_different_seeds_differ():
+    a = generate_circuit(spec(), seed=1)
+    b = generate_circuit(spec(), seed=2)
+    assert [(p.x, p.row) for p in a.pins] != [(p.x, p.row) for p in b.pins]
+
+
+def test_every_net_has_two_plus_pins():
+    c = generate_circuit(spec(), seed=3)
+    assert all(n.degree >= 2 for n in c.nets)
+
+
+def test_net_pins_on_distinct_cells():
+    c = generate_circuit(spec(), seed=4)
+    for n in c.nets:
+        cells = [c.pins[p].cell for p in n.pins]
+        assert len(set(cells)) == len(cells)
+
+
+def test_mean_degree_roughly_matches():
+    s = spec(nets=600, cells=400, rows=8, mean_degree=3.5)
+    c = generate_circuit(s, seed=6)
+    mean = sum(n.degree for n in c.nets) / len(c.nets)
+    assert 2.5 < mean < 4.5
+
+
+def test_clock_nets_present_and_huge():
+    s = spec(cells=300, clock_net_degrees=(120, 60))
+    c = generate_circuit(s, seed=7)
+    degrees = sorted(n.degree for n in c.nets)
+    assert degrees[-1] == 120
+    assert degrees[-2] == 60
+    names = {n.name for n in c.nets}
+    assert "clk0" in names and "clk1" in names
+
+
+def test_row_locality_keeps_nets_tight():
+    s = spec(rows=20, cells=400, nets=300, global_net_fraction=0.0, row_locality=0.5)
+    c = generate_circuit(s, seed=8)
+    spans = [c.net_bbox(n.id).height for n in c.nets]
+    assert float(np.mean(spans)) < 3.0
+
+
+def test_scaled_keeps_rows_shrinks_counts():
+    s = spec(cells=900, nets=1000, clock_net_degrees=(200,))
+    half = s.scaled(0.5)
+    assert half.rows == s.rows
+    assert half.cells == 450
+    assert half.nets == 500
+    assert half.clock_net_degrees == (100,)
+
+
+def test_scaled_one_is_identity():
+    s = spec()
+    assert s.scaled(1.0) is s
+
+
+def test_scaled_bad_factor():
+    with pytest.raises(ValueError):
+        spec().scaled(0.0)
+    with pytest.raises(ValueError):
+        spec().scaled(1.5)
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        SyntheticSpec(name="x", rows=1, cells=10, nets=10)
+    with pytest.raises(ValueError):
+        SyntheticSpec(name="x", rows=4, cells=2, nets=10)
+    with pytest.raises(ValueError):
+        SyntheticSpec(name="x", rows=4, cells=10, nets=10, mean_degree=1.5)
+
+
+def test_more_clock_nets_than_nets_rejected():
+    s = spec(nets=1, clock_net_degrees=(10, 10))
+    with pytest.raises(ValueError):
+        generate_circuit(s, seed=0)

@@ -1,0 +1,64 @@
+import pytest
+
+from repro.circuits import mcnc
+from repro.circuits.validate import validate_circuit
+
+
+def test_names_cover_paper_suite():
+    names = mcnc.names()
+    for n in mcnc.PAPER_SUITE:
+        assert n in names
+    assert len(mcnc.PAPER_SUITE) == 6
+
+
+def test_aliases():
+    assert mcnc.spec("avq.small").name == "avq_small"
+    assert mcnc.spec("avq.large").name == "avq_large"
+    assert mcnc.spec("primary").name == "primary2"
+
+
+def test_unknown_name_raises():
+    with pytest.raises(KeyError, match="unknown benchmark"):
+        mcnc.spec("nonexistent")
+
+
+def test_generate_scaled_is_valid():
+    c = mcnc.generate("primary1", scale=0.2, seed=1)
+    validate_circuit(c)
+    assert c.name == "primary1@0.2"
+
+
+def test_generate_full_name_unscaled():
+    c = mcnc.generate("primary1", seed=1)
+    assert c.name == "primary1"
+
+
+def test_avq_large_has_giant_clock_net():
+    spec = mcnc.spec("avq_large")
+    assert max(spec.clock_net_degrees) > 2000
+    c = mcnc.generate("avq_large", scale=0.05, seed=1)
+    biggest = max(n.degree for n in c.nets)
+    # 99% of nets are small, the clock tail survives scaling
+    small = sum(1 for n in c.nets if n.degree <= 8)
+    assert small / len(c.nets) > 0.95
+    assert biggest >= 50
+
+
+def test_suite_sizes_monotone():
+    """The suite's published ordering by size must be reflected."""
+    sizes = [mcnc.spec(n).cells for n in mcnc.PAPER_SUITE]
+    assert sizes[0] < sizes[1] < sizes[2]  # primary2 < biomed < industry2
+    assert sizes[-1] == max(sizes)  # avq_large biggest
+
+
+def test_generate_suite():
+    suite = mcnc.generate_suite(scale=0.03, seed=2)
+    assert len(suite) == 6
+    for c in suite:
+        validate_circuit(c)
+
+
+def test_same_seed_same_circuit():
+    a = mcnc.generate("biomed", scale=0.05, seed=9)
+    b = mcnc.generate("biomed", scale=0.05, seed=9)
+    assert [(p.x, p.row) for p in a.pins] == [(p.x, p.row) for p in b.pins]

@@ -1,0 +1,159 @@
+import pytest
+
+from repro.circuits import Circuit, PinKind, FEED_WIDTH
+from repro.circuits.validate import validate_circuit
+
+
+def build_two_row():
+    c = Circuit("t")
+    c.add_row()
+    c.add_row()
+    a = c.add_cell(0, 0, 4)
+    b = c.add_cell(0, 4, 4)
+    d = c.add_cell(1, 0, 6)
+    n = c.add_net("n0")
+    c.add_pin(n.id, a.id, offset=1)
+    c.add_pin(n.id, d.id, offset=2)
+    return c, a, b, d, n
+
+
+def test_counts_and_stats():
+    c, *_ = build_two_row()
+    s = c.stats()
+    assert s.num_rows == 2
+    assert s.num_cells == 3
+    assert s.num_pins == 2
+    assert s.num_nets == 1
+    assert c.num_channels == 3
+
+
+def test_pin_absolute_position():
+    c, a, b, d, n = build_two_row()
+    pin = c.pins[0]
+    assert pin.x == a.x + 1
+    assert pin.row == 0
+
+
+def test_pin_offset_out_of_cell_raises():
+    c, a, *_ = build_two_row()
+    n = c.add_net()
+    with pytest.raises(ValueError):
+        c.add_pin(n.id, a.id, offset=4)  # width is 4, offsets 0..3
+
+
+def test_fake_pin_requires_position():
+    c, *_ = build_two_row()
+    n = c.nets[0]
+    with pytest.raises(ValueError):
+        c.add_pin(n.id, -1, kind=PinKind.FAKE)
+
+
+def test_fake_pin_not_attached():
+    c, *_ = build_two_row()
+    pin = c.add_pin(0, -1, kind=PinKind.FAKE, x=3, row=1)
+    assert pin.cell == -1
+    assert pin.id in c.nets[0].pins
+
+
+def test_pin_channel_from_side():
+    c, a, *_ = build_two_row()
+    n = c.add_net()
+    top = c.add_pin(n.id, a.id, offset=0, side=1)
+    bot = c.add_pin(n.id, a.id, offset=1, side=-1)
+    assert top.channel() == 1  # above row 0
+    assert bot.channel() == 0  # below row 0
+
+
+def test_row_width():
+    c, *_ = build_two_row()
+    assert c.row_width(0) == 8
+    assert c.row_width(1) == 6
+    assert c.max_row_width() == 8
+
+
+def test_net_bbox():
+    c, *_ = build_two_row()
+    box = c.net_bbox(0)
+    assert box.rmin == 0 and box.rmax == 1
+
+
+def test_insert_feedthroughs_shifts_cells_and_pins():
+    c, a, b, d, n = build_two_row()
+    pin_before = c.pins[0].x  # on cell a at x=1
+    created = c.insert_feedthroughs(0, [4])
+    assert len(created) == 1
+    # cell b started at 4 -> shifted right by FEED_WIDTH
+    assert c.cells[b.id].x == 4 + FEED_WIDTH
+    # cell a (x=0 < 4) unchanged, so its pin too
+    assert c.pins[0].x == pin_before
+    # feed sits at the requested spot
+    assert created[0].x == 4
+    assert created[0].is_feed
+    validate_circuit(c, allow_unbound_feeds=True)
+
+
+def test_insert_feedthroughs_multiple_same_position():
+    c, a, b, d, n = build_two_row()
+    created = c.insert_feedthroughs(0, [4, 4])
+    assert [f.x for f in created] == [4, 4 + FEED_WIDTH]
+    assert c.cells[b.id].x == 4 + 2 * FEED_WIDTH
+    validate_circuit(c, allow_unbound_feeds=True)
+
+
+def test_insert_feedthroughs_shifts_fake_pins():
+    c, a, b, d, n = build_two_row()
+    fake = c.add_pin(n.id, -1, kind=PinKind.FAKE, x=6, row=0)
+    c.insert_feedthroughs(0, [4])
+    assert c.pins[fake.id].x == 6 + FEED_WIDTH
+    # fake pin in the other row is untouched
+    fake2 = c.add_pin(n.id, -1, kind=PinKind.FAKE, x=6, row=1)
+    c.insert_feedthroughs(0, [0])
+    assert c.pins[fake2.id].x == 6
+
+
+def test_insert_feedthroughs_empty_is_noop():
+    c, *_ = build_two_row()
+    assert c.insert_feedthroughs(0, []) == []
+
+
+def test_bind_feed_pin():
+    c, *_ = build_two_row()
+    feed = c.insert_feedthroughs(1, [6])[0]
+    pin_id = feed.pins[0]
+    c.bind_feed_pin(pin_id, 0)
+    assert c.pins[pin_id].net == 0
+    assert pin_id in c.nets[0].pins
+    with pytest.raises(ValueError):
+        c.bind_feed_pin(pin_id, 0)  # double bind
+
+
+def test_bind_non_feed_raises():
+    c, *_ = build_two_row()
+    with pytest.raises(ValueError):
+        c.bind_feed_pin(0, 0)
+
+
+def test_clone_is_deep():
+    c, a, b, d, n = build_two_row()
+    other = c.clone()
+    other.insert_feedthroughs(0, [4])
+    assert c.cells[b.id].x == 4  # original untouched
+    assert len(other.cells) == len(c.cells) + 1
+    other.pins[0].x = 99
+    assert c.pins[0].x != 99
+
+
+def test_clone_preserves_fake_registry():
+    c, *_ = build_two_row()
+    c.add_pin(0, -1, kind=PinKind.FAKE, x=6, row=0)
+    other = c.clone()
+    other.insert_feedthroughs(0, [0])
+    fake = [p for p in other.pins if p.kind is PinKind.FAKE][0]
+    assert fake.x == 6 + FEED_WIDTH
+
+
+def test_add_cell_bad_row():
+    c = Circuit()
+    c.add_row()
+    with pytest.raises(IndexError):
+        c.add_cell(3, 0, 2)

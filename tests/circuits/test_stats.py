@@ -1,0 +1,76 @@
+import pytest
+
+from repro.circuits import (
+    CircuitBuilder,
+    degree_histogram_text,
+    mcnc,
+    net_statistics,
+    row_statistics,
+)
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return mcnc.generate("primary1", scale=0.2, seed=3)
+
+
+def test_net_statistics_basic(circuit):
+    s = net_statistics(circuit)
+    assert s.num_nets == len(circuit.nets)
+    assert 2.0 <= s.mean_degree <= 5.0
+    assert s.max_degree >= 2
+    assert 0 <= s.small_net_fraction <= 1
+    assert 0 <= s.same_row_fraction <= 1
+    assert sum(s.degree_histogram.values()) == s.num_nets
+    assert "nets=" in s.summary()
+
+
+def test_equiv_fraction_matches_spec(circuit):
+    s = net_statistics(circuit)
+    # generator default equiv_prob is 0.9
+    assert 0.8 < s.equiv_pin_fraction < 1.0
+
+
+def test_avq_large_character():
+    """The paper's avq.large description: huge clock nets, 99% small."""
+    c = mcnc.generate("avq_large", scale=0.05, seed=1)
+    s = net_statistics(c)
+    # nearly all nets small (paper: "99% of the nets have less than ~ pins";
+    # the generator's geometric tail puts ~88% at <= 4 pins)
+    assert s.small_net_fraction > 0.85
+    assert sum(1 for d, n in s.degree_histogram.items() if d <= 10 for _ in range(n)) / s.num_nets > 0.97
+    assert s.max_degree > 50
+
+
+def test_row_statistics(circuit):
+    s = row_statistics(circuit)
+    assert s.num_rows == circuit.num_rows
+    assert s.mean_cells_per_row > 0
+    assert s.width_imbalance >= 1.0
+    assert s.pin_imbalance >= 1.0
+    assert "rows=" in s.summary()
+
+
+def test_histogram_text(circuit):
+    text = degree_histogram_text(circuit, max_degree=6)
+    assert "net degree histogram" in text
+    assert "2 pins" in text
+
+
+def test_histogram_tail_folded():
+    b = CircuitBuilder(rows=2)
+    cells = [b.cell(row=r % 2, width=3) for r in range(20)]
+    b.net("big", [(c, 0) for c in cells])  # degree 20
+    b.net("small", [(cells[0], 1), (cells[1], 1)])
+    c = b.build()
+    text = degree_histogram_text(c, max_degree=6)
+    assert ">6" in text
+
+
+def test_empty_row_statistics():
+    b = CircuitBuilder(rows=3)
+    a = b.cell(row=0)
+    c2 = b.cell(row=0)
+    b.net("n", [(a, 0), (c2, 0)])
+    s = row_statistics(b.build())
+    assert s.num_rows == 3

@@ -1,0 +1,100 @@
+import pytest
+
+from repro.circuits import Circuit, CircuitError, PinKind, validate_circuit
+
+
+def valid_circuit():
+    c = Circuit("v")
+    c.add_row()
+    a = c.add_cell(0, 0, 4)
+    b = c.add_cell(0, 4, 4)
+    n = c.add_net()
+    c.add_pin(n.id, a.id, offset=0)
+    c.add_pin(n.id, b.id, offset=0)
+    return c
+
+
+def test_valid_passes():
+    validate_circuit(valid_circuit())
+
+
+def test_overlapping_cells_detected():
+    c = valid_circuit()
+    c.cells[1].x = 2  # overlaps cell 0's span [0,4)
+    c.pins[1].x = 2
+    with pytest.raises(CircuitError, match="overlaps"):
+        validate_circuit(c)
+
+
+def test_unsorted_row_detected():
+    c = valid_circuit()
+    c.rows[0].cells.reverse()
+    with pytest.raises(CircuitError):
+        validate_circuit(c)
+
+
+def test_pin_outside_cell_detected():
+    c = valid_circuit()
+    c.pins[0].x = 100
+    with pytest.raises(CircuitError, match="outside cell span"):
+        validate_circuit(c)
+
+
+def test_pin_row_mismatch_detected():
+    c = valid_circuit()
+    c.add_row()
+    c.pins[0].row = 1
+    with pytest.raises(CircuitError):
+        validate_circuit(c)
+
+
+def test_single_pin_net_detected():
+    c = valid_circuit()
+    n = c.add_net()
+    c.add_pin(n.id, 0, offset=1)
+    with pytest.raises(CircuitError, match="pin"):
+        validate_circuit(c)
+
+
+def test_duplicate_pin_in_net_detected():
+    c = valid_circuit()
+    c.nets[0].pins.append(c.nets[0].pins[0])
+    with pytest.raises(CircuitError, match="duplicate"):
+        validate_circuit(c)
+
+
+def test_net_membership_mismatch_detected():
+    c = valid_circuit()
+    c.pins[0].net = 5
+    with pytest.raises(CircuitError):
+        validate_circuit(c)
+
+
+def test_unbound_feed_flagged_unless_allowed():
+    c = valid_circuit()
+    c.insert_feedthroughs(0, [4])
+    with pytest.raises(CircuitError, match="feedthrough"):
+        validate_circuit(c)
+    validate_circuit(c, allow_unbound_feeds=True)
+
+
+def test_fake_pin_attached_to_cell_detected():
+    c = valid_circuit()
+    pin = c.add_pin(0, -1, kind=PinKind.FAKE, x=1, row=0)
+    c.pins[pin.id].cell = 0
+    with pytest.raises(CircuitError, match="fake"):
+        validate_circuit(c)
+
+
+def test_invalid_side_detected():
+    c = valid_circuit()
+    c.pins[0].side = 2
+    with pytest.raises(CircuitError, match="side"):
+        validate_circuit(c)
+
+
+def test_cell_missing_from_rows_detected():
+    c = valid_circuit()
+    c.rows[0].cells.pop()
+    with pytest.raises(CircuitError, match="not present"):
+        validate_circuit(c)

@@ -1,0 +1,63 @@
+import pytest
+
+from repro.geometry import BBox, Point
+
+
+def test_from_points():
+    box = BBox.from_points([Point(1, 5), Point(4, 2), Point(3, 3)])
+    assert (box.xmin, box.xmax, box.rmin, box.rmax) == (1, 4, 2, 5)
+
+
+def test_from_points_single():
+    box = BBox.from_points([Point(7, 7)])
+    assert box.width == 0 and box.height == 0
+
+
+def test_from_points_empty_raises():
+    with pytest.raises(ValueError):
+        BBox.from_points([])
+
+
+def test_invalid_bounds_raise():
+    with pytest.raises(ValueError):
+        BBox(5, 4, 0, 0)
+    with pytest.raises(ValueError):
+        BBox(0, 0, 5, 4)
+
+
+def test_half_perimeter():
+    assert BBox(0, 3, 0, 4).half_perimeter == 7
+
+
+def test_center():
+    assert BBox(0, 4, 0, 2).center() == (2.0, 1.0)
+
+
+def test_lower_left():
+    assert BBox(2, 4, 1, 3).lower_left() == Point(2, 1)
+
+
+def test_contains():
+    box = BBox(0, 10, 0, 5)
+    assert box.contains(Point(0, 0))
+    assert box.contains(Point(10, 5))
+    assert not box.contains(Point(11, 3))
+    assert not box.contains(Point(5, 6))
+
+
+def test_intersects():
+    a = BBox(0, 5, 0, 5)
+    assert a.intersects(BBox(5, 9, 5, 9))  # touching counts (inclusive)
+    assert a.intersects(BBox(2, 3, 2, 3))
+    assert not a.intersects(BBox(6, 9, 0, 5))
+    assert not a.intersects(BBox(0, 5, 6, 9))
+
+
+def test_union():
+    u = BBox(0, 2, 0, 2).union(BBox(5, 7, -1, 1))
+    assert (u.xmin, u.xmax, u.rmin, u.rmax) == (0, 7, -1, 2)
+
+
+def test_expanded():
+    e = BBox(2, 4, 2, 4).expanded(2)
+    assert (e.xmin, e.xmax, e.rmin, e.rmax) == (0, 6, 0, 6)

@@ -1,0 +1,113 @@
+import pytest
+
+from repro.geometry import Interval, IntervalSet, max_overlap
+from repro.geometry.interval import total_span_length
+
+
+def test_interval_basics():
+    iv = Interval(2, 7)
+    assert iv.length == 5
+    assert not iv.empty
+    assert iv.contains(2)
+    assert not iv.contains(7)  # half-open
+
+
+def test_interval_empty():
+    iv = Interval(3, 3)
+    assert iv.empty
+    assert iv.length == 0
+
+
+def test_interval_inverted_raises():
+    with pytest.raises(ValueError):
+        Interval(5, 4)
+
+
+def test_spanning_orders_endpoints():
+    assert Interval.spanning(9, 2) == Interval(2, 9)
+
+
+def test_overlaps():
+    assert Interval(0, 5).overlaps(Interval(4, 9))
+    assert not Interval(0, 5).overlaps(Interval(5, 9))  # half-open: touching is free
+    assert not Interval(0, 5).overlaps(Interval(7, 9))
+
+
+def test_max_overlap_empty():
+    assert max_overlap([]) == 0
+
+
+def test_max_overlap_disjoint():
+    assert max_overlap([Interval(0, 2), Interval(3, 5), Interval(6, 8)]) == 1
+
+
+def test_max_overlap_touching_is_one():
+    # [0,5) and [5,9) share no column
+    assert max_overlap([Interval(0, 5), Interval(5, 9)]) == 1
+
+
+def test_max_overlap_stack():
+    ivs = [Interval(0, 10), Interval(2, 8), Interval(4, 6)]
+    assert max_overlap(ivs) == 3
+
+
+def test_max_overlap_ignores_empty():
+    assert max_overlap([Interval(3, 3), Interval(3, 3)]) == 0
+
+
+def test_max_overlap_duplicates_count():
+    assert max_overlap([Interval(1, 4)] * 5) == 5
+
+
+def test_intervalset_add_remove_density():
+    s = IntervalSet()
+    assert s.density() == 0
+    s.add(Interval(0, 10))
+    s.add(Interval(5, 15))
+    assert s.density() == 2
+    s.remove(Interval(0, 10))
+    assert s.density() == 1
+    s.remove(Interval(5, 15))
+    assert s.density() == 0
+
+
+def test_intervalset_len_counts_multiset():
+    s = IntervalSet([Interval(0, 1), Interval(0, 1), Interval(2, 2)])
+    assert len(s) == 3
+
+
+def test_intervalset_remove_from_empty_raises():
+    with pytest.raises(KeyError):
+        IntervalSet().remove(Interval(0, 1))
+
+
+def test_intervalset_density_at():
+    s = IntervalSet([Interval(0, 10), Interval(5, 15)])
+    assert s.density_at(0) == 1
+    assert s.density_at(5) == 2
+    assert s.density_at(9) == 2
+    assert s.density_at(10) == 1
+    assert s.density_at(15) == 0
+
+
+def test_intervalset_profile():
+    s = IntervalSet([Interval(0, 4), Interval(2, 6)])
+    assert s.profile() == [(0, 1), (2, 2), (4, 1), (6, 0)]
+
+
+def test_intervalset_density_cache_invalidation():
+    s = IntervalSet([Interval(0, 4)])
+    assert s.density() == 1
+    s.add(Interval(1, 3))
+    assert s.density() == 2  # cache must be recomputed after mutation
+    s.remove(Interval(1, 3))
+    assert s.density() == 1
+
+
+def test_intervalset_matches_max_overlap():
+    ivs = [Interval(i, i + 5) for i in range(0, 30, 2)]
+    assert IntervalSet(ivs).density() == max_overlap(ivs)
+
+
+def test_total_span_length():
+    assert total_span_length([Interval(0, 4), Interval(10, 11)]) == 5

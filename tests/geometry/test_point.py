@@ -1,0 +1,35 @@
+from repro.geometry import Point, manhattan
+
+
+def test_point_fields():
+    p = Point(3, 5)
+    assert p.x == 3
+    assert p.row == 5
+
+
+def test_point_is_tuple():
+    x, row = Point(1, 2)
+    assert (x, row) == (1, 2)
+
+
+def test_translated():
+    assert Point(3, 5).translated(dx=2) == Point(5, 5)
+    assert Point(3, 5).translated(drow=-1) == Point(3, 4)
+    assert Point(3, 5).translated(2, 3) == Point(5, 8)
+
+
+def test_manhattan_basic():
+    assert manhattan(Point(0, 0), Point(3, 4)) == 7
+    assert manhattan(Point(3, 4), Point(0, 0)) == 7
+
+
+def test_manhattan_zero():
+    assert manhattan(Point(9, 9), Point(9, 9)) == 0
+
+
+def test_manhattan_row_pitch():
+    assert manhattan(Point(0, 0), Point(3, 4), row_pitch=10) == 43
+
+
+def test_manhattan_negative_coordinates():
+    assert manhattan(Point(-5, 0), Point(5, 0)) == 10

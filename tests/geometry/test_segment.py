@@ -1,0 +1,52 @@
+from repro.geometry import Point, Segment
+
+
+def test_make_canonical_order():
+    s = Segment.make(Point(5, 3), Point(1, 1))
+    assert s.a == Point(1, 1)
+    assert s.b == Point(5, 3)
+
+
+def test_make_same_row_orders_by_x():
+    s = Segment.make(Point(9, 2), Point(2, 2))
+    assert s.a == Point(2, 2)
+
+
+def test_horizontal_vertical_flat():
+    h = Segment.make(Point(0, 1), Point(5, 1))
+    v = Segment.make(Point(3, 0), Point(3, 4))
+    d = Segment.make(Point(0, 0), Point(5, 5))
+    assert h.is_horizontal and not h.is_vertical and h.is_flat
+    assert v.is_vertical and not v.is_horizontal and v.is_flat
+    assert not d.is_flat
+
+
+def test_degenerate_point_is_both():
+    p = Segment.make(Point(2, 2), Point(2, 2))
+    assert p.is_horizontal and p.is_vertical
+
+
+def test_spans():
+    s = Segment.make(Point(7, 1), Point(2, 5))
+    assert s.row_span == (1, 5)
+    assert s.col_span == (2, 7)
+
+
+def test_length():
+    s = Segment.make(Point(0, 0), Point(3, 2))
+    assert s.length() == 5
+    assert s.length(row_pitch=10) == 23
+
+
+def test_crosses_row_boundary():
+    s = Segment.make(Point(0, 2), Point(0, 6))
+    # boundary b sits between rows b-1 and b
+    assert not s.crosses_row_boundary(2)  # starts at row 2
+    assert s.crosses_row_boundary(3)
+    assert s.crosses_row_boundary(6)
+    assert not s.crosses_row_boundary(7)
+
+
+def test_horizontal_never_crosses():
+    s = Segment.make(Point(0, 4), Point(9, 4))
+    assert not any(s.crosses_row_boundary(b) for b in range(0, 10))

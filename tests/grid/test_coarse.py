@@ -1,0 +1,186 @@
+import numpy as np
+import pytest
+
+from repro.geometry import Point, Segment
+from repro.grid import CoarseGrid, CostWeights, Orientation, RoutedSegment
+
+
+def grid(ncols=10, nrows=6, col_width=8, row_lo=0):
+    return CoarseGrid(ncols=ncols, nrows=nrows, col_width=col_width, row_lo=row_lo)
+
+
+def test_gcol_mapping_and_clamping():
+    g = grid()
+    assert g.gcol(0) == 0
+    assert g.gcol(7) == 0
+    assert g.gcol(8) == 1
+    assert g.gcol(10_000) == 9  # clamped
+    assert g.gcol(-3) == 0
+
+
+def test_gcol_center():
+    g = grid()
+    assert g.gcol_center(0) == 4
+    assert g.gcol_center(3) == 28
+
+
+def test_bad_dimensions():
+    with pytest.raises(ValueError):
+        CoarseGrid(0, 5, 8)
+    with pytest.raises(ValueError):
+        CoarseGrid(5, 5, 0)
+
+
+class TestRouteFor:
+    def test_vertical_segment(self):
+        g = grid()
+        seg = Segment.make(Point(16, 1), Point(16, 4))
+        r = g.route_for(7, seg, Orientation.VERT_AT_LOW)
+        assert r.vert == (2, 1, 4)
+        assert r.horiz is None
+
+    def test_horizontal_segment_channel_above(self):
+        g = grid()
+        seg = Segment.make(Point(0, 2), Point(20, 2))
+        r = g.route_for(7, seg, Orientation.VERT_AT_HIGH)  # orientation ignored
+        assert r.vert is None
+        assert r.horiz == (3, 0, 2)
+
+    def test_diagonal_vert_at_low(self):
+        g = grid()
+        seg = Segment.make(Point(0, 1), Point(24, 4))
+        r = g.route_for(7, seg, Orientation.VERT_AT_LOW)
+        assert r.vert == (0, 1, 4)  # vertical at the low endpoint's column
+        assert r.horiz == (4, 0, 3)  # bend in the channel below the top row
+
+    def test_diagonal_vert_at_high(self):
+        g = grid()
+        seg = Segment.make(Point(0, 1), Point(24, 4))
+        r = g.route_for(7, seg, Orientation.VERT_AT_HIGH)
+        assert r.vert == (3, 1, 4)
+        assert r.horiz == (2, 0, 3)  # channel above the low row
+
+    def test_degenerate_point(self):
+        g = grid()
+        seg = Segment(Point(5, 2), Point(5, 2))
+        r = g.route_for(7, seg, Orientation.VERT_AT_LOW)
+        assert r.vert is None and r.horiz is None
+
+
+class TestDemand:
+    def test_add_route_interior_rows_only(self):
+        g = grid()
+        r = RoutedSegment(net=1, vert=(2, 0, 4))
+        g.add_route(r)
+        assert g.feed_demand[0, 2] == 0  # endpoint row
+        assert all(g.feed_demand[row, 2] == 1 for row in (1, 2, 3))
+        assert g.feed_demand[4, 2] == 0
+
+
+    def test_same_net_shares_feedthroughs(self):
+        g = grid()
+        a = RoutedSegment(net=1, vert=(2, 0, 3))
+        b = RoutedSegment(net=1, vert=(2, 1, 4))
+        g.add_route(a)
+        g.add_route(b)
+        # rows 2 covered by both, demand counts the net once
+        assert g.feed_demand[2, 2] == 1
+        g.remove_route(a)
+        assert g.feed_demand[2, 2] == 1  # b still crosses row 2
+        g.remove_route(b)
+        assert g.total_feed_demand() == 0
+
+    def test_distinct_nets_both_counted(self):
+        g = grid()
+        g.add_route(RoutedSegment(net=1, vert=(2, 0, 3)))
+        g.add_route(RoutedSegment(net=2, vert=(2, 0, 3)))
+        assert g.feed_demand[1, 2] == 2
+
+    def test_remove_unadded_raises(self):
+        g = grid()
+        with pytest.raises(KeyError):
+            g.remove_route(RoutedSegment(net=1, vert=(2, 0, 3)))
+
+    def test_horizontal_usage_shared(self):
+        g = grid()
+        a = RoutedSegment(net=1, horiz=(2, 0, 4))
+        b = RoutedSegment(net=1, horiz=(2, 2, 6))
+        g.add_route(a)
+        g.add_route(b)
+        assert g.husage[2, 3] == 1  # overlap shared within the net
+        assert g.husage[2, 5] == 1
+        assert g.husage[2, 1] == 1
+
+
+class TestWindow:
+    def test_row_window_clips(self):
+        g = grid(nrows=3, row_lo=4)  # rows 4..6, channels 4..7
+        r = RoutedSegment(net=1, vert=(2, 0, 10))
+        g.add_route(r)
+        # only rows 4..6 recorded
+        assert g.feed_demand.sum() == 3
+
+    def test_out_of_window_channel_ignored(self):
+        g = grid(nrows=3, row_lo=4)
+        g.add_route(RoutedSegment(net=1, horiz=(2, 0, 4)))  # channel 2 < window
+        assert g.husage.sum() == 0
+
+    def test_row_index_errors(self):
+        g = grid(nrows=3, row_lo=4)
+        with pytest.raises(IndexError):
+            g.demand_for_row(3)
+
+
+class TestCost:
+    def test_new_route_costs_more_than_shared(self):
+        g = grid()
+        route = RoutedSegment(net=1, vert=(2, 0, 4), horiz=(4, 0, 3))
+        fresh = g.eval_cost(route)
+        g.add_route(route)
+        again = g.eval_cost(route)  # same net: everything shared
+        assert again == 0.0
+        assert fresh > 0
+
+    def test_congestion_raises_cost(self):
+        g = grid()
+        for net in range(2, 8):
+            g.add_route(RoutedSegment(net=net, horiz=(3, 0, 5)))
+        empty = g.eval_cost(RoutedSegment(net=1, horiz=(2, 0, 5)))
+        crowded = g.eval_cost(RoutedSegment(net=1, horiz=(3, 0, 5)))
+        assert crowded > empty
+
+    def test_feed_weight_dominates(self):
+        g = CoarseGrid(10, 6, 8, weights=CostWeights(feed=100.0))
+        vert_heavy = g.eval_cost(RoutedSegment(net=1, vert=(0, 0, 5)))
+        horiz_only = g.eval_cost(RoutedSegment(net=1, horiz=(0, 0, 9)))
+        assert vert_heavy > horiz_only
+
+    def test_external_congestion_included(self):
+        g = grid()
+        base = g.eval_cost(RoutedSegment(net=1, horiz=(3, 0, 5)))
+        ext_h = np.zeros_like(g.husage)
+        ext_h[3, :] = 10
+        g.set_external(np.zeros_like(g.feed_demand), ext_h)
+        loaded = g.eval_cost(RoutedSegment(net=1, horiz=(3, 0, 5)))
+        assert loaded > base
+
+    def test_external_shape_checked(self):
+        g = grid()
+        with pytest.raises(ValueError):
+            g.set_external(np.zeros((1, 1), dtype=np.int32), None)
+
+
+def test_crossings_for_row_sorted():
+    g = grid()
+    g.add_route(RoutedSegment(net=5, vert=(3, 0, 4)))
+    g.add_route(RoutedSegment(net=2, vert=(3, 0, 4)))
+    g.add_route(RoutedSegment(net=9, vert=(1, 0, 4)))
+    assert g.crossings_for_row(2) == [(1, 9), (3, 2), (3, 5)]
+
+
+def test_all_crossings_sorted():
+    g = grid()
+    g.add_route(RoutedSegment(net=5, vert=(3, 0, 3)))
+    g.add_route(RoutedSegment(net=2, vert=(1, 1, 4)))
+    rows = [r for r, _, _ in g.all_crossings()]
+    assert rows == sorted(rows)

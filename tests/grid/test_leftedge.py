@@ -1,0 +1,88 @@
+import pytest
+
+from repro.grid import ChannelSpan
+from repro.grid.leftedge import (
+    assign_all_channels,
+    assign_tracks,
+    render_channel,
+    track_count_equals_density,
+    verify_assignment,
+)
+
+
+def span(net, lo, hi, channel=1):
+    return ChannelSpan(net=net, channel=channel, lo=lo, hi=hi)
+
+
+def test_disjoint_share_one_track():
+    spans = [span(0, 0, 5), span(1, 5, 9), span(2, 10, 12)]
+    tracks, count = assign_tracks(spans)
+    assert count == 1
+    assert set(tracks) == {0}
+
+
+def test_overlapping_need_separate_tracks():
+    spans = [span(0, 0, 10), span(1, 2, 8), span(2, 4, 6)]
+    tracks, count = assign_tracks(spans)
+    assert count == 3
+    assert len(set(tracks)) == 3
+
+
+def test_zero_length_spans_free():
+    spans = [span(0, 3, 3), span(1, 3, 3)]
+    _, count = assign_tracks(spans)
+    assert count == 0
+
+
+def test_assignment_is_legal():
+    spans = [span(i, (i * 7) % 30, (i * 7) % 30 + 10) for i in range(20)]
+    tracks, _ = assign_tracks(spans)
+    verify_assignment(spans, tracks)
+
+
+def test_verify_detects_illegal():
+    spans = [span(0, 0, 10), span(1, 5, 15)]
+    with pytest.raises(AssertionError, match="overlap"):
+        verify_assignment(spans, [0, 0])
+
+
+def test_track_count_equals_density_examples():
+    cases = [
+        [],
+        [span(0, 0, 5)],
+        [span(0, 0, 5), span(1, 5, 9)],
+        [span(i, 0, 10) for i in range(6)],
+        [span(i, i, i + 3) for i in range(10)],
+    ]
+    for spans in cases:
+        assert track_count_equals_density(spans)
+
+
+def test_assign_all_channels_partitions():
+    spans = [span(0, 0, 5, channel=1), span(1, 0, 5, channel=2), span(2, 2, 7, channel=1)]
+    out = assign_all_channels(spans)
+    assert set(out) == {1, 2}
+    _, _, c1 = out[1]
+    _, _, c2 = out[2]
+    assert c1 == 2 and c2 == 1
+
+
+def test_render_channel():
+    spans = [span(0, 0, 40), span(1, 10, 60), span(2, 45, 70)]
+    art = render_channel(spans)
+    assert art.count("track") == 2
+    assert "=" in art
+
+
+def test_render_empty():
+    assert render_channel([]) == "(empty channel)"
+
+
+def test_routing_result_densities_are_realizable(small_circuit, router):
+    """End-to-end: every channel's reported track count is achieved by an
+    actual left-edge assignment of the final spans."""
+    result, art = router.route_with_artifacts(small_circuit)
+    per_channel = assign_all_channels(art.spans)
+    for ch, (group, tracks, count) in per_channel.items():
+        verify_assignment(group, tracks)
+        assert count == result.channel_tracks[ch], f"channel {ch}"

@@ -1,0 +1,70 @@
+"""Whole-pipeline scenarios a downstream user would run."""
+
+import pytest
+
+from repro import (
+    GlobalRouter,
+    RouterConfig,
+    SPARCCENTER_1000,
+    mcnc,
+    route_parallel,
+)
+from repro.circuits import CircuitBuilder, load_circuit, save_circuit
+
+
+def test_public_api_quickstart_flow():
+    """The README quickstart, as a test."""
+    circuit = mcnc.generate("primary1", scale=0.15, seed=1)
+    serial = GlobalRouter(RouterConfig(seed=1)).route(circuit)
+    par = route_parallel(
+        circuit, algorithm="hybrid", nprocs=4, config=RouterConfig(seed=1)
+    )
+    assert serial.total_tracks > 0
+    assert par.speedup is not None
+    assert par.scaled_tracks == par.result.total_tracks / serial.total_tracks
+
+
+def test_custom_circuit_through_builder_and_io(tmp_path):
+    b = CircuitBuilder(rows=4, name="custom")
+    cells = {}
+    for r in range(4):
+        for k in range(6):
+            cells[(r, k)] = b.cell(row=r, width=4)
+    for k in range(5):
+        b.net(f"v{k}", [(cells[(0, k)], 1), (cells[(3, k)], 2)])
+        b.net(f"h{k}", [(cells[(1, k)], 0), (cells[(1, k + 1)], 3)],
+              equiv=[True, True])
+    circuit = b.build()
+
+    path = tmp_path / "custom.ckt"
+    save_circuit(circuit, path)
+    reloaded = load_circuit(path)
+
+    r1 = GlobalRouter(RouterConfig(seed=9)).route(circuit)
+    r2 = GlobalRouter(RouterConfig(seed=9)).route(reloaded)
+    assert r1.total_tracks == r2.total_tracks
+    assert r1.channel_tracks == r2.channel_tracks
+
+
+def test_sweep_over_processor_counts_reuses_baseline():
+    circuit = mcnc.generate("primary1", scale=0.15, seed=4)
+    config = RouterConfig(seed=4)
+    from repro.parallel.driver import serial_baseline
+
+    base = serial_baseline(circuit, config, machine=SPARCCENTER_1000)
+    speeds = {}
+    for p in (2, 4, 8):
+        run = route_parallel(
+            circuit, "rowwise", nprocs=p, config=config, baseline=base
+        )
+        speeds[p] = run.speedup
+    assert speeds[8] > speeds[2]
+
+
+def test_all_paper_circuits_route_at_small_scale():
+    config = RouterConfig(seed=7)
+    for name in mcnc.PAPER_SUITE:
+        circuit = mcnc.generate(name, scale=0.02, seed=7)
+        result = GlobalRouter(config).route(circuit)
+        assert result.total_tracks > 0, name
+        assert result.unplanned_crossings == 0, name

@@ -1,0 +1,67 @@
+"""Serial/parallel equivalence and cross-module consistency checks."""
+
+import pytest
+
+from repro.circuits import mcnc
+from repro.circuits.generator import SyntheticSpec, generate_circuit
+from repro.parallel import route_parallel
+from repro.twgr import GlobalRouter, RouterConfig
+
+CIRCUITS = [
+    ("primary1", 0.15),
+    ("biomed", 0.05),
+]
+
+
+@pytest.mark.parametrize("name,scale", CIRCUITS)
+@pytest.mark.parametrize("algo", ("rowwise", "netwise", "hybrid"))
+def test_one_rank_parity_across_circuits(name, scale, algo):
+    circuit = mcnc.generate(name, scale=scale, seed=13)
+    config = RouterConfig(seed=13)
+    serial = GlobalRouter(config).route(circuit)
+    run = route_parallel(circuit, algo, nprocs=1, config=config, compute_baseline=False)
+    assert run.result.total_tracks == serial.total_tracks
+    assert run.result.channel_tracks == serial.channel_tracks
+    assert run.result.num_feedthroughs == serial.num_feedthroughs
+
+
+def test_parity_on_awkward_row_counts():
+    """Blocks of very different heights (7 rows, 3 ranks) must still
+    partition cleanly and route."""
+    spec = SyntheticSpec(name="odd", rows=7, cells=140, nets=160)
+    circuit = generate_circuit(spec, seed=3)
+    config = RouterConfig(seed=3)
+    serial = GlobalRouter(config).route(circuit)
+    for algo in ("rowwise", "hybrid"):
+        run = route_parallel(circuit, algo, nprocs=3, config=config, compute_baseline=False)
+        assert 0.8 < run.result.total_tracks / serial.total_tracks < 1.4
+
+
+def test_max_ranks_equals_rows():
+    """One row per rank is the extreme partition; it must still work."""
+    spec = SyntheticSpec(name="thin", rows=4, cells=60, nets=70)
+    circuit = generate_circuit(spec, seed=5)
+    config = RouterConfig(seed=5)
+    for algo in ("rowwise", "netwise", "hybrid"):
+        run = route_parallel(circuit, algo, nprocs=4, config=config, compute_baseline=False)
+        assert run.result.total_tracks > 0
+        assert run.result.unplanned_crossings == 0
+
+
+def test_results_independent_of_machine_model():
+    """The machine model affects clocks, never routing decisions."""
+    from repro.perfmodel import INTEL_PARAGON, SPARCCENTER_1000
+
+    circuit = mcnc.generate("primary1", scale=0.15, seed=2)
+    config = RouterConfig(seed=2)
+    a = route_parallel(
+        circuit, "hybrid", nprocs=4, machine=SPARCCENTER_1000, config=config,
+        compute_baseline=False,
+    )
+    b = route_parallel(
+        circuit, "hybrid", nprocs=4, machine=INTEL_PARAGON, config=config,
+        compute_baseline=False,
+    )
+    assert a.result.channel_tracks == b.result.channel_tracks
+    assert a.result.wirelength == b.result.wirelength
+    assert a.timing.elapsed != b.timing.elapsed  # but time differs

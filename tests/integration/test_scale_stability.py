@@ -1,0 +1,49 @@
+"""Scaled benchmarks must behave like their full-size versions.
+
+All shipped experiments run on scaled circuits; the reproduction's claims
+depend on the quality *ratios* and speedup shapes being stable under
+scaling, which this module spot-checks at two scales.
+"""
+
+import pytest
+
+from repro.circuits import mcnc
+from repro.parallel import route_parallel
+from repro.parallel.driver import serial_baseline
+from repro.perfmodel import SPARCCENTER_1000
+from repro.twgr import RouterConfig
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.mark.parametrize("algo", ("rowwise", "hybrid"))
+def test_scaled_quality_ratio_stable(algo):
+    config = RouterConfig(seed=21)
+    ratios = []
+    for scale in (0.08, 0.2):
+        circuit = mcnc.generate("primary2", scale=scale, seed=21)
+        base = serial_baseline(circuit, config, machine=SPARCCENTER_1000)
+        run = route_parallel(circuit, algo, nprocs=8, config=config, baseline=base)
+        ratios.append(run.scaled_tracks)
+    # same ballpark at both scales
+    assert abs(ratios[0] - ratios[1]) < 0.12
+
+
+def test_scaled_speedup_shape_stable():
+    config = RouterConfig(seed=21)
+    speedups = []
+    for scale in (0.08, 0.2):
+        circuit = mcnc.generate("primary2", scale=scale, seed=21)
+        base = serial_baseline(circuit, config, machine=SPARCCENTER_1000)
+        run = route_parallel(circuit, "hybrid", nprocs=8, config=config, baseline=base)
+        speedups.append(run.speedup)
+    assert speedups[0] > 1.5 and speedups[1] > 1.5
+    assert 0.5 < speedups[0] / speedups[1] < 2.0
+
+
+def test_bigger_circuit_more_tracks():
+    config = RouterConfig(seed=21)
+    small = serial_baseline(mcnc.generate("primary2", scale=0.08, seed=21), config)
+    big = serial_baseline(mcnc.generate("primary2", scale=0.2, seed=21), config)
+    assert big.total_tracks > small.total_tracks
+    assert big.wirelength > small.wirelength

@@ -1,0 +1,61 @@
+"""The headline orderings must hold across seeds, not just at seed 1."""
+
+import pytest
+
+from repro.circuits import mcnc
+from repro.parallel import route_parallel
+from repro.parallel.driver import serial_baseline
+from repro.perfmodel import SPARCCENTER_1000
+from repro.twgr import RouterConfig
+
+pytestmark = pytest.mark.slow
+
+SEEDS = (2, 5, 11)
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    out = {}
+    for seed in SEEDS:
+        circuit = mcnc.generate("biomed", scale=0.08, seed=seed)
+        config = RouterConfig(seed=seed)
+        base = serial_baseline(circuit, config, machine=SPARCCENTER_1000)
+        out[seed] = {
+            algo: route_parallel(
+                circuit, algo, nprocs=8, config=config, baseline=base
+            )
+            for algo in ("rowwise", "netwise", "hybrid")
+        }
+    return out
+
+
+def test_hybrid_best_quality_across_seeds(sweeps):
+    wins = sum(
+        1
+        for runs in sweeps.values()
+        if runs["hybrid"].scaled_tracks
+        <= min(runs["rowwise"].scaled_tracks, runs["netwise"].scaled_tracks) + 0.01
+    )
+    assert wins >= len(SEEDS) - 1  # allow one noisy seed
+
+
+def test_netwise_worst_quality_across_seeds(sweeps):
+    wins = sum(
+        1
+        for runs in sweeps.values()
+        if runs["netwise"].scaled_tracks
+        >= max(runs["rowwise"].scaled_tracks, runs["hybrid"].scaled_tracks) - 0.01
+    )
+    assert wins >= len(SEEDS) - 1
+
+
+def test_netwise_worst_speedup_across_seeds(sweeps):
+    for seed, runs in sweeps.items():
+        assert runs["netwise"].speedup <= runs["rowwise"].speedup, seed
+        assert runs["netwise"].speedup <= runs["hybrid"].speedup * 1.05, seed
+
+
+def test_all_speedups_positive_across_seeds(sweeps):
+    for runs in sweeps.values():
+        for run in runs.values():
+            assert run.speedup > 1.5

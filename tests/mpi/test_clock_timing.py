@@ -1,0 +1,101 @@
+"""Logical-clock semantics of the communication layer."""
+
+import pytest
+
+from repro.mpi import SUM, run_spmd
+from repro.perfmodel import SPARCCENTER_1000, MachineModel
+
+SLOW_NET = MachineModel(
+    name="slow-net",
+    base_seconds_per_unit=1e-6,
+    latency_s=1.0,  # huge latency so messages dominate
+    bandwidth_Bps=1e9,
+    per_node_memory=1 << 30,
+    max_procs=16,
+    collective_overhead_s=0.0,
+)
+
+
+def test_receiver_waits_for_sender():
+    def prog(comm):
+        if comm.rank == 0:
+            comm.counter.add("w", 1_000_000)  # sender is busy first
+            comm.send("late", 1)
+        else:
+            comm.recv(0)
+        return comm.clock.time
+
+    out = run_spmd(2, prog, machine=SLOW_NET)
+    sender_time, receiver_time = out.values
+    # receiver cannot finish before the sender's send completed + transfer
+    assert receiver_time >= sender_time
+
+
+def test_idle_time_recorded():
+    def prog(comm):
+        if comm.rank == 0:
+            comm.counter.add("w", 5_000_000)
+            comm.send("x", 1)
+        else:
+            comm.recv(0)
+        return comm.clock.idle_seconds
+
+    out = run_spmd(2, prog, machine=SLOW_NET)
+    assert out.values[1] > 0  # receiver idled waiting
+    assert out.values[0] == 0
+
+
+def test_barrier_aligns_clocks():
+    def prog(comm):
+        comm.counter.add("w", comm.rank * 1_000_000)  # unequal work
+        comm.barrier()
+        return comm.clock.time
+
+    out = run_spmd(4, prog, machine=SLOW_NET)
+    # after a barrier everyone is at (or past) the slowest rank's time
+    assert max(out.values) - min(out.values) < max(out.values) * 0.5
+
+
+def test_message_size_affects_time():
+    def prog_factory(nbytes):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(b"x" * nbytes, 1)
+            else:
+                comm.recv(0)
+            return comm.clock.time
+
+        return prog
+
+    small = run_spmd(2, prog_factory(10), machine=SPARCCENTER_1000).elapsed
+    big = run_spmd(2, prog_factory(10_000_000), machine=SPARCCENTER_1000).elapsed
+    assert big > small
+
+
+def test_work_units_tracked_per_kind():
+    def prog(comm):
+        comm.counter.add("alpha", 10)
+        comm.counter.add("beta", 20)
+        comm.counter.add("alpha", 5)
+        return dict(comm.clock.work_units)
+
+    out = run_spmd(1, prog, machine=SPARCCENTER_1000)
+    assert out.values[0] == {"alpha": 15, "beta": 20}
+
+
+def test_comm_seconds_accumulated():
+    def prog(comm):
+        comm.allreduce(1, SUM)
+        return comm.clock.comm_seconds
+
+    out = run_spmd(4, prog, machine=SPARCCENTER_1000)
+    assert all(v > 0 for v in out.values)
+
+
+def test_elapsed_is_max_rank_time():
+    def prog(comm):
+        comm.counter.add("w", (comm.rank + 1) * 1000)
+        return comm.clock.time
+
+    out = run_spmd(3, prog, machine=SPARCCENTER_1000)
+    assert out.elapsed == max(out.values)

@@ -1,0 +1,141 @@
+import numpy as np
+import pytest
+
+from repro.mpi import CONCAT, MAX, MIN, SUM, run_spmd
+
+SIZES = [1, 2, 3, 4, 5, 8]
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_bcast_from_root0(p):
+    def prog(comm):
+        return comm.bcast([1, 2, 3] if comm.rank == 0 else None, root=0)
+
+    out = run_spmd(p, prog)
+    assert out.values == [[1, 2, 3]] * p
+
+
+@pytest.mark.parametrize("p", [2, 3, 5, 8])
+@pytest.mark.parametrize("root", [0, 1])
+def test_bcast_nonzero_root(p, root):
+    def prog(comm):
+        return comm.bcast("x" if comm.rank == root else None, root=root)
+
+    out = run_spmd(p, prog)
+    assert out.values == ["x"] * p
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_gather(p):
+    def prog(comm):
+        return comm.gather(comm.rank * 10, root=0)
+
+    out = run_spmd(p, prog)
+    assert out.values[0] == [r * 10 for r in range(p)]
+    assert all(v is None for v in out.values[1:])
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_scatter(p):
+    def prog(comm):
+        data = [f"item{r}" for r in range(comm.size)] if comm.rank == 0 else None
+        return comm.scatter(data, root=0)
+
+    out = run_spmd(p, prog)
+    assert out.values == [f"item{r}" for r in range(p)]
+
+
+def test_scatter_wrong_length_raises():
+    def prog(comm):
+        return comm.scatter([1], root=0)
+
+    with pytest.raises(Exception):
+        run_spmd(2, prog)
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_allgather(p):
+    def prog(comm):
+        return comm.allgather(comm.rank)
+
+    out = run_spmd(p, prog)
+    assert out.values == [list(range(p))] * p
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_allreduce_sum(p):
+    def prog(comm):
+        return comm.allreduce(comm.rank + 1, SUM)
+
+    out = run_spmd(p, prog)
+    assert out.values == [p * (p + 1) // 2] * p
+
+
+@pytest.mark.parametrize("op,expect", [(MAX, 7), (MIN, 0)])
+def test_allreduce_max_min(op, expect):
+    def prog(comm):
+        return comm.allreduce(comm.rank, op)
+
+    out = run_spmd(8, prog)
+    assert out.values == [expect] * 8
+
+
+def test_allreduce_numpy_arrays():
+    def prog(comm):
+        return comm.allreduce(np.full(5, comm.rank + 1), SUM)
+
+    out = run_spmd(4, prog)
+    for v in out.values:
+        assert (v == 10).all()
+
+
+def test_reduce_concat_rank_order():
+    def prog(comm):
+        return comm.reduce([comm.rank], CONCAT, root=0)
+
+    out = run_spmd(4, prog)
+    assert sorted(out.values[0]) == [0, 1, 2, 3]
+
+
+@pytest.mark.parametrize("p", SIZES)
+def test_alltoall(p):
+    def prog(comm):
+        return comm.alltoall([f"{comm.rank}->{d}" for d in range(comm.size)])
+
+    out = run_spmd(p, prog)
+    for r in range(p):
+        assert out.values[r] == [f"{s}->{r}" for s in range(p)]
+
+
+def test_alltoall_wrong_length():
+    def prog(comm):
+        comm.alltoall([1])
+
+    with pytest.raises(Exception):
+        run_spmd(3, prog)
+
+
+def test_barrier_completes():
+    def prog(comm):
+        for _ in range(5):
+            comm.barrier()
+        return comm.rank
+
+    out = run_spmd(4, prog)
+    assert out.values == [0, 1, 2, 3]
+
+
+def test_mixed_collective_sequence():
+    """Collectives interleaved with point-to-point must not cross wires."""
+
+    def prog(comm):
+        total = comm.allreduce(1, SUM)
+        if comm.rank == 0:
+            comm.send("hello", 1, tag=2)
+        data = comm.bcast(total if comm.rank == 0 else None, root=0)
+        extra = comm.recv(0, tag=2) if comm.rank == 1 else ""
+        gathered = comm.allgather((data, extra))
+        return gathered
+
+    out = run_spmd(3, prog)
+    assert out.values[0] == [(3, ""), (3, "hello"), (3, "")]

@@ -1,0 +1,89 @@
+"""Failure injection: the runtime must fail loudly, never hang."""
+
+import pytest
+
+from repro.mpi import RankError, run_spmd
+from repro.perfmodel import SPARCCENTER_1000
+
+
+def test_failure_inside_collective_aborts_all():
+    def prog(comm):
+        if comm.rank == 2:
+            raise RuntimeError("mid-collective crash")
+        # other ranks are inside a collective waiting on rank 2
+        return comm.allreduce(comm.rank)
+
+    with pytest.raises(RankError) as exc:
+        run_spmd(4, prog, deadlock_timeout=10.0)
+    assert exc.value.rank == 2
+
+
+def test_failure_after_some_collectives():
+    def prog(comm):
+        comm.barrier()
+        total = comm.allreduce(1)
+        if comm.rank == 0 and total == comm.size:
+            raise ValueError("late crash")
+        comm.barrier()  # others blocked here must be released
+
+    with pytest.raises(RankError) as exc:
+        run_spmd(3, prog, deadlock_timeout=10.0)
+    assert exc.value.rank == 0
+    assert isinstance(exc.value.original, ValueError)
+
+
+def test_failure_during_alltoall():
+    def prog(comm):
+        if comm.rank == 1:
+            raise KeyError("boom")
+        return comm.alltoall([comm.rank] * comm.size)
+
+    with pytest.raises(RankError):
+        run_spmd(4, prog, deadlock_timeout=10.0)
+
+
+def test_first_failure_wins_reported():
+    def prog(comm):
+        if comm.rank == 0:
+            raise RuntimeError("zero")
+        comm.recv(0, tag=1)  # never satisfied
+
+    with pytest.raises(RankError) as exc:
+        run_spmd(2, prog, deadlock_timeout=10.0)
+    assert exc.value.rank == 0
+
+
+def test_mismatched_collective_types_detected():
+    """A gather on one rank against a bcast on another is a deadlock,
+    not silent corruption."""
+
+    def prog(comm):
+        if comm.rank == 0:
+            return comm.gather(1, root=0)
+        return comm.bcast(None, root=0)
+
+    with pytest.raises(Exception):  # DeadlockError or RankError
+        run_spmd(2, prog, deadlock_timeout=2.0)
+
+
+def test_run_recovers_after_failed_run():
+    """A failed SPMD run must not poison subsequent runs."""
+
+    def bad(comm):
+        raise RuntimeError("x")
+
+    with pytest.raises(RankError):
+        run_spmd(2, bad)
+    out = run_spmd(2, lambda comm: comm.allreduce(1))
+    assert out.values == [2, 2]
+
+
+def test_failure_with_machine_model():
+    def prog(comm):
+        comm.counter.add("w", 10)
+        if comm.rank == 1:
+            raise RuntimeError("with clock")
+        comm.barrier()
+
+    with pytest.raises(RankError):
+        run_spmd(2, prog, machine=SPARCCENTER_1000, deadlock_timeout=10.0)

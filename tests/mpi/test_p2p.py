@@ -1,0 +1,74 @@
+import pytest
+
+from repro.mpi import run_spmd
+
+
+def test_send_recv_pair():
+    def prog(comm):
+        if comm.rank == 0:
+            comm.send({"a": 1}, dest=1, tag=5)
+            return None
+        return comm.recv(source=0, tag=5)
+
+    out = run_spmd(2, prog)
+    assert out.values[1] == {"a": 1}
+
+
+def test_messages_ordered_per_source_tag():
+    def prog(comm):
+        if comm.rank == 0:
+            for i in range(10):
+                comm.send(i, dest=1, tag=3)
+            return None
+        return [comm.recv(0, tag=3) for _ in range(10)]
+
+    out = run_spmd(2, prog)
+    assert out.values[1] == list(range(10))
+
+
+def test_tags_isolate_streams():
+    def prog(comm):
+        if comm.rank == 0:
+            comm.send("tagA", dest=1, tag=1)
+            comm.send("tagB", dest=1, tag=2)
+            return None
+        b = comm.recv(0, tag=2)
+        a = comm.recv(0, tag=1)  # order of receipt != order of send
+        return (a, b)
+
+    out = run_spmd(2, prog)
+    assert out.values[1] == ("tagA", "tagB")
+
+
+def test_sendrecv_exchanges():
+    def prog(comm):
+        peer = 1 - comm.rank
+        return comm.sendrecv(f"from{comm.rank}", peer, tag=7)
+
+    out = run_spmd(2, prog)
+    assert out.values == ["from1", "from0"]
+
+
+def test_negative_user_tag_rejected():
+    def prog(comm):
+        comm.send(1, dest=0, tag=-1)
+
+    with pytest.raises(Exception):
+        run_spmd(1, prog)
+
+
+def test_bad_peer_rejected():
+    def prog(comm):
+        comm.send(1, dest=5)
+
+    with pytest.raises(Exception):
+        run_spmd(2, prog)
+
+
+def test_self_send_recv():
+    def prog(comm):
+        comm.send("loop", dest=comm.rank, tag=9)
+        return comm.recv(comm.rank, tag=9)
+
+    out = run_spmd(3, prog)
+    assert out.values == ["loop"] * 3

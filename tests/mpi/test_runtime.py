@@ -1,0 +1,89 @@
+import pytest
+
+from repro.mpi import DeadlockError, RankError, run_spmd
+from repro.perfmodel import SPARCCENTER_1000
+
+
+def test_values_in_rank_order():
+    out = run_spmd(4, lambda comm: comm.rank**2)
+    assert out.values == [0, 1, 4, 9]
+
+
+def test_single_rank_runs_inline():
+    out = run_spmd(1, lambda comm: "solo")
+    assert out.values == ["solo"]
+    assert out.message_count == 0
+
+
+def test_args_kwargs_passed():
+    def prog(comm, a, b=0):
+        return a + b + comm.rank
+
+    out = run_spmd(2, prog, args=(10,), kwargs={"b": 5})
+    assert out.values == [15, 16]
+
+
+def test_nprocs_must_be_positive():
+    with pytest.raises(ValueError):
+        run_spmd(0, lambda comm: None)
+
+
+def test_exception_propagates_as_rank_error():
+    def prog(comm):
+        if comm.rank == 1:
+            raise ValueError("boom")
+        # other ranks block on a message that will never come; the abort
+        # must wake them instead of hanging
+        if comm.size > 1 and comm.rank == 0:
+            comm.recv(source=1, tag=9)
+        return None
+
+    with pytest.raises(RankError) as exc:
+        run_spmd(3, prog)
+    assert exc.value.rank == 1
+    assert isinstance(exc.value.original, ValueError)
+
+
+def test_deadlock_detection():
+    def prog(comm):
+        if comm.rank == 0:
+            comm.recv(source=1, tag=1)  # nobody sends
+
+    with pytest.raises((DeadlockError, RankError)):
+        run_spmd(2, prog, deadlock_timeout=1.0)
+
+
+def test_message_and_byte_counts():
+    def prog(comm):
+        comm.send(b"x" * 100, dest=(comm.rank + 1) % comm.size, tag=0)
+        comm.recv(source=(comm.rank - 1) % comm.size, tag=0)
+
+    out = run_spmd(4, prog)
+    assert out.message_count == 4
+    assert out.byte_count >= 4 * 100
+
+
+def test_clocks_present_only_with_machine():
+    out = run_spmd(2, lambda comm: comm.clock, machine=None)
+    assert out.clocks == [None, None]
+    out2 = run_spmd(2, lambda comm: None, machine=SPARCCENTER_1000)
+    assert all(c is not None for c in out2.clocks)
+    assert out2.elapsed >= 0
+
+
+def test_counter_is_clock_with_machine():
+    def prog(comm):
+        comm.counter.add("test", 100)
+        return comm.clock.time if comm.clock else None
+
+    out = run_spmd(2, prog, machine=SPARCCENTER_1000)
+    expected = SPARCCENTER_1000.work_seconds("test", 100)
+    assert out.values[0] >= expected
+
+
+def test_counter_noop_without_machine():
+    def prog(comm):
+        comm.counter.add("test", 100)  # must not blow up
+        return True
+
+    assert run_spmd(2, prog).values == [True, True]

@@ -1,0 +1,67 @@
+import numpy as np
+
+from repro.geometry import Point
+from repro.mpi import estimate_size
+from repro.steiner import build_net_tree
+
+
+def test_scalars():
+    assert estimate_size(None) == 8
+    assert estimate_size(True) == 8
+    assert estimate_size(42) == 8
+    assert estimate_size(3.14) == 8
+    assert estimate_size(np.int64(7)) == 8
+
+
+def test_strings_and_bytes():
+    assert estimate_size("abcd") == 4 + 16
+    assert estimate_size(b"abcd") == 4 + 16
+
+
+def test_numpy_arrays_exact_buffer():
+    a = np.zeros(100, dtype=np.int32)
+    assert estimate_size(a) == 400 + 64
+    b = np.zeros((10, 10), dtype=np.float64)
+    assert estimate_size(b) == 800 + 64
+
+
+def test_containers_sum():
+    assert estimate_size([1, 2, 3]) == 3 * 8 + 16
+    assert estimate_size((1, 2)) == 2 * 8 + 16
+    assert estimate_size({1: 2}) == 16 + 16
+
+
+def test_large_homogeneous_sampled():
+    exact = estimate_size(list(range(64)))
+    sampled = estimate_size(list(range(100_000)))
+    # sampling keeps per-element scaling linear
+    assert sampled > 100_000 * 4
+    assert sampled < 100_000 * 40
+    assert exact == 64 * 8 + 16
+
+
+def test_nested():
+    obj = {"xs": [1, 2, 3], "name": "net"}
+    assert estimate_size(obj) > 3 * 8
+
+
+def test_dataclass_with_slots():
+    tree = build_net_tree(0, [Point(0, 0), Point(5, 5), Point(9, 1)])
+    size = estimate_size(tree)
+    assert size > len(tree.points) * 16  # points contribute
+
+
+def test_size_monotone_in_payload():
+    small = estimate_size([(1, 2)] * 10)
+    big = estimate_size([(1, 2)] * 1000)
+    assert big > small
+
+
+def test_depth_capped():
+    nested = []
+    cur = nested
+    for _ in range(100):
+        inner = []
+        cur.append(inner)
+        cur = inner
+    assert estimate_size(nested) > 0  # no recursion error

@@ -1,0 +1,95 @@
+from repro.mpi import Request, TraceRecorder, run_spmd
+from repro.perfmodel import SPARCCENTER_1000
+
+
+def ring(comm):
+    comm.send(b"x" * 50, (comm.rank + 1) % comm.size, tag=1)
+    return comm.recv((comm.rank - 1) % comm.size, tag=1)
+
+
+def test_trace_counts_messages():
+    tr = TraceRecorder()
+    run_spmd(4, ring, trace=tr)
+    assert tr.total_messages() == 4
+    assert tr.total_bytes() >= 4 * 50
+    # one recv per send
+    assert sum(1 for e in tr.events if e.kind == "recv") == 4
+
+
+def test_bytes_by_pair_is_ring():
+    tr = TraceRecorder()
+    run_spmd(4, ring, trace=tr)
+    pairs = tr.bytes_by_pair()
+    assert set(pairs) == {(r, (r + 1) % 4) for r in range(4)}
+
+
+def test_for_rank_sorted_by_time():
+    tr = TraceRecorder()
+    run_spmd(4, ring, trace=tr, machine=SPARCCENTER_1000)
+    events = tr.for_rank(0)
+    assert events
+    assert [e.time for e in events] == sorted(e.time for e in events)
+
+
+def test_timeline_and_matrix_render():
+    tr = TraceRecorder()
+    run_spmd(3, ring, trace=tr, machine=SPARCCENTER_1000)
+    timeline = tr.render_timeline(3)
+    assert "rank  0" in timeline and ">" in timeline
+    matrix = tr.render_matrix(3)
+    assert "rank  2" in matrix
+
+
+def test_empty_timeline():
+    assert "(no traffic)" in TraceRecorder().render_timeline(2)
+
+
+def test_collectives_traced():
+    tr = TraceRecorder()
+    run_spmd(4, lambda comm: comm.allreduce(1), trace=tr)
+    assert tr.total_messages() > 0
+
+
+class TestRequest:
+    def test_isend_complete_immediately(self):
+        def prog(comm):
+            if comm.rank == 0:
+                req = comm.isend("hi", 1)
+                assert req.test()
+                req.wait()
+                return None
+            return comm.recv(0)
+
+        out = run_spmd(2, prog)
+        assert out.values[1] == "hi"
+
+    def test_irecv_wait_returns_payload(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send({"k": 1}, 1, tag=3)
+                return None
+            req = comm.irecv(0, tag=3)
+            assert not req.test()
+            v = req.wait()
+            assert req.test()
+            assert req.wait() is v  # idempotent
+            return v
+
+        out = run_spmd(2, prog)
+        assert out.values[1] == {"k": 1}
+
+    def test_irecv_overlap_pattern(self):
+        """Post receives early, compute, then wait — classic overlap."""
+
+        def prog(comm):
+            reqs = [
+                comm.irecv(src, tag=9) for src in range(comm.size) if src != comm.rank
+            ]
+            for dst in range(comm.size):
+                if dst != comm.rank:
+                    comm.isend(comm.rank, dst, tag=9)
+            return sorted(r.wait() for r in reqs)
+
+        out = run_spmd(4, prog)
+        for rank, got in enumerate(out.values):
+            assert got == sorted(set(range(4)) - {rank})

@@ -1,0 +1,135 @@
+"""Behavioral tests common to all three parallel algorithms, plus the
+per-algorithm invariants the paper's design implies."""
+
+import pytest
+
+from dataclasses import replace
+
+from repro.circuits import mcnc
+from repro.parallel import ParallelConfig, route_parallel
+from repro.twgr import GlobalRouter, RouterConfig
+
+ALGOS = ("rowwise", "netwise", "hybrid")
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return mcnc.generate("primary1", scale=0.3, seed=6)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return RouterConfig(seed=6)
+
+
+@pytest.fixture(scope="module")
+def serial(circuit, config):
+    return GlobalRouter(config).route(circuit)
+
+
+@pytest.mark.parametrize("algo", ALGOS)
+def test_single_proc_matches_serial_exactly(algo, circuit, config, serial):
+    """Tables 2-4 start with a 1.000 column: one rank must reproduce the
+    serial router bit-for-bit."""
+    run = route_parallel(circuit, algo, nprocs=1, config=config, compute_baseline=False)
+    r = run.result
+    assert r.total_tracks == serial.total_tracks
+    assert r.channel_tracks == serial.channel_tracks
+    assert r.num_feedthroughs == serial.num_feedthroughs
+    assert r.wirelength == serial.wirelength
+    assert r.area == serial.area
+    assert r.num_spans == serial.num_spans
+
+
+@pytest.mark.parametrize("algo", ALGOS)
+@pytest.mark.parametrize("p", (2, 4))
+def test_deterministic_across_runs(algo, p, circuit, config):
+    a = route_parallel(circuit, algo, nprocs=p, config=config, compute_baseline=False)
+    b = route_parallel(circuit, algo, nprocs=p, config=config, compute_baseline=False)
+    assert a.result.total_tracks == b.result.total_tracks
+    assert a.result.channel_tracks == b.result.channel_tracks
+    assert a.result.wirelength == b.result.wirelength
+    assert a.timing.rank_times == b.timing.rank_times
+
+
+@pytest.mark.parametrize("algo", ALGOS)
+def test_every_channel_reported_once(algo, circuit, config):
+    run = route_parallel(circuit, algo, nprocs=4, config=config, compute_baseline=False)
+    assert set(run.result.channel_tracks) == set(range(circuit.num_rows + 1))
+
+
+@pytest.mark.parametrize("algo", ALGOS)
+def test_feed_count_preserved_in_parallel(algo, circuit, config, serial):
+    """Feed planning is conservative across partitions (the phantom-clip
+    rule): parallel feed counts stay close to serial."""
+    run = route_parallel(circuit, algo, nprocs=4, config=config, compute_baseline=False)
+    ratio = run.result.num_feedthroughs / max(serial.num_feedthroughs, 1)
+    assert 0.9 < ratio < 1.15
+
+
+@pytest.mark.parametrize("algo", ALGOS)
+def test_quality_degrades_gracefully(algo, circuit, config, serial):
+    run = route_parallel(circuit, algo, nprocs=4, config=config, compute_baseline=False)
+    scaled = run.result.total_tracks / serial.total_tracks
+    assert 0.9 < scaled < 1.5
+
+
+@pytest.mark.parametrize("algo", ALGOS)
+def test_no_unplanned_crossings(algo, circuit, config):
+    """Every parallel scheme must plan enough feedthroughs that net
+    connection never needs a row-skipping fallback edge."""
+    run = route_parallel(circuit, algo, nprocs=4, config=config, compute_baseline=False)
+    assert run.result.unplanned_crossings == 0
+
+
+@pytest.mark.parametrize("algo", ALGOS)
+def test_work_conserved_roughly(algo, circuit, config, serial):
+    """Total routing work across ranks ~ serial work plus overheads."""
+    run = route_parallel(circuit, algo, nprocs=4, config=config, compute_baseline=False)
+    par = sum(v for k, v in run.result.work_units.items() if k != "setup")
+    ser = sum(serial.work_units.values())
+    assert par > 0.5 * ser
+    assert par < 3.0 * ser
+
+
+def test_netwise_profile_sync_beats_scalar_quality(circuit, config):
+    """Paper §5: full (costly) synchronization controls the net-wise
+    algorithm's quality; the cheap scalar sync leaves ranks blind."""
+    scalar = route_parallel(
+        circuit, "netwise", nprocs=8, config=config,
+        pconfig=ParallelConfig(switch_sync_mode="scalar"),
+        compute_baseline=False,
+    )
+    profile = route_parallel(
+        circuit, "netwise", nprocs=8, config=config,
+        pconfig=ParallelConfig(switch_sync_mode="profile"),
+        compute_baseline=False,
+    )
+    assert profile.result.total_tracks <= scalar.result.total_tracks
+    # and the full sync costs more modeled time
+    assert profile.timing.elapsed >= scalar.timing.elapsed * 0.95
+
+
+@pytest.mark.parametrize("scheme", ("center", "locus", "density", "pin_weight"))
+def test_rowwise_runs_under_every_net_scheme(scheme, circuit, config):
+    pc = ParallelConfig(net_scheme=scheme)
+    run = route_parallel(
+        circuit, "rowwise", nprocs=4, config=config, pconfig=pc, compute_baseline=False
+    )
+    assert run.result.total_tracks > 0
+
+
+def test_hybrid_connect_scheme_variants(circuit, config):
+    for scheme in ("density", "pin_weight"):
+        pc = ParallelConfig(connect_scheme=scheme)
+        run = route_parallel(
+            circuit, "hybrid", nprocs=4, config=config, pconfig=pc,
+            compute_baseline=False,
+        )
+        assert run.result.total_tracks > 0
+
+
+def test_rank_clocks_all_advanced(circuit, config):
+    run = route_parallel(circuit, "hybrid", nprocs=4, config=config, compute_baseline=False)
+    assert all(t > 0 for t in run.timing.rank_times)
+    assert all(c >= 0 for c in run.timing.rank_comm)

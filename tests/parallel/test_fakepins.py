@@ -1,0 +1,149 @@
+import pytest
+
+from repro.circuits import PinKind, mcnc
+from repro.circuits.validate import validate_circuit
+from repro.geometry import Point
+from repro.parallel import RowPartition, crossing_columns, extract_block
+from repro.steiner import NetTree, build_net_tree
+from repro.twgr import RouterConfig
+
+
+def make_trees(circuit, config=RouterConfig()):
+    return {
+        net.id: build_net_tree(net.id, circuit.net_points(net.id), row_pitch=config.row_pitch)
+        for net in circuit.nets
+    }
+
+
+class TestCrossingColumns:
+    def tree(self):
+        # two branches crossing boundary 3 at columns 2 and 30
+        return NetTree(
+            net=0,
+            points=[Point(2, 0), Point(2, 6), Point(30, 0), Point(30, 6)],
+            edges=[(0, 1), (2, 3), (0, 2)],
+            num_terminals=4,
+        )
+
+    def test_all_mode_lists_every_column(self):
+        assert crossing_columns(self.tree(), 3, select="all") == [2, 30]
+
+    def test_median_mode_single(self):
+        cols = crossing_columns(self.tree(), 3)
+        assert len(cols) == 1
+        assert cols[0] in (2, 30)
+
+    def test_no_crossing_empty(self):
+        t = NetTree(0, [Point(0, 0), Point(9, 0)], [(0, 1)], 2)
+        assert crossing_columns(t, 3) == []
+
+    def test_bad_select(self):
+        with pytest.raises(ValueError):
+            crossing_columns(self.tree(), 3, select="bogus")
+
+    def test_median_deterministic(self):
+        t = self.tree()
+        assert crossing_columns(t, 3) == crossing_columns(t, 3)
+
+
+class TestExtractBlock:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        circuit = mcnc.generate("primary1", scale=0.3, seed=4)
+        trees = make_trees(circuit)
+        row_part = RowPartition.balanced(circuit, 4)
+        blocks = [
+            extract_block(circuit, trees, row_part, k, validate=True) for k in range(4)
+        ]
+        return circuit, trees, row_part, blocks
+
+    def test_blocks_valid(self, setup):
+        _, _, _, blocks = setup
+        for b in blocks:
+            validate_circuit(b.circuit, allow_unbound_feeds=True)
+
+    def test_every_cell_in_exactly_one_block(self, setup):
+        circuit, _, _, blocks = setup
+        total = sum(len(b.circuit.cells) for b in blocks)
+        assert total == len(circuit.cells)
+
+    def test_every_real_pin_in_exactly_one_block(self, setup):
+        circuit, _, _, blocks = setup
+        total = sum(
+            sum(1 for p in b.circuit.pins if p.kind is PinKind.CELL) for b in blocks
+        )
+        assert total == len(circuit.pins)
+
+    def test_cells_keep_geometry(self, setup):
+        circuit, _, row_part, blocks = setup
+        for b in blocks:
+            for cell in b.circuit.cells:
+                assert b.row_lo <= cell.row <= b.row_hi
+
+    def test_fake_pins_at_block_edges_only(self, setup):
+        _, _, _, blocks = setup
+        for b in blocks:
+            for p in b.circuit.pins:
+                if p.kind is PinKind.FAKE:
+                    assert p.row in (b.row_lo, b.row_hi)
+                    assert p.cell == -1
+
+    def test_fake_pin_pairs_match_across_blocks(self, setup):
+        """Adjacent blocks must agree on crossing columns per net."""
+        circuit, _, row_part, blocks = setup
+        for k in range(len(blocks) - 1):
+            lower, upper = blocks[k], blocks[k + 1]
+            boundary = row_part.bounds[k + 1]
+
+            def fakes(block, row, side):
+                out = {}
+                for p in block.circuit.pins:
+                    if p.kind is PinKind.FAKE and p.row == row and p.side == side:
+                        g = block.net_l2g[p.net]
+                        out.setdefault(g, set()).add(p.x)
+                return out
+
+            lo_fakes = fakes(lower, boundary - 1, +1)
+            hi_fakes = fakes(upper, boundary, -1)
+            assert lo_fakes == hi_fakes
+
+    def test_net_fragments_have_two_plus_terminals(self, setup):
+        _, _, _, blocks = setup
+        for b in blocks:
+            for net in b.circuit.nets:
+                assert len(net.pins) >= 2
+
+    def test_nets_crossing_appear_in_all_touched_blocks(self, setup):
+        circuit, trees, row_part, blocks = setup
+        for net in circuit.nets:
+            rows = {circuit.pins[p].row for p in net.pins}
+            lo_block = row_part.owner_of_row(min(rows))
+            hi_block = row_part.owner_of_row(max(rows))
+            for k in range(lo_block, hi_block + 1):
+                assert net.id in blocks[k].net_g2l, (net.id, k)
+
+    def test_pool_segments_within_extended_window(self, setup):
+        _, _, _, blocks = setup
+        for b in blocks:
+            for _net, seg, _locked in b.pool:
+                lo, hi = seg.row_span
+                assert lo >= b.row_lo - 1  # phantom allowance
+                assert hi <= b.row_hi + 1
+
+    def test_locked_flags_only_on_cut_diagonals(self, setup):
+        _, _, _, blocks = setup
+        for b in blocks:
+            for _net, seg, locked in b.pool:
+                if locked:
+                    assert not seg.is_flat
+                    assert seg.row_span[0] == b.row_lo - 1
+
+    def test_single_block_equals_whole(self):
+        circuit = mcnc.generate("primary1", scale=0.2, seed=4)
+        trees = make_trees(circuit)
+        row_part = RowPartition.balanced(circuit, 1)
+        b = extract_block(circuit, trees, row_part, 0, validate=True)
+        assert b.num_fake_pins == 0
+        assert len(b.circuit.cells) == len(circuit.cells)
+        assert len(b.circuit.nets) == len(circuit.nets)
+        assert b.net_l2g == list(range(len(circuit.nets)))

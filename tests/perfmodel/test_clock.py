@@ -1,0 +1,44 @@
+import pytest
+
+from repro.perfmodel import LogicalClock, SPARCCENTER_1000
+
+
+def test_add_advances_time():
+    c = LogicalClock(SPARCCENTER_1000)
+    c.add("x", 100)
+    assert c.time == pytest.approx(SPARCCENTER_1000.work_seconds("x", 100))
+    assert c.work_units["x"] == 100
+
+
+def test_charge_comm():
+    c = LogicalClock(SPARCCENTER_1000)
+    c.charge_comm(0.5)
+    assert c.time == 0.5
+    assert c.comm_seconds == 0.5
+
+
+def test_wait_until_only_forward():
+    c = LogicalClock(SPARCCENTER_1000)
+    c.add("x", 1000)
+    t = c.time
+    c.wait_until(t - 1)  # in the past: no-op
+    assert c.time == t
+    assert c.idle_seconds == 0
+    c.wait_until(t + 2)
+    assert c.time == t + 2
+    assert c.idle_seconds == pytest.approx(2)
+
+
+def test_compute_seconds_excludes_comm_and_idle():
+    c = LogicalClock(SPARCCENTER_1000)
+    c.add("x", 1000)
+    c.charge_comm(1.0)
+    c.wait_until(c.time + 5)
+    assert c.compute_seconds() == pytest.approx(
+        SPARCCENTER_1000.work_seconds("x", 1000)
+    )
+
+
+def test_start_offset():
+    c = LogicalClock(SPARCCENTER_1000, start=10.0)
+    assert c.time == 10.0

@@ -1,0 +1,31 @@
+from repro.perfmodel import NULL_COUNTER, NullCounter, TallyCounter, WorkCounter
+
+
+def test_null_counter_discards():
+    NULL_COUNTER.add("x", 100)  # no state to assert, must not raise
+    assert isinstance(NULL_COUNTER, NullCounter)
+
+
+def test_tally_accumulates():
+    t = TallyCounter()
+    t.add("a", 5)
+    t.add("a", 3)
+    t.add("b", 1.5)
+    assert t.units["a"] == 8
+    assert t.units["b"] == 1.5
+    assert t.total() == 9.5
+
+
+def test_merged_with():
+    a, b = TallyCounter(), TallyCounter()
+    a.add("x", 1)
+    b.add("x", 2)
+    b.add("y", 3)
+    m = a.merged_with(b)
+    assert m.units == {"x": 3, "y": 3}
+    assert a.units == {"x": 1}  # originals untouched
+
+
+def test_protocol_conformance():
+    assert isinstance(TallyCounter(), WorkCounter)
+    assert isinstance(NullCounter(), WorkCounter)

@@ -1,0 +1,48 @@
+import pytest
+
+from repro.perfmodel import (
+    INTEL_PARAGON,
+    MACHINES,
+    SPARCCENTER_1000,
+    GENERIC_CLUSTER,
+    MachineModel,
+)
+
+
+def test_presets_registered():
+    assert SPARCCENTER_1000.name in MACHINES
+    assert INTEL_PARAGON.name in MACHINES
+    assert GENERIC_CLUSTER.name in MACHINES
+
+
+def test_work_seconds_linear():
+    m = SPARCCENTER_1000
+    assert m.work_seconds("x", 200) == pytest.approx(2 * m.work_seconds("x", 100))
+
+
+def test_kind_factor_applied():
+    m = MachineModel(
+        name="t", base_seconds_per_unit=1.0, latency_s=0, bandwidth_Bps=1,
+        per_node_memory=1, max_procs=1, kind_factor={"slow": 3.0},
+    )
+    assert m.work_seconds("slow", 2) == 6.0
+    assert m.work_seconds("other", 2) == 2.0
+
+
+def test_msg_seconds():
+    m = SPARCCENTER_1000
+    assert m.msg_seconds(0) == m.latency_s
+    assert m.msg_seconds(40_000_000) == pytest.approx(m.latency_s + 1.0)
+
+
+def test_paragon_properties_vs_smp():
+    """The Paragon must be slower per node, higher latency, smaller memory."""
+    assert INTEL_PARAGON.base_seconds_per_unit > SPARCCENTER_1000.base_seconds_per_unit
+    assert INTEL_PARAGON.latency_s > SPARCCENTER_1000.latency_s
+    assert INTEL_PARAGON.per_node_memory < SPARCCENTER_1000.per_node_memory
+    assert INTEL_PARAGON.max_procs > SPARCCENTER_1000.max_procs
+
+
+def test_fits_in_memory():
+    assert INTEL_PARAGON.fits_in_memory(1024)
+    assert not INTEL_PARAGON.fits_in_memory(33 * 1024 * 1024)

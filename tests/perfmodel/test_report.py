@@ -1,0 +1,53 @@
+import pytest
+
+from repro.perfmodel import TimingReport, speedup_table
+
+
+def make(rank_times, serial=None, oom=False, nprocs=None):
+    return TimingReport(
+        machine="m",
+        nprocs=nprocs or len(rank_times),
+        rank_times=rank_times,
+        serial_time=serial,
+        serial_oom=oom,
+    )
+
+
+def test_elapsed_is_max():
+    r = make([1.0, 3.0, 2.0])
+    assert r.elapsed == 3.0
+
+
+def test_speedup():
+    r = make([2.0, 2.5], serial=10.0)
+    assert r.speedup == 4.0
+    assert r.efficiency == 2.0
+
+
+def test_speedup_none_without_serial():
+    r = make([1.0], serial=None)
+    assert r.speedup is None
+    assert r.efficiency is None
+
+
+def test_oom_summary():
+    r = make([1.0, 1.0], serial=None, oom=True)
+    assert "OOM" in r.summary()
+
+
+def test_load_imbalance():
+    r = TimingReport(
+        machine="m", nprocs=2, rank_times=[4.0, 4.0], rank_compute=[1.0, 3.0]
+    )
+    assert r.load_imbalance == pytest.approx(1.5)
+
+
+def test_imbalance_balanced_is_one():
+    r = TimingReport(machine="m", nprocs=2, rank_times=[2.0, 2.0], rank_compute=[2.0, 2.0])
+    assert r.load_imbalance == 1.0
+
+
+def test_speedup_table():
+    reports = [make([5.0, 5.0], serial=10.0, nprocs=2), make([2.0] * 4, serial=10.0, nprocs=4)]
+    table = speedup_table(reports)
+    assert table == {2: 2.0, 4: 5.0}

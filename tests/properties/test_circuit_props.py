@@ -1,0 +1,61 @@
+"""Property-based tests for the circuit model and feedthrough insertion."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit, PinKind
+from repro.circuits.generator import SyntheticSpec, generate_circuit
+from repro.circuits.textio import dumps, loads
+from repro.circuits.validate import validate_circuit
+from repro.twgr.feedthrough import snap_to_boundary
+
+
+@st.composite
+def specs(draw):
+    rows = draw(st.integers(2, 10))
+    cells = draw(st.integers(rows * 2, rows * 10))
+    nets = draw(st.integers(1, 60))
+    return SyntheticSpec(name="c", rows=rows, cells=cells, nets=nets)
+
+
+@given(specs(), st.integers(0, 30))
+@settings(max_examples=30, deadline=None)
+def test_generated_circuits_always_valid(spec, seed):
+    validate_circuit(generate_circuit(spec, seed=seed))
+
+
+@given(specs(), st.integers(0, 10))
+@settings(max_examples=15, deadline=None)
+def test_textio_roundtrip_lossless(spec, seed):
+    c = generate_circuit(spec, seed=seed)
+    assert dumps(loads(dumps(c))) == dumps(c)
+
+
+@given(specs(), st.integers(0, 10), st.data())
+@settings(max_examples=20, deadline=None)
+def test_feed_insertion_preserves_invariants(spec, seed, data):
+    c = generate_circuit(spec, seed=seed)
+    row = data.draw(st.integers(0, spec.rows - 1))
+    width = c.row_width(row)
+    raw = data.draw(st.lists(st.integers(0, max(width, 1)), max_size=6))
+    positions = [snap_to_boundary(c, row, x) for x in raw]
+    before_pins = [(p.x, p.row) for p in c.pins]
+    created = c.insert_feedthroughs(row, positions)
+    assert len(created) == len(positions)
+    validate_circuit(c, allow_unbound_feeds=True)
+    # rows other than `row` untouched
+    for (bx, brow), pin in zip(before_pins, c.pins[: len(before_pins)]):
+        if brow != row:
+            assert pin.x == bx
+        else:
+            assert pin.x >= bx  # only rightward shifts
+    # row width grows by exactly the inserted material
+    assert c.row_width(row) >= width
+
+
+@given(specs(), st.integers(0, 10))
+@settings(max_examples=15, deadline=None)
+def test_clone_equivalence(spec, seed):
+    c = generate_circuit(spec, seed=seed)
+    d = c.clone()
+    assert dumps(c) == dumps(d)

@@ -1,0 +1,83 @@
+"""Property-based tests for the net-connection kernel."""
+
+import itertools
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.twgr.connect import ConnectStats, connection_mst, spans_for_edge
+from repro.parallel.common import make_cell_pin
+
+terminals = st.lists(
+    st.tuples(st.integers(0, 50), st.integers(0, 4)),
+    min_size=2,
+    max_size=7,
+)
+
+
+def edge_weight(a, b, row_pitch=10, penalty=10_000):
+    dr = abs(a[1] - b[1])
+    return abs(a[0] - b[0]) + row_pitch * dr + penalty * max(dr - 1, 0)
+
+
+def brute_force_mst_weight(pts, row_pitch=10, penalty=10_000):
+    """Exact MST weight by Kruskal over all pairs (small n)."""
+    n = len(pts)
+    edges = sorted(
+        (edge_weight(pts[i], pts[j], row_pitch, penalty), i, j)
+        for i in range(n)
+        for j in range(i + 1, n)
+    )
+    parent = list(range(n))
+
+    def find(a):
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        return a
+
+    total = 0
+    for w, i, j in edges:
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[ri] = rj
+            total += w
+    return total
+
+
+@given(terminals)
+@settings(max_examples=60, deadline=None)
+def test_connection_mst_is_optimal(pts):
+    xs = np.array([p[0] for p in pts])
+    rows = np.array([p[1] for p in pts])
+    edges = connection_mst(xs, rows, row_pitch=10, skip_row_penalty=10_000)
+    got = sum(edge_weight(pts[i], pts[j]) for i, j in edges)
+    assert got == brute_force_mst_weight(pts)
+
+
+@given(terminals)
+@settings(max_examples=40, deadline=None)
+def test_spans_conserve_horizontal_extent(pts):
+    """Per edge, the produced spans' horizontal length equals |dx| for
+    same/adjacent-row edges (no silent wire loss)."""
+    stats = ConnectStats()
+    for (x1, r1), (x2, r2) in itertools.combinations(pts, 2):
+        if abs(r1 - r2) > 1:
+            continue
+        a = make_cell_pin(0, x1, r1, side=1, has_equiv=False)
+        b = make_cell_pin(0, x2, r2, side=1, has_equiv=False)
+        spans = spans_for_edge(a, b, stats, row_pitch=10)
+        assert sum(s.length for s in spans) == abs(x1 - x2)
+
+
+@given(terminals)
+@settings(max_examples=40, deadline=None)
+def test_spans_channels_adjacent_to_rows(pts):
+    stats = ConnectStats()
+    for (x1, r1), (x2, r2) in itertools.combinations(pts, 2):
+        a = make_cell_pin(1, x1, r1, side=1, has_equiv=True)
+        b = make_cell_pin(1, x2, r2, side=-1, has_equiv=True)
+        for s in spans_for_edge(a, b, stats, row_pitch=10):
+            lo_r, hi_r = sorted((r1, r2))
+            assert lo_r <= s.channel <= hi_r + 1

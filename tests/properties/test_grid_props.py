@@ -1,0 +1,89 @@
+"""Property-based tests for the grid substrates."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid import ChannelSpan, CoarseGrid
+from repro.grid.coarse import RoutedSegment
+from repro.grid.leftedge import (
+    assign_tracks,
+    track_count_equals_density,
+    verify_assignment,
+)
+
+spans_strategy = st.lists(
+    st.tuples(st.integers(0, 20), st.integers(0, 100), st.integers(0, 100)).map(
+        lambda t: ChannelSpan(net=t[0], channel=1, lo=min(t[1], t[2]), hi=max(t[1], t[2]))
+    ),
+    max_size=40,
+)
+
+
+@given(spans_strategy)
+def test_leftedge_always_matches_density(spans):
+    """Left-edge track count == channel density, on any span set — this is
+    what makes 'density' the right track metric."""
+    assert track_count_equals_density(spans)
+
+
+@given(spans_strategy)
+def test_leftedge_always_legal(spans):
+    tracks, _ = assign_tracks(spans)
+    verify_assignment(spans, tracks)
+
+
+routes_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 10),          # net
+        st.integers(0, 7),           # gcol
+        st.integers(0, 5),           # row lo
+        st.integers(0, 5),           # row hi
+    ).map(
+        lambda t: RoutedSegment(
+            net=t[0], vert=(t[1], min(t[2], t[3]), max(t[2], t[3]))
+        )
+    ),
+    max_size=30,
+)
+
+
+@given(routes_strategy)
+def test_grid_add_remove_roundtrip(routes):
+    """Adding then removing every route restores a pristine grid."""
+    grid = CoarseGrid(ncols=8, nrows=6, col_width=8)
+    for r in routes:
+        grid.add_route(r)
+    assert grid.total_feed_demand() >= 0
+    for r in routes:
+        grid.remove_route(r)
+    assert grid.total_feed_demand() == 0
+    assert grid.husage.sum() == 0
+    assert grid.all_crossings() == []
+
+
+@given(routes_strategy)
+def test_grid_demand_counts_distinct_nets(routes):
+    """feed_demand[r, g] equals the number of distinct nets crossing."""
+    grid = CoarseGrid(ncols=8, nrows=6, col_width=8)
+    for r in routes:
+        grid.add_route(r)
+    expected = {}
+    for r in routes:
+        g, lo, hi = r.vert
+        for row in range(lo + 1, hi):
+            if 0 <= row < 6:
+                expected.setdefault((row, g), set()).add(r.net)
+    for (row, g), nets in expected.items():
+        assert grid.feed_demand[row, g] == len(nets)
+    assert grid.total_feed_demand() == sum(len(v) for v in expected.values())
+
+
+@given(routes_strategy, st.data())
+def test_grid_cost_zero_for_owned_resources(routes, data):
+    grid = CoarseGrid(ncols=8, nrows=6, col_width=8)
+    for r in routes:
+        grid.add_route(r)
+    if routes:
+        r = data.draw(st.sampled_from(routes))
+        assert grid.eval_cost(r) == 0.0  # everything already owned

@@ -1,0 +1,74 @@
+"""Property-based tests for the interval/density substrate.
+
+Channel density is the quality metric everything else reports, so its
+incremental bookkeeping must match a from-scratch computation under any
+add/remove sequence.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Interval, IntervalSet, max_overlap
+
+intervals = st.tuples(
+    st.integers(0, 200), st.integers(0, 200)
+).map(lambda t: Interval.spanning(*t))
+
+
+@given(st.lists(intervals, max_size=60))
+def test_incremental_density_matches_batch(ivs):
+    s = IntervalSet()
+    for iv in ivs:
+        s.add(iv)
+    assert s.density() == max_overlap(ivs)
+
+
+@given(st.lists(intervals, min_size=1, max_size=40), st.data())
+def test_add_remove_roundtrip(ivs, data):
+    s = IntervalSet(ivs)
+    # remove a random subset (by index), density must equal the remainder
+    k = data.draw(st.integers(0, len(ivs)))
+    removed = ivs[:k]
+    for iv in removed:
+        s.remove(iv)
+    assert s.density() == max_overlap(ivs[k:])
+    assert len(s) == len(ivs) - k
+
+
+@given(st.lists(intervals, max_size=40))
+def test_density_nonnegative_and_bounded(ivs):
+    d = max_overlap(ivs)
+    nonempty = sum(1 for iv in ivs if not iv.empty)
+    assert 0 <= d <= nonempty
+
+
+@given(st.lists(intervals, max_size=40), intervals)
+def test_adding_never_decreases_density(ivs, extra):
+    before = max_overlap(ivs)
+    after = max_overlap(ivs + [extra])
+    assert before <= after <= before + 1
+
+
+@given(st.lists(intervals, max_size=40))
+def test_density_permutation_invariant(ivs):
+    import random
+
+    shuffled = list(ivs)
+    random.Random(0).shuffle(shuffled)
+    assert max_overlap(ivs) == max_overlap(shuffled)
+
+
+@given(st.lists(intervals, max_size=30))
+def test_profile_max_equals_density(ivs):
+    s = IntervalSet(ivs)
+    profile = s.profile()
+    peak = max((d for _, d in profile), default=0)
+    assert peak == s.density()
+
+
+@given(st.lists(intervals, max_size=30))
+def test_density_at_never_exceeds_density(ivs):
+    s = IntervalSet(ivs)
+    cols = {iv.lo for iv in ivs} | {iv.hi - 1 for iv in ivs if not iv.empty}
+    for col in cols:
+        assert s.density_at(col) <= s.density()

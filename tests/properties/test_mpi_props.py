@@ -1,0 +1,80 @@
+"""Property-based tests for the simulated MPI layer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import CONCAT, MAX, MIN, SUM, run_spmd
+
+payloads = st.recursive(
+    st.integers(-1000, 1000) | st.text(max_size=8) | st.booleans(),
+    lambda inner: st.lists(inner, max_size=4)
+    | st.dictionaries(st.text(max_size=4), inner, max_size=4),
+    max_leaves=8,
+)
+
+
+@given(st.integers(1, 8), payloads)
+@settings(max_examples=25, deadline=None)
+def test_bcast_delivers_identical_payload(p, payload):
+    def prog(comm):
+        return comm.bcast(payload if comm.rank == 0 else None, root=0)
+
+    out = run_spmd(p, prog)
+    assert out.values == [payload] * p
+
+
+@given(st.integers(1, 8), st.lists(st.integers(-100, 100), min_size=8, max_size=8))
+@settings(max_examples=25, deadline=None)
+def test_allreduce_agrees_with_python(p, values):
+    values = values[:p]
+
+    def prog(comm):
+        v = values[comm.rank]
+        return (
+            comm.allreduce(v, SUM),
+            comm.allreduce(v, MAX),
+            comm.allreduce(v, MIN),
+        )
+
+    out = run_spmd(p, prog)
+    expected = (sum(values), max(values), min(values))
+    assert out.values == [expected] * p
+
+
+@given(st.integers(2, 8))
+@settings(max_examples=10, deadline=None)
+def test_alltoall_is_transpose(p):
+    def prog(comm):
+        return comm.alltoall([(comm.rank, d) for d in range(comm.size)])
+
+    out = run_spmd(p, prog)
+    for r in range(p):
+        assert out.values[r] == [(s, r) for s in range(p)]
+
+
+@given(st.integers(1, 8), st.integers(0, 7))
+@settings(max_examples=20, deadline=None)
+def test_gather_concat_order(p, root):
+    root = root % p
+
+    def prog(comm):
+        return comm.gather([comm.rank], root=root)
+
+    out = run_spmd(p, prog)
+    assert out.values[root] == [[r] for r in range(p)]
+
+
+@given(st.integers(1, 6), st.integers(1, 5))
+@settings(max_examples=15, deadline=None)
+def test_collective_sequences_compose(p, rounds):
+    """Arbitrary-length sequences of collectives stay correctly matched."""
+
+    def prog(comm):
+        acc = 0
+        for i in range(rounds):
+            acc += comm.allreduce(comm.rank + i, SUM)
+            acc += comm.bcast(acc if comm.rank == i % comm.size else None, root=i % comm.size)
+        return acc
+
+    out = run_spmd(p, prog)
+    assert len(set(out.values)) == 1  # SPMD: every rank computes the same

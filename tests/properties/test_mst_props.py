@@ -1,0 +1,70 @@
+"""Property-based tests for the MST and Steiner-tree kernels."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point
+from repro.steiner import build_net_tree, kruskal_mst, mst_length, prim_mst
+from repro.steiner.tree import tree_segments
+
+coords_strategy = st.lists(
+    st.tuples(st.integers(0, 100), st.integers(0, 30)),
+    min_size=2,
+    max_size=16,
+).map(lambda pts: np.array(pts, dtype=np.int64))
+
+
+@given(coords_strategy)
+def test_prim_is_spanning_tree(coords):
+    edges = prim_mst(coords)
+    n = len(coords)
+    assert len(edges) == n - 1
+    # union-find connectivity
+    parent = list(range(n))
+
+    def find(a):
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        return a
+
+    for i, j in edges:
+        parent[find(i)] = find(j)
+    assert len({find(v) for v in range(n)}) == 1
+
+
+@given(coords_strategy)
+def test_prim_optimal_weight(coords):
+    assert mst_length(coords, prim_mst(coords)) == mst_length(
+        coords, kruskal_mst(coords)
+    )
+
+
+@given(coords_strategy, st.integers(1, 20))
+def test_row_pitch_scaling_consistent(coords, pitch):
+    edges = prim_mst(coords, row_pitch=pitch)
+    assert len(edges) == len(coords) - 1
+    # the pitched MST is optimal in the pitched metric
+    assert mst_length(coords, edges, pitch) == mst_length(
+        coords, kruskal_mst(coords, row_pitch=pitch), pitch
+    )
+
+
+@given(coords_strategy)
+def test_steiner_tree_connected_and_no_longer_than_mst(coords):
+    pts = [Point(int(x), int(r)) for x, r in coords]
+    plain = build_net_tree(0, pts, refine=False)
+    refined = build_net_tree(0, pts, refine=True)
+    assert refined.is_connected()
+    assert refined.length() <= plain.length()
+    assert refined.num_terminals == len(pts)
+    assert refined.points[: len(pts)] == pts
+
+
+@given(coords_strategy)
+def test_tree_segments_cover_tree_length(coords):
+    pts = [Point(int(x), int(r)) for x, r in coords]
+    tree = build_net_tree(0, pts)
+    seg_len = sum(s.length() for s in tree_segments(tree))
+    assert seg_len == tree.length()

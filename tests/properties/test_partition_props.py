@@ -1,0 +1,67 @@
+"""Property-based tests for partitioning invariants (paper §3–§5).
+
+The partition layer must never lose or duplicate work whatever the
+circuit shape: every row/net/pin belongs to exactly one owner, and the
+row blocks stay contiguous.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.generator import SyntheticSpec, generate_circuit
+from repro.parallel import NET_SCHEMES, RowPartition, partition_nets
+
+
+@st.composite
+def circuits(draw):
+    rows = draw(st.integers(2, 12))
+    cells = draw(st.integers(rows * 2, rows * 12))
+    nets = draw(st.integers(2, 80))
+    seed = draw(st.integers(0, 50))
+    spec = SyntheticSpec(name="p", rows=rows, cells=cells, nets=nets)
+    return generate_circuit(spec, seed=seed)
+
+
+@given(circuits(), st.data())
+@settings(max_examples=25, deadline=None)
+def test_row_partition_contiguous_and_total(circuit, data):
+    nprocs = data.draw(st.integers(1, circuit.num_rows))
+    part = RowPartition.balanced(circuit, nprocs)
+    seen = []
+    for k in range(nprocs):
+        block = list(part.rows_of(k))
+        assert block, f"rank {k} got no rows"
+        assert block == list(range(block[0], block[-1] + 1))
+        seen.extend(block)
+    assert seen == list(range(circuit.num_rows))
+
+
+@given(circuits(), st.data())
+@settings(max_examples=25, deadline=None)
+def test_channel_ownership_partition(circuit, data):
+    nprocs = data.draw(st.integers(1, circuit.num_rows))
+    part = RowPartition.balanced(circuit, nprocs)
+    owners = [part.owner_of_channel(c) for c in range(circuit.num_rows + 1)]
+    assert set(owners) <= set(range(nprocs))
+    assert owners == sorted(owners)
+
+
+@given(circuits(), st.sampled_from(NET_SCHEMES), st.data())
+@settings(max_examples=25, deadline=None)
+def test_net_partition_total_function(circuit, scheme, data):
+    nprocs = data.draw(st.integers(1, min(8, circuit.num_rows)))
+    part = RowPartition.balanced(circuit, nprocs)
+    owner = partition_nets(circuit, nprocs, scheme=scheme, row_part=part)
+    assert len(owner) == len(circuit.nets)
+    assert ((owner >= 0) & (owner < nprocs)).all()
+
+
+@given(circuits(), st.floats(0.5, 3.0), st.data())
+@settings(max_examples=20, deadline=None)
+def test_pin_weight_no_empty_rank_when_enough_nets(circuit, alpha, data):
+    nprocs = data.draw(st.integers(1, min(4, len(circuit.nets), circuit.num_rows)))
+    owner = partition_nets(circuit, nprocs, scheme="pin_weight", alpha=alpha)
+    counts = np.bincount(owner, minlength=nprocs)
+    if len(circuit.nets) >= nprocs:
+        assert (counts > 0).all()

@@ -1,0 +1,51 @@
+"""Property-based tests over whole routing runs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.generator import SyntheticSpec, generate_circuit
+from repro.parallel import route_parallel
+from repro.twgr import GlobalRouter, RouterConfig
+
+
+@st.composite
+def routable_circuits(draw):
+    rows = draw(st.integers(3, 8))
+    cells = draw(st.integers(rows * 3, rows * 8))
+    nets = draw(st.integers(4, 40))
+    seed = draw(st.integers(0, 20))
+    spec = SyntheticSpec(name="r", rows=rows, cells=cells, nets=nets)
+    return generate_circuit(spec, seed=seed)
+
+
+@given(routable_circuits(), st.integers(0, 10))
+@settings(max_examples=15, deadline=None)
+def test_serial_route_invariants(circuit, seed):
+    result = GlobalRouter(RouterConfig(seed=seed)).route(circuit)
+    assert result.total_tracks >= 0
+    assert result.total_tracks == sum(result.channel_tracks.values())
+    assert set(result.channel_tracks) == set(range(circuit.num_rows + 1))
+    assert result.unplanned_crossings == 0
+    assert result.horizontal_wirelength >= 0
+    assert result.vertical_wirelength >= 0
+    assert result.area >= 0
+    assert result.num_feedthroughs >= 0
+
+
+@given(routable_circuits(), st.integers(0, 5), st.data())
+@settings(max_examples=10, deadline=None)
+def test_parallel_route_invariants(circuit, seed, data):
+    nprocs = data.draw(st.integers(1, min(4, circuit.num_rows)))
+    algo = data.draw(st.sampled_from(["rowwise", "netwise", "hybrid"]))
+    config = RouterConfig(seed=seed)
+    run = route_parallel(circuit, algo, nprocs=nprocs, config=config, compute_baseline=False)
+    r = run.result
+    assert r.total_tracks >= 0
+    assert set(r.channel_tracks) == set(range(circuit.num_rows + 1))
+    assert r.unplanned_crossings == 0
+    assert r.nprocs == nprocs
+    serial = GlobalRouter(config).route(circuit)
+    # parallel quality stays within a sane band of serial on any input
+    if serial.total_tracks > 0:
+        assert r.total_tracks / serial.total_tracks < 2.0

@@ -1,0 +1,74 @@
+import numpy as np
+import pytest
+
+from repro.perfmodel.counter import TallyCounter
+from repro.steiner import kruskal_mst, mst_length, prim_mst
+
+
+def test_empty_and_single():
+    assert prim_mst(np.empty((0, 2), dtype=np.int64)) == []
+    assert prim_mst(np.array([[1, 1]])) == []
+
+
+def test_two_points():
+    edges = prim_mst(np.array([[0, 0], [5, 3]]))
+    assert edges == [(0, 1)]
+
+
+def test_tree_shape():
+    coords = np.array([[0, 0], [10, 0], [5, 5], [2, 8]])
+    edges = prim_mst(coords)
+    assert len(edges) == 3
+    # every vertex reached
+    seen = {0}
+    for i, j in edges:
+        assert i in seen
+        seen.add(j)
+    assert seen == {0, 1, 2, 3}
+
+
+def test_prim_matches_kruskal_length():
+    rng = np.random.default_rng(0)
+    for _ in range(20):
+        n = int(rng.integers(2, 15))
+        coords = rng.integers(0, 50, size=(n, 2))
+        lp = mst_length(coords, prim_mst(coords))
+        lk = mst_length(coords, kruskal_mst(coords))
+        assert lp == lk
+
+
+def test_row_pitch_changes_tree():
+    # with a huge row pitch, connecting within the same row wins
+    coords = np.array([[0, 0], [100, 0], [50, 1]])
+    flat = prim_mst(coords, row_pitch=1)
+    tall = prim_mst(coords, row_pitch=1000)
+    assert mst_length(coords, flat, 1) <= mst_length(coords, tall, 1)
+    # in the tall metric, the same-row edge (0-1) must be used
+    assert (0, 1) in tall or (1, 0) in tall
+
+
+def test_duplicate_points_zero_edges():
+    coords = np.array([[3, 3], [3, 3], [3, 3]])
+    edges = prim_mst(coords)
+    assert len(edges) == 2
+    assert mst_length(coords, edges) == 0
+
+
+def test_work_counted():
+    counter = TallyCounter()
+    coords = np.arange(20).reshape(10, 2)
+    prim_mst(coords, counter=counter)
+    # O(n^2): n units per round, n-1 rounds
+    assert counter.units["steiner"] == 10 * 9
+
+
+def test_deterministic():
+    rng = np.random.default_rng(1)
+    coords = rng.integers(0, 30, size=(12, 2))
+    assert prim_mst(coords) == prim_mst(coords)
+
+
+def test_collinear_chain():
+    coords = np.array([[0, 0], [1, 0], [2, 0], [3, 0]])
+    edges = prim_mst(coords)
+    assert mst_length(coords, edges) == 3

@@ -1,0 +1,43 @@
+import numpy as np
+import pytest
+
+from repro.twgr import RouterConfig
+
+
+def test_defaults_valid():
+    RouterConfig().validate()
+
+
+def test_rng_streams_independent_and_reproducible():
+    cfg = RouterConfig(seed=5)
+    a1 = cfg.rng(2, 0).integers(0, 1000, 10)
+    a2 = cfg.rng(2, 0).integers(0, 1000, 10)
+    b = cfg.rng(2, 1).integers(0, 1000, 10)
+    c = cfg.rng(5, 0).integers(0, 1000, 10)
+    assert (a1 == a2).all()
+    assert not (a1 == b).all()
+    assert not (a1 == c).all()
+
+
+def test_with_seed():
+    cfg = RouterConfig(seed=1)
+    other = cfg.with_seed(2)
+    assert other.seed == 2
+    assert other.col_width == cfg.col_width
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        RouterConfig(col_width=0).validate()
+    with pytest.raises(ValueError):
+        RouterConfig(row_pitch=0).validate()
+    with pytest.raises(ValueError):
+        RouterConfig(coarse_passes=0).validate()
+    with pytest.raises(ValueError):
+        RouterConfig(switch_passes=-1).validate()
+    with pytest.raises(ValueError):
+        RouterConfig(cell_height=0).validate()
+
+
+def test_config_hashable():
+    assert hash(RouterConfig(seed=1)) != hash(RouterConfig(seed=2))

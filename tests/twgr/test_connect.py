@@ -1,0 +1,152 @@
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, PinKind
+from repro.twgr import connect_nets, connection_mst
+from repro.twgr.connect import ConnectStats, spans_for_edge
+from repro.parallel.common import make_cell_pin, make_feed_pin
+
+
+def test_mst_prefers_adjacent_rows():
+    xs = np.array([0, 0, 0])
+    rows = np.array([0, 1, 2])
+    edges = connection_mst(xs, rows, row_pitch=10, skip_row_penalty=10_000)
+    # chain 0-1-2, never the skip edge 0-2
+    pairs = {frozenset(e) for e in edges}
+    assert frozenset((0, 2)) not in pairs
+
+
+def test_mst_two_terminals():
+    edges = connection_mst(np.array([0, 9]), np.array([0, 0]), 10, 10_000)
+    assert edges == [(0, 1)]
+
+
+def test_spans_same_row_switchable():
+    stats = ConnectStats()
+    a = make_feed_pin(1, 0, 2)
+    b = make_feed_pin(1, 9, 2)
+    spans = spans_for_edge(a, b, stats, row_pitch=10)
+    assert len(spans) == 1
+    s = spans[0]
+    assert s.switchable and s.row == 2
+    assert s.channel == 3  # switchable spans start above
+    assert (s.lo, s.hi) == (0, 9)
+
+
+def test_spans_same_row_fixed_sides():
+    stats = ConnectStats()
+    a = make_cell_pin(1, 0, 2, side=-1, has_equiv=False)
+    b = make_cell_pin(1, 9, 2, side=-1, has_equiv=False)
+    spans = spans_for_edge(a, b, stats, row_pitch=10)
+    assert spans[0].channel == 2  # both prefer below
+    assert not spans[0].switchable
+
+
+def test_spans_side_conflict_counted():
+    stats = ConnectStats()
+    a = make_cell_pin(1, 0, 2, side=-1, has_equiv=False)
+    b = make_cell_pin(1, 9, 2, side=1, has_equiv=False)
+    spans = spans_for_edge(a, b, stats, row_pitch=10)
+    assert stats.side_conflicts == 1
+    assert spans[0].channel == 3
+
+
+def test_spans_equiv_defers_to_fixed():
+    stats = ConnectStats()
+    fixed = make_cell_pin(1, 0, 2, side=-1, has_equiv=False)
+    flexible = make_cell_pin(1, 9, 2, side=1, has_equiv=True)
+    spans = spans_for_edge(fixed, flexible, stats, row_pitch=10)
+    assert spans[0].channel == 2  # follows the fixed pin
+    assert stats.side_conflicts == 0
+
+
+def test_spans_adjacent_rows():
+    stats = ConnectStats()
+    a = make_cell_pin(1, 0, 2, side=1, has_equiv=False)
+    b = make_cell_pin(1, 9, 3, side=1, has_equiv=False)
+    spans = spans_for_edge(a, b, stats, row_pitch=10)
+    assert len(spans) == 1
+    assert spans[0].channel == 3  # between rows 2 and 3
+    assert stats.vertical_wirelength == 10
+
+
+def test_spans_zero_length_same_row():
+    stats = ConnectStats()
+    a = make_feed_pin(1, 5, 2)
+    b = make_feed_pin(1, 5, 2)
+    assert spans_for_edge(a, b, stats, row_pitch=10) == []
+
+
+def test_spans_row_skip_fallback():
+    stats = ConnectStats()
+    a = make_cell_pin(1, 0, 0, side=1, has_equiv=False)
+    b = make_cell_pin(1, 9, 3, side=1, has_equiv=False)
+    spans = spans_for_edge(a, b, stats, row_pitch=10)
+    assert stats.unplanned_crossings == 2
+    assert {s.channel for s in spans} == {1, 2, 3}
+
+
+def circuit_one_net():
+    c = Circuit("cn")
+    for _ in range(3):
+        c.add_row()
+    cells = [c.add_cell(r, 0, 4) for r in range(3)]
+    n = c.add_net()
+    for cell in cells:
+        c.add_pin(n.id, cell.id, offset=1)
+    return c
+
+
+def test_connect_nets_basic():
+    c = circuit_one_net()
+    spans, stats = connect_nets(c, [0], row_pitch=10)
+    assert stats.vertical_wirelength == 20  # chain through 3 rows
+    assert stats.unplanned_crossings == 0
+
+
+def test_connect_skips_single_pin_nets():
+    c = circuit_one_net()
+    c.nets[0].pins = c.nets[0].pins[:1]
+    spans, stats = connect_nets(c, [0], row_pitch=10)
+    assert spans == []
+
+
+class TestFakesAsLeaves:
+    def circuit(self):
+        c = Circuit("fl")
+        for _ in range(2):
+            c.add_row()
+        a = c.add_cell(0, 0, 4)
+        b = c.add_cell(0, 40, 4)
+        n = c.add_net()
+        c.add_pin(n.id, a.id, offset=0)
+        c.add_pin(n.id, b.id, offset=0)
+        return c, n
+
+    def test_fakes_attach_to_nearest_real(self):
+        c, n = self.circuit()
+        c.add_pin(n.id, -1, kind=PinKind.FAKE, x=2, row=0, side=1)
+        c.add_pin(n.id, -1, kind=PinKind.FAKE, x=38, row=0, side=1)
+        spans, _ = connect_nets(c, [n.id], row_pitch=10, fakes_as_leaves=True)
+        # real-real edge + 2 short fake attachments; fake-to-fake rail absent
+        lengths = sorted(s.length for s in spans)
+        assert lengths == [2, 2, 40]
+
+    def test_without_leaf_mode_fakes_join_mst(self):
+        c, n = self.circuit()
+        c.add_pin(n.id, -1, kind=PinKind.FAKE, x=2, row=0, side=1)
+        c.add_pin(n.id, -1, kind=PinKind.FAKE, x=38, row=0, side=1)
+        spans, _ = connect_nets(c, [n.id], row_pitch=10, fakes_as_leaves=False)
+        # MST over 4 terminals: 3 edges, total length 40
+        assert sorted(s.length for s in spans) == [2, 2, 36]
+
+    def test_pass_through_fragment_chains_fakes(self):
+        c = Circuit("pt")
+        c.add_row()
+        c.add_row()
+        n = c.add_net()
+        c.add_pin(n.id, -1, kind=PinKind.FAKE, x=2, row=0, side=1)
+        c.add_pin(n.id, -1, kind=PinKind.FAKE, x=2, row=1, side=-1)
+        spans, stats = connect_nets(c, [n.id], row_pitch=10, fakes_as_leaves=True)
+        assert stats.vertical_wirelength == 10  # vertical chain, no spans
+        assert spans == []

@@ -1,0 +1,121 @@
+"""Router behaviour on pathological circuits."""
+
+import pytest
+
+from repro.circuits import Circuit, CircuitBuilder
+from repro.parallel import route_parallel
+from repro.twgr import GlobalRouter, RouterConfig
+
+
+def route(circuit, seed=1):
+    return GlobalRouter(RouterConfig(seed=seed)).route(circuit)
+
+
+def test_single_net_two_rows():
+    b = CircuitBuilder(rows=2)
+    a = b.cell(row=0, width=4)
+    c = b.cell(row=1, width=8)
+    b.net("n", [(a, 0), (c, 6)])
+    r = route(b.build())
+    assert r.total_tracks == 1  # one span in the channel between the rows
+    assert r.num_feedthroughs == 0  # adjacent rows need no feeds
+
+
+def test_aligned_pins_need_no_tracks():
+    """Pins stacked in one column connect by a pure vertical: zero
+    horizontal tracks, wirelength equal to the row pitch."""
+    b = CircuitBuilder(rows=2)
+    a = b.cell(row=0, width=4)
+    c = b.cell(row=1, width=4)
+    b.net("n", [(a, 0), (c, 0)])
+    r = route(b.build())
+    assert r.total_tracks == 0
+    assert r.vertical_wirelength == RouterConfig().row_pitch
+
+
+def test_single_net_spanning_many_rows():
+    b = CircuitBuilder(rows=6)
+    a = b.cell(row=0, width=4)
+    c = b.cell(row=5, width=4)
+    b.net("n", [(a, 0), (c, 0)])
+    r = route(b.build())
+    assert r.num_feedthroughs == 4  # one per interior row
+    assert r.unplanned_crossings == 0
+
+
+def test_all_nets_in_one_row():
+    b = CircuitBuilder(rows=3)
+    cells = [b.cell(row=1, width=4) for _ in range(10)]
+    for i in range(9):
+        b.net(f"n{i}", [(cells[i], 0), (cells[i + 1], 0)])
+    r = route(b.build())
+    assert r.num_feedthroughs == 0
+    # only the channels around row 1 carry anything
+    for ch, tracks in r.channel_tracks.items():
+        if ch not in (1, 2):
+            assert tracks == 0
+
+
+def test_two_pin_nets_on_same_cell_pair():
+    b = CircuitBuilder(rows=1)
+    a = b.cell(row=0, width=4)
+    c = b.cell(row=0, width=4)
+    for i in range(5):
+        b.net(f"n{i}", [(a, i % 4), (c, i % 4)])
+    r = route(b.build())
+    assert r.total_tracks >= 1
+
+
+def test_wide_cells_and_sparse_row():
+    b = CircuitBuilder(rows=2)
+    a = b.cell(row=0, width=200)
+    c = b.cell(row=1, width=3, x=500)
+    b.net("n", [(a, 150), (c, 1)])
+    r = route(b.build())
+    assert r.total_tracks >= 1
+    assert r.core_width >= 503
+
+
+def test_degenerate_zero_length_everything():
+    """Pins stacked at identical coordinates must not crash anything."""
+    b = CircuitBuilder(rows=2)
+    a = b.cell(row=0, width=1)
+    c = b.cell(row=1, width=1)
+    b.net("n1", [(a, 0), (c, 0)])
+    b.net("n2", [(a, 0), (c, 0)])
+    r = route(b.build())
+    assert r.total_tracks >= 0
+
+
+def test_parallel_on_minimal_two_row_circuit():
+    b = CircuitBuilder(rows=2)
+    cells = [b.cell(row=r, width=4) for r in range(2) for _ in range(4)]
+    for i in range(0, 7):
+        b.net(f"n{i}", [(cells[i], 0), (cells[i + 1], 0)])
+    circuit = b.build()
+    for algo in ("rowwise", "netwise", "hybrid"):
+        run = route_parallel(
+            circuit, algo, nprocs=2, config=RouterConfig(seed=1),
+            compute_baseline=False,
+        )
+        assert run.result.unplanned_crossings == 0
+
+
+def test_router_rejects_unvalidated_garbage():
+    c = Circuit("bad")
+    c.add_row()
+    cell = c.add_cell(0, 0, 4)
+    n = c.add_net()
+    c.add_pin(n.id, cell.id, offset=0)
+    # single-pin net: router tolerates it (skips connection), no crash
+    r = route(c)
+    assert r.total_tracks == 0
+
+
+def test_huge_single_net():
+    b = CircuitBuilder(rows=4)
+    cells = [b.cell(row=r % 4, width=3) for r in range(60)]
+    b.net("mega", [(c, 0) for c in cells])
+    r = route(b.build())
+    assert r.total_tracks >= 1
+    assert r.unplanned_crossings == 0

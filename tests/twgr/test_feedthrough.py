@@ -1,0 +1,111 @@
+import pytest
+
+from repro.circuits import Circuit
+from repro.circuits.validate import validate_circuit
+from repro.grid.coarse import CoarseGrid, RoutedSegment
+from repro.twgr import assign_feedthroughs, insert_feedthroughs
+from repro.twgr.feedthrough import snap_to_boundary
+
+
+def circuit_with_rows(nrows=5, cells_per_row=4, width=6):
+    c = Circuit("f")
+    for _ in range(nrows):
+        c.add_row()
+    for r in range(nrows):
+        for k in range(cells_per_row):
+            c.add_cell(r, k * width, width)
+    return c
+
+
+def loaded_grid(nets_and_verts, nrows=5):
+    g = CoarseGrid(ncols=4, nrows=nrows, col_width=8)
+    for net, vert in nets_and_verts:
+        g.add_route(RoutedSegment(net=net, vert=vert))
+    return g
+
+
+class TestSnap:
+    def test_inside_cell_snaps_to_nearer_edge(self):
+        c = circuit_with_rows()
+        assert snap_to_boundary(c, 0, 1) == 0  # nearer to left edge of [0,6)
+        assert snap_to_boundary(c, 0, 5) == 6  # nearer to right edge
+
+    def test_at_boundary_unchanged(self):
+        c = circuit_with_rows()
+        assert snap_to_boundary(c, 0, 6) == 6
+
+    def test_right_of_row_unchanged(self):
+        c = circuit_with_rows()
+        assert snap_to_boundary(c, 0, 100) == 100
+
+    def test_empty_row(self):
+        c = Circuit()
+        c.add_row()
+        assert snap_to_boundary(c, 0, 5) == 5
+        assert snap_to_boundary(c, 0, -3) == 0
+
+
+class TestInsertAssign:
+    def test_one_feed_per_crossing(self):
+        c = circuit_with_rows()
+        net_a, net_b = c.add_net(), c.add_net()
+        g = loaded_grid([(net_a.id, (1, 0, 4)), (net_b.id, (2, 0, 4))])
+        plan = insert_feedthroughs(c, g)
+        # rows 1..3 are interior: each gets 2 feeds (one per net)
+        assert plan.total == 6
+        assert [len(plan.feeds_by_row[r]) for r in range(5)] == [0, 2, 2, 2, 0]
+        # structural row integrity after insertion (nets here are bare,
+        # so full validation does not apply)
+        for row in c.rows:
+            xs = [c.cells[cid].x for cid in row.cells]
+            assert xs == sorted(xs)
+
+    def test_assignment_binds_all(self):
+        c = circuit_with_rows()
+        net_a, net_b = c.add_net(), c.add_net()
+        g = loaded_grid([(net_a.id, (1, 0, 4)), (net_b.id, (2, 0, 4))])
+        plan = insert_feedthroughs(c, g)
+        bound = assign_feedthroughs(c, g, plan)
+        assert set(bound) == {net_a.id, net_b.id}
+        assert all(len(v) == 3 for v in bound.values())
+        # all feed pins now bound: full validation passes once nets have
+        # enough pins (feeds alone give each net 3 pins)
+        for net_id, pins in bound.items():
+            for pid in pins:
+                assert c.pins[pid].net == net_id
+
+    def test_assignment_preserves_x_order(self):
+        c = circuit_with_rows()
+        net_a, net_b = c.add_net(), c.add_net()
+        # net_a crosses at gcol 1 (center x=12), net_b at gcol 3 (center 28)
+        g = loaded_grid([(net_a.id, (1, 0, 2)), (net_b.id, (3, 0, 2))])
+        plan = insert_feedthroughs(c, g)
+        bound = assign_feedthroughs(c, g, plan)
+        xa = c.pins[bound[net_a.id][0]].x
+        xb = c.pins[bound[net_b.id][0]].x
+        assert xa < xb
+
+    def test_rows_subset(self):
+        c = circuit_with_rows()
+        net = c.add_net()
+        g = loaded_grid([(net.id, (1, 0, 4))])
+        plan = insert_feedthroughs(c, g, rows=[1, 2])
+        assert set(plan.feeds_by_row) == {1, 2}
+        assert plan.total == 2
+
+    def test_count_mismatch_detected(self):
+        c = circuit_with_rows()
+        net = c.add_net()
+        g = loaded_grid([(net.id, (1, 0, 4))])
+        plan = insert_feedthroughs(c, g)
+        # route another crossing after insertion: counts now disagree
+        g.add_route(RoutedSegment(net=c.add_net().id, vert=(1, 0, 4)))
+        with pytest.raises(RuntimeError, match="crossings"):
+            assign_feedthroughs(c, g, plan)
+
+    def test_no_crossings_no_feeds(self):
+        c = circuit_with_rows()
+        g = loaded_grid([])
+        plan = insert_feedthroughs(c, g)
+        assert plan.total == 0
+        assert assign_feedthroughs(c, g, plan) == {}

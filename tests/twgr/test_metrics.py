@@ -1,0 +1,84 @@
+"""Direct tests of the quality-metric computation (area model)."""
+
+import pytest
+
+from repro.circuits import Circuit
+from repro.grid.channels import ChannelSpan, build_state
+from repro.twgr import RouterConfig
+from repro.twgr.connect import ConnectStats
+from repro.twgr.metrics import compute_result
+
+
+def circuit_fixture():
+    c = Circuit("m")
+    for _ in range(2):
+        c.add_row()
+    a = c.add_cell(0, 0, 10)
+    d = c.add_cell(1, 0, 6)
+    n = c.add_net()
+    c.add_pin(n.id, a.id, offset=0)
+    c.add_pin(n.id, d.id, offset=0)
+    return c
+
+
+def make_result(spans, config=None, **kw):
+    c = circuit_fixture()
+    state = build_state(spans, 0, c.num_rows)
+    stats = ConnectStats(vertical_wirelength=kw.pop("vwl", 0))
+    return c, compute_result(
+        c, state, spans, stats, num_feeds=kw.pop("feeds", 0),
+        flips=kw.pop("flips", 0), config=config or RouterConfig(), **kw,
+    )
+
+
+def test_area_formula():
+    cfg = RouterConfig(cell_height=10, track_pitch=2)
+    spans = [ChannelSpan(net=0, channel=1, lo=0, hi=5)]
+    c, r = make_result(spans, config=cfg)
+    # width 10, height = 2 rows * 10 + 1 track * 2
+    assert r.core_width == 10
+    assert r.area == 10 * (2 * 10 + 1 * 2)
+
+
+def test_empty_routing_zero_tracks():
+    c, r = make_result([])
+    assert r.total_tracks == 0
+    assert r.area == 10 * 20  # rows only
+    assert set(r.channel_tracks) == {0, 1, 2}
+
+
+def test_wirelength_split():
+    spans = [
+        ChannelSpan(net=0, channel=1, lo=0, hi=7),
+        ChannelSpan(net=0, channel=2, lo=2, hi=4),
+    ]
+    _, r = make_result(spans, vwl=30)
+    assert r.horizontal_wirelength == 9
+    assert r.vertical_wirelength == 30
+    assert r.wirelength == 39
+
+
+def test_channel_tracks_sum():
+    spans = [
+        ChannelSpan(net=0, channel=1, lo=0, hi=5),
+        ChannelSpan(net=1, channel=1, lo=2, hi=8),
+        ChannelSpan(net=2, channel=0, lo=0, hi=3),
+    ]
+    _, r = make_result(spans)
+    assert r.channel_tracks == {0: 1, 1: 2, 2: 0}
+    assert r.total_tracks == 3
+
+
+def test_passthrough_fields():
+    _, r = make_result([], feeds=7, flips=3, algorithm="hybrid", nprocs=4)
+    assert r.num_feedthroughs == 7
+    assert r.flips == 3
+    assert r.algorithm == "hybrid"
+    assert r.nprocs == 4
+
+
+def test_summary_mentions_key_metrics():
+    _, r = make_result([ChannelSpan(net=0, channel=1, lo=0, hi=5)])
+    s = r.summary()
+    assert "tracks=1" in s
+    assert "area=" in s

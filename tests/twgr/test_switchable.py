@@ -1,0 +1,111 @@
+import numpy as np
+import pytest
+
+from repro.grid import ChannelSpan
+from repro.grid.channels import build_state
+from repro.twgr import optimize_switchable
+
+
+def sw(net, channel, lo, hi, row):
+    return ChannelSpan(net=net, channel=channel, lo=lo, hi=hi, switchable=True, row=row)
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_relieves_overloaded_channel():
+    # channel 2 carries a 3-deep stack at columns 0..10; channel 1's own
+    # traffic lives at columns 20..30, so stack members can move under
+    # channel 1's existing tracks and reduce the total
+    spans = [sw(i, 2, 0, 10, row=1) for i in range(3)]
+    fixed = [
+        ChannelSpan(net=10 + i, channel=1, lo=20, hi=30) for i in range(2)
+    ]
+    state = build_state(spans + fixed, 0, 3)
+    before = state.total_tracks()
+    flips = optimize_switchable(spans, state, rng(), passes=3)
+    assert flips > 0
+    assert state.total_tracks() < before
+
+
+def test_total_tracks_never_increase():
+    spans = [sw(i, 1 + i % 2, (i * 3) % 20, (i * 3) % 20 + 8, row=1) for i in range(12)]
+    state = build_state(spans, 0, 3)
+    before = state.total_tracks()
+    optimize_switchable(spans, state, rng(), passes=4)
+    assert state.total_tracks() <= before
+
+
+def test_non_switchable_untouched():
+    fixed = ChannelSpan(net=0, channel=2, lo=0, hi=10)
+    spans = [fixed] + [sw(i, 2, 0, 10, row=1) for i in range(1, 4)]
+    state = build_state(spans, 0, 3)
+    optimize_switchable(spans, state, rng(), passes=3)
+    assert fixed.channel == 2
+
+
+def test_no_candidates_returns_zero():
+    spans = [ChannelSpan(net=0, channel=1, lo=0, hi=5)]
+    state = build_state(spans, 0, 2)
+    assert optimize_switchable(spans, state, rng(), passes=3) == 0
+
+
+def test_zero_passes():
+    spans = [sw(0, 1, 0, 5, row=1)]
+    state = build_state(spans, 0, 2)
+    assert optimize_switchable(spans, state, rng(), passes=0) == 0
+
+
+def test_deterministic():
+    def run():
+        spans = [sw(i, 1 + i % 2, (i * 7) % 30, (i * 7) % 30 + 10, row=1) for i in range(20)]
+        state = build_state(spans, 0, 3)
+        flips = optimize_switchable(spans, state, np.random.default_rng(9), passes=3)
+        return flips, [s.channel for s in spans]
+
+    assert run() == run()
+
+
+def test_sync_chunk_counts_fixed():
+    calls = []
+    spans = [sw(i, 2, 0, 10, row=1) for i in range(7)]
+    state = build_state(spans, 0, 3)
+    optimize_switchable(
+        spans, state, rng(), passes=2, sync=lambda: calls.append(1), syncs_per_pass=3
+    )
+    assert len(calls) == 6  # 3 per pass, 2 passes, no early stop
+
+
+def test_sync_called_without_candidates():
+    calls = []
+    state = build_state([], 0, 2)
+    optimize_switchable(
+        [], state, rng(), passes=2, sync=lambda: calls.append(1), syncs_per_pass=2
+    )
+    assert len(calls) == 4
+
+
+def test_sync_once_mode():
+    calls = []
+    spans = [sw(i, 2, 0, 10, row=1) for i in range(5)]
+    state = build_state(spans, 0, 3)
+    optimize_switchable(
+        spans, state, rng(), passes=3, sync=lambda: calls.append(1), syncs_per_pass=0
+    )
+    assert len(calls) == 1
+
+
+def test_result_same_with_and_without_trivial_sync():
+    """A no-op sync must not change the optimization outcome."""
+
+    def run(sync, chunks):
+        spans = [sw(i, 1 + i % 2, (i * 5) % 25, (i * 5) % 25 + 9, row=1) for i in range(15)]
+        state = build_state(spans, 0, 3)
+        optimize_switchable(
+            spans, state, np.random.default_rng(4), passes=3,
+            sync=sync, syncs_per_pass=chunks,
+        )
+        return [s.channel for s in spans]
+
+    assert run(None, 0) == run(lambda: None, 4)
