@@ -1,0 +1,233 @@
+#!/usr/bin/env python
+"""Kernel and end-to-end benchmark harness — the repo's perf trajectory.
+
+Runs the router's hot kernels (L-shape cost evaluation, congestion-map
+add/remove, switchable flip gain, Prim MST) on realistic workloads plus a
+full-scale end-to-end route of ``primary1`` and ``struct``, and writes the
+timings to ``BENCH_kernels.json`` together with the commit hash and
+circuit sizes.  Committing that file after a performance-relevant change
+gives the repository a measured before/after record (see EXPERIMENTS.md).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py                 # full run
+    PYTHONPATH=src python benchmarks/run_bench.py --scale 0.3     # quicker
+    PYTHONPATH=src python benchmarks/run_bench.py --out /tmp/b.json
+
+The kernel workloads are derived from an actual routed circuit (not
+synthetic uniform data), so sharing structure and congestion profiles are
+representative of what the router sees mid-run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import statistics
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.circuits import mcnc
+from repro.grid.channels import build_state
+from repro.grid.coarse import CoarseGrid, Orientation
+from repro.steiner import prim_mst
+from repro.steiner.tree import build_net_tree
+from repro.twgr import GlobalRouter, RouterConfig
+from repro.twgr.coarse_step import coarse_route, collect_segments
+
+#: circuits routed end-to-end (full scale by default)
+BENCH_CIRCUITS = ("primary1", "struct")
+
+
+def _time(fn: Callable[[], object], rounds: int, inner: int = 1) -> Dict[str, float]:
+    """Best-practice micro timing: per-round wall time over ``rounds``."""
+    fn()  # warm-up (imports, caches, JIT-free but allocator-warm)
+    samples: List[float] = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        samples.append((time.perf_counter() - t0) / inner)
+    return {
+        "mean_s": statistics.fmean(samples),
+        "stddev_s": statistics.stdev(samples) if len(samples) > 1 else 0.0,
+        "min_s": min(samples),
+        "rounds": rounds,
+        "inner_iterations": inner,
+    }
+
+
+def bench_kernels(scale: float, seed: int, rounds: int) -> Dict[str, Dict[str, float]]:
+    """Micro-benchmarks of the three congestion kernels plus Prim MST."""
+    cfg = RouterConfig(seed=seed)
+    circuit = mcnc.generate("primary1", scale=scale, seed=seed)
+    router = GlobalRouter(cfg)
+    _result, art = router.route_with_artifacts(circuit)
+    grid: CoarseGrid = art.grid
+    # Recommit the pool on a fresh grid so the benchmark owns a consistent
+    # (grid, committed routes) pair — route_with_artifacts keeps the grid
+    # but not the per-segment pool.
+    grid = CoarseGrid(
+        ncols=grid.ncols, nrows=grid.nrows, col_width=grid.col_width,
+        weights=cfg.weights,
+    )
+    committed_pool = coarse_route(
+        collect_segments(art.trees), grid, cfg.rng(2, 0), passes=cfg.coarse_passes
+    )
+    out: Dict[str, Dict[str, float]] = {}
+
+    # -- eval_cost: both orientations of every diagonal segment against the
+    # fully loaded grid (exactly the improvement-pass access pattern).
+    diagonals = [ps for ps in committed_pool if not ps.seg.is_flat]
+    routes = []
+    for ps in diagonals:
+        routes.append(grid.route_for(ps.net, ps.seg, Orientation.VERT_AT_LOW))
+        routes.append(grid.route_for(ps.net, ps.seg, Orientation.VERT_AT_HIGH))
+
+    def run_eval() -> float:
+        acc = 0.0
+        for r in routes:
+            acc += grid.eval_cost(r)
+        return acc
+
+    out["eval_cost"] = _time(run_eval, rounds)
+    out["eval_cost"]["calls_per_round"] = len(routes)
+
+    # -- add/remove: rip-up + recommit of every committed route.
+    committed = [ps.route for ps in committed_pool]
+
+    def run_add_remove() -> None:
+        for r in committed:
+            grid.remove_route(r)
+            grid.add_route(r)
+
+    out["add_remove_route"] = _time(run_add_remove, rounds)
+    out["add_remove_route"]["calls_per_round"] = 2 * len(committed)
+
+    # -- flip_gain: every switchable span against the final channel state.
+    spans = art.spans
+    state = build_state(spans, 0, circuit.num_rows)
+    switchable = [s for s in spans if s.switchable]
+
+    def run_flip_gain() -> int:
+        acc = 0
+        for s in switchable:
+            acc += state.flip_gain(s)
+        return acc
+
+    out["flip_gain"] = _time(run_flip_gain, rounds)
+    out["flip_gain"]["calls_per_round"] = len(switchable)
+
+    # -- prim_mst: the step-1 bottleneck at two characteristic sizes.
+    rng = np.random.default_rng(seed)
+    big = rng.integers(0, 2000, size=(200, 2))
+    out["prim_mst"] = _time(lambda: prim_mst(big), rounds)
+    out["prim_mst"]["terminals"] = 200
+    small_sets = [rng.integers(0, 500, size=(int(n), 2)) for n in rng.integers(2, 9, size=200)]
+
+    def run_small() -> None:
+        for c in small_sets:
+            prim_mst(c)
+
+    out["prim_mst_small_nets"] = _time(run_small, rounds)
+    out["prim_mst_small_nets"]["calls_per_round"] = len(small_sets)
+
+    # -- steiner tree build (MST + refinement) over the same small nets.
+    def run_trees() -> None:
+        for i, c in enumerate(small_sets):
+            build_net_tree(i, [(int(x), int(y)) for x, y in c])
+
+    out["build_net_tree_small_nets"] = _time(run_trees, rounds)
+    out["build_net_tree_small_nets"]["calls_per_round"] = len(small_sets)
+    return out
+
+
+def bench_end_to_end(scale: float, seed: int, rounds: int) -> Dict[str, Dict]:
+    """Full serial routes of the benchmark circuits at ``scale``."""
+    out: Dict[str, Dict] = {}
+    for name in BENCH_CIRCUITS:
+        circuit = mcnc.generate(name, scale=scale, seed=seed)
+        router = GlobalRouter(RouterConfig(seed=seed))
+        result = router.route(circuit)
+        timing = _time(lambda: router.route(circuit), rounds)
+        out[name] = {
+            "scale": scale,
+            "rows": circuit.num_rows,
+            "cells": len(circuit.cells),
+            "nets": len(circuit.nets),
+            "pins": len(circuit.pins),
+            "total_tracks": result.total_tracks,
+            "area": result.area,
+            "num_feedthroughs": result.num_feedthroughs,
+            "route": timing,
+        }
+    return out
+
+
+def git_commit() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent.parent,
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def main(argv: List[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default=str(Path(__file__).resolve().parent.parent / "BENCH_kernels.json"))
+    ap.add_argument("--scale", type=float, default=1.0, help="circuit scale (default: full size)")
+    ap.add_argument("--kernel-scale", type=float, default=1.0, help="scale of the kernel-workload circuit")
+    ap.add_argument("--seed", type=int, default=1)
+    ap.add_argument("--rounds", type=int, default=5)
+    args = ap.parse_args(argv)
+    if args.rounds < 1:
+        ap.error("--rounds must be >= 1")
+
+    t0 = time.perf_counter()
+    kernels = bench_kernels(args.kernel_scale, args.seed, args.rounds)
+    circuits = bench_end_to_end(args.scale, args.seed, args.rounds)
+
+    report = {
+        "schema": 1,
+        "commit": git_commit(),
+        "unix_time": int(time.time()),
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "seed": args.seed,
+        "scale": args.scale,
+        "rounds": args.rounds,
+        "kernels": kernels,
+        "circuits": circuits,
+        "harness_wall_s": round(time.perf_counter() - t0, 3),
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+
+    width = max(len(k) for k in list(kernels) + list(circuits))
+    print(f"commit {report['commit'][:12]}  (rounds={args.rounds}, scale={args.scale})")
+    for name, k in kernels.items():
+        per = ""
+        calls = k.get("calls_per_round")
+        if calls:
+            per = f"  ({1e6 * k['mean_s'] / calls:8.2f} us/call)"
+        print(f"  {name:<{width}}  {1e3 * k['mean_s']:9.3f} ms +/- {1e3 * k['stddev_s']:.3f}{per}")
+    for name, c in circuits.items():
+        r = c["route"]
+        print(
+            f"  {name:<{width}}  {1e3 * r['mean_s']:9.3f} ms +/- {1e3 * r['stddev_s']:.3f}"
+            f"  (route: {c['nets']} nets, {c['total_tracks']} tracks)"
+        )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,8 +10,11 @@ import pytest
 
 from repro.circuits import mcnc
 from repro.geometry import Interval, max_overlap
+from repro.grid.channels import build_state
+from repro.grid.coarse import CoarseGrid, Orientation
 from repro.steiner import prim_mst
 from repro.twgr import GlobalRouter, RouterConfig
+from repro.twgr.coarse_step import coarse_route, collect_segments
 
 
 @pytest.fixture(scope="module")
@@ -19,10 +22,73 @@ def circuit():
     return mcnc.generate("primary1", scale=0.3, seed=1)
 
 
+@pytest.fixture(scope="module")
+def routed(circuit):
+    """A routed circuit plus a loaded grid consistent with its pool."""
+    cfg = RouterConfig(seed=1)
+    _result, art = GlobalRouter(cfg).route_with_artifacts(circuit)
+    grid = CoarseGrid(
+        ncols=art.grid.ncols, nrows=art.grid.nrows,
+        col_width=art.grid.col_width, weights=cfg.weights,
+    )
+    pool = coarse_route(
+        collect_segments(art.trees), grid, cfg.rng(2, 0), passes=cfg.coarse_passes
+    )
+    return art, grid, pool
+
+
 def test_perf_serial_route(benchmark, circuit):
     router = GlobalRouter(RouterConfig(seed=1))
     result = benchmark(router.route, circuit)
     assert result.total_tracks > 0
+
+
+def test_perf_eval_cost(benchmark, routed):
+    """L-shape cost of both orientations of every diagonal segment."""
+    _art, grid, pool = routed
+    routes = []
+    for ps in pool:
+        if not ps.seg.is_flat:
+            routes.append(grid.route_for(ps.net, ps.seg, Orientation.VERT_AT_LOW))
+            routes.append(grid.route_for(ps.net, ps.seg, Orientation.VERT_AT_HIGH))
+
+    def run():
+        acc = 0.0
+        for r in routes:
+            acc += grid.eval_cost(r)
+        return acc
+
+    assert benchmark(run) > 0
+
+
+def test_perf_add_remove_route(benchmark, routed):
+    """Rip-up + recommit of every committed route (net state unchanged)."""
+    _art, grid, pool = routed
+    committed = [ps.route for ps in pool]
+
+    def run():
+        for r in committed:
+            grid.remove_route(r)
+            grid.add_route(r)
+
+    benchmark(run)
+    assert grid.total_feed_demand() > 0
+
+
+def test_perf_flip_gain(benchmark, routed):
+    """Flip-gain evaluation of every switchable span (state unchanged)."""
+    art, _grid, _pool = routed
+    state = build_state(art.spans, 0, max(s.channel for s in art.spans))
+    switchable = [s for s in art.spans if s.switchable]
+    assert switchable
+
+    def run():
+        acc = 0
+        for s in switchable:
+            acc += state.flip_gain(s)
+        return acc
+
+    benchmark(run)
 
 
 def test_perf_prim_mst_200_terminals(benchmark):

@@ -25,12 +25,17 @@ from typing import Dict, List
 from repro.circuits.generator import SyntheticSpec, generate_circuit
 from repro.circuits.model import Circuit
 
-#: The benchmark suite, keyed by canonical name.  ``primary1`` is included
-#: for quick experiments; the paper's six circuits are the remaining ones.
+#: The benchmark suite, keyed by canonical name.  ``primary1`` and
+#: ``struct`` are included for quick experiments and the performance
+#: harness; the paper's six circuits are the remaining ones.
 SPECS: Dict[str, SyntheticSpec] = {
     "primary1": SyntheticSpec(
         name="primary1", rows=16, cells=752, nets=904, mean_degree=3.2,
         global_net_fraction=0.06,
+    ),
+    "struct": SyntheticSpec(
+        name="struct", rows=21, cells=1888, nets=1920, mean_degree=2.9,
+        global_net_fraction=0.05,
     ),
     "primary2": SyntheticSpec(
         name="primary2", rows=24, cells=3014, nets=3029, mean_degree=3.6,

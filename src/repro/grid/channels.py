@@ -12,7 +12,7 @@ or below its home row, and step 5 flips such spans to balance densities.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.geometry import Interval, IntervalSet
@@ -34,6 +34,10 @@ class ChannelSpan:
     hi: int
     switchable: bool = False
     row: int = -1
+    # lo/hi are immutable after normalization (only ``channel`` ever
+    # changes), so the column interval is built once — flip evaluation
+    # queries it on the hot path.
+    _interval: Interval = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.lo > self.hi:
@@ -44,11 +48,12 @@ class ChannelSpan:
             raise ValueError(
                 f"switchable span channel {self.channel} not adjacent to row {self.row}"
             )
+        self._interval = Interval(self.lo, self.hi)
 
     @property
     def interval(self) -> Interval:
         """The span's column interval."""
-        return Interval(self.lo, self.hi)
+        return self._interval
 
     @property
     def length(self) -> int:
@@ -166,14 +171,11 @@ class ChannelState:
             return 0
         s_src, s_dst = self._set(src), self._set(dst)
         counter.add("switch", len(s_src) + len(s_dst) + 1 + self.eval_surcharge)
-        before = s_src.density() + s_dst.density()
+        # The flip delta follows directly from the two channels' cached
+        # density profiles — no remove/add/recompute/restore round trip.
         iv = span.interval
-        s_src.remove(iv)
-        s_dst.add(iv)
-        after = s_src.density() + s_dst.density()
-        # restore
-        s_dst.remove(iv)
-        s_src.add(iv)
+        before = s_src.density() + s_dst.density()
+        after = s_src.density_with_remove(iv) + s_dst.density_with_add(iv)
         return before - after
 
     def flip(self, span: ChannelSpan) -> None:

@@ -19,14 +19,50 @@ switched" — is exact under sharing.
 from __future__ import annotations
 
 import enum
-from collections import Counter
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
 from repro.geometry import Segment
 from repro.perfmodel.counter import WorkCounter, NULL_COUNTER
+
+
+def _uncovered(lo: int, hi: int, ivs: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Subranges of the inclusive range ``[lo, hi]`` not covered by ``ivs``.
+
+    ``ivs`` is a small unordered multiset of inclusive intervals (a net's
+    existing runs over one grid column / channel).  The result is the
+    ordered list of maximal gaps — the cells where committing a new run
+    would actually consume a fresh resource.
+    """
+    if not ivs:
+        return [(lo, hi)]
+    if len(ivs) == 1:  # the overwhelmingly common case: one run per column
+        a, b = ivs[0]
+        if a > hi or b < lo:
+            return [(lo, hi)]
+        out = []
+        if a > lo:
+            out.append((lo, a - 1))
+        if b < hi:
+            out.append((b + 1, hi))
+        return out
+    rel = sorted((a, b) for a, b in ivs if a <= hi and b >= lo)
+    if not rel:
+        return [(lo, hi)]
+    out: List[Tuple[int, int]] = []
+    cur = lo
+    for a, b in rel:
+        if a > hi or cur > hi:
+            break
+        if a > cur:
+            out.append((cur, a - 1))
+        if b >= cur:
+            cur = b + 1
+    if cur <= hi:
+        out.append((cur, hi))
+    return out
 
 
 class Orientation(enum.IntEnum):
@@ -53,15 +89,16 @@ class CostWeights:
     channel_congestion: float = 0.35
 
 
-@dataclass(frozen=True, slots=True)
-class RoutedSegment:
+class RoutedSegment(NamedTuple):
     """A segment's committed coarse route.
 
     ``vert`` is ``(gcol, row_lo, row_hi)`` — a vertical run at grid column
     ``gcol`` from ``row_lo`` up to ``row_hi`` (inclusive endpoints; the
     crossed rows are the strict interior).  ``horiz`` is
     ``(channel, gcol_lo, gcol_hi)`` with inclusive column bounds.  Either
-    part may be absent (flat segments).
+    part may be absent (flat segments).  A NamedTuple rather than a
+    dataclass: the coarse pass builds two of these per diagonal segment,
+    and tuple allocation is measurably cheaper.
     """
 
     net: int
@@ -92,28 +129,53 @@ class CoarseGrid:
         self.col_width = col_width
         self.row_lo = row_lo
         self.weights = weights
-        #: distinct nets demanding a feedthrough per (row, gcol)
-        self.feed_demand = np.zeros((nrows, ncols), dtype=np.int32)
-        #: distinct-net horizontal usage per (channel, gcol); channel c is
-        #: below row c, so the window spans channels row_lo..row_lo+nrows.
-        self.husage = np.zeros((nrows + 1, ncols), dtype=np.int32)
-        # per-net multiplicity with sharing: value >= 1 means the net
-        # already owns that resource, so re-use is free.
-        self._net_vert: Counter = Counter()   # (net, row, gcol) -> multiplicity
-        self._net_horiz: Counter = Counter()  # (net, channel, gcol) -> multiplicity
+        # Aggregate congestion maps live as plain Python lists — the
+        # add/remove/eval hot path touches a handful of cells per route,
+        # far below NumPy's per-slice dispatch break-even; the array views
+        # the public API exposes are materialized on demand.
+        # distinct nets demanding a feedthrough, indexed [gcol][row_idx]
+        self._feed: List[List[int]] = [[0] * nrows for _ in range(ncols)]
+        # distinct-net horizontal usage, indexed [channel_idx][gcol];
+        # channel c is below row c, so the window spans channels
+        # row_lo..row_lo+nrows.
+        self._hus: List[List[int]] = [[0] * ncols for _ in range(nrows + 1)]
+        # Per-net sharing structure: instead of one multiplicity entry per
+        # crossed cell, each (net, gcol) / (net, channel) keeps the compact
+        # multiset of inclusive row/column intervals its committed routes
+        # cover.  A cell is owned by the net iff some interval covers it,
+        # which makes sharing checks and the aggregate-map updates interval
+        # arithmetic (a handful of slice operations) rather than per-cell
+        # dictionary walks.
+        self._net_vert: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+        self._net_horiz: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
         # congestion contributed by other ranks' nets (net-wise algorithm);
-        # folded into costs but never into this rank's own maps.
+        # folded into costs but never into this rank's own maps.  The
+        # arrays stay the public face; the list mirrors feed the hot path.
         self.ext_feed: Optional[np.ndarray] = None
         self.ext_husage: Optional[np.ndarray] = None
+        self._ext_feed_cols: Optional[List[List[int]]] = None
+        self._ext_hus_rows: Optional[List[List[int]]] = None
+
+    @property
+    def feed_demand(self) -> np.ndarray:
+        """Distinct nets demanding a feedthrough per ``(row, gcol)``."""
+        return np.array(self._feed, dtype=np.int32).T
+
+    @property
+    def husage(self) -> np.ndarray:
+        """Distinct-net horizontal usage per ``(channel, gcol)``."""
+        return np.array(self._hus, dtype=np.int32)
 
     def set_external(self, feed: Optional[np.ndarray], husage: Optional[np.ndarray]) -> None:
         """Replace the external congestion snapshot (None clears it)."""
-        if feed is not None and feed.shape != self.feed_demand.shape:
+        if feed is not None and feed.shape != (self.nrows, self.ncols):
             raise ValueError("external feed shape mismatch")
-        if husage is not None and husage.shape != self.husage.shape:
+        if husage is not None and husage.shape != (self.nrows + 1, self.ncols):
             raise ValueError("external husage shape mismatch")
         self.ext_feed = feed
         self.ext_husage = husage
+        self._ext_feed_cols = feed.T.tolist() if feed is not None else None
+        self._ext_hus_rows = husage.tolist() if husage is not None else None
 
     # -- index helpers ----------------------------------------------------
 
@@ -151,80 +213,112 @@ class CoarseGrid:
         choice is step 5's job, the coarse stage only needs a consistent
         congestion estimate.
         """
-        (r_lo, r_hi) = seg.row_span
-        (x_lo, x_hi) = seg.col_span
-        if seg.is_vertical:
-            if r_lo == r_hi:
+        ax, ar = seg.a
+        bx, br = seg.b
+        cw = self.col_width
+        nc1 = self.ncols - 1
+        if ax == bx:  # vertical
+            if ar == br:
                 return RoutedSegment(net=net)  # degenerate point
-            return RoutedSegment(net=net, vert=(self.gcol(seg.a.x), r_lo, r_hi))
-        if seg.is_horizontal:
-            ch = r_lo + 1
-            return RoutedSegment(
-                net=net, horiz=(ch, self.gcol(x_lo), self.gcol(x_hi))
-            )
-        low, high = (seg.a, seg.b) if seg.a.row < seg.b.row else (seg.b, seg.a)
+            g = ax // cw
+            g = 0 if g < 0 else (nc1 if g > nc1 else g)
+            lo, hi = (ar, br) if ar <= br else (br, ar)
+            return RoutedSegment(net=net, vert=(g, lo, hi))
+        if ar == br:  # horizontal
+            x_lo, x_hi = (ax, bx) if ax <= bx else (bx, ax)
+            g_lo = x_lo // cw
+            g_lo = 0 if g_lo < 0 else (nc1 if g_lo > nc1 else g_lo)
+            g_hi = x_hi // cw
+            g_hi = 0 if g_hi < 0 else (nc1 if g_hi > nc1 else g_hi)
+            return RoutedSegment(net=net, horiz=(ar + 1, g_lo, g_hi))
+        (lx, lr), (hx, hr) = ((ax, ar), (bx, br)) if ar < br else ((bx, br), (ax, ar))
+        gl = lx // cw
+        gl = 0 if gl < 0 else (nc1 if gl > nc1 else gl)
+        gh = hx // cw
+        gh = 0 if gh < 0 else (nc1 if gh > nc1 else gh)
+        g_lo, g_hi = (gl, gh) if gl <= gh else (gh, gl)
         if orient is Orientation.VERT_AT_LOW:
-            vert = (self.gcol(low.x), low.row, high.row)
-            horiz = (high.row, *sorted((self.gcol(low.x), self.gcol(high.x))))
-        else:
-            vert = (self.gcol(high.x), low.row, high.row)
-            horiz = (low.row + 1, *sorted((self.gcol(low.x), self.gcol(high.x))))
-        return RoutedSegment(net=net, vert=vert, horiz=horiz)
+            return RoutedSegment(net=net, vert=(gl, lr, hr), horiz=(hr, g_lo, g_hi))
+        return RoutedSegment(net=net, vert=(gh, lr, hr), horiz=(lr + 1, g_lo, g_hi))
 
-    def _vert_cells(self, route: RoutedSegment) -> Iterable[Tuple[int, int]]:
-        """(row, gcol) crossings needing a feedthrough (strict interior),
-        clipped to this grid's row window."""
+    def _vert_range(self, route: RoutedSegment) -> Optional[Tuple[int, int, int]]:
+        """``(gcol, row_lo, row_hi)`` of the feedthrough crossings (strict
+        interior of the vertical run), clipped to this grid's row window;
+        ``None`` when the route crosses no row here."""
         if route.vert is None:
-            return ()
+            return None
         g, r_lo, r_hi = route.vert
         lo = max(r_lo + 1, self.row_lo)
         hi = min(r_hi - 1, self.row_lo + self.nrows - 1)
-        return ((r, g) for r in range(lo, hi + 1))
+        if lo > hi:
+            return None
+        return g, lo, hi
 
-    def _horiz_cells(self, route: RoutedSegment) -> Iterable[Tuple[int, int]]:
-        """(channel, gcol) columns the horizontal part covers, clipped."""
+    def _horiz_range(self, route: RoutedSegment) -> Optional[Tuple[int, int, int]]:
+        """``(channel, gcol_lo, gcol_hi)`` of the horizontal part, or
+        ``None`` when the channel falls outside the window."""
         if route.horiz is None:
-            return ()
+            return None
         ch, g_lo, g_hi = route.horiz
         if not self.row_lo <= ch <= self.row_lo + self.nrows:
-            return ()
-        return ((ch, g) for g in range(g_lo, g_hi + 1))
+            return None
+        return ch, g_lo, g_hi
 
     # -- mutation ----------------------------------------------------------
 
     def add_route(self, route: RoutedSegment) -> None:
         """Commit a route, updating shared usage maps."""
         net = route.net
-        for r, g in self._vert_cells(route):
-            key = (net, r, g)
-            self._net_vert[key] += 1
-            if self._net_vert[key] == 1:
-                self.feed_demand[self._ri(r), g] += 1
-        for ch, g in self._horiz_cells(route):
-            key = (net, ch, g)
-            self._net_horiz[key] += 1
-            if self._net_horiz[key] == 1:
-                self.husage[self._ci(ch), g] += 1
+        vr = self._vert_range(route)
+        if vr is not None:
+            g, lo, hi = vr
+            ivs = self._net_vert.setdefault((net, g), [])
+            col = self._feed[g]
+            base = self.row_lo
+            for a, b in _uncovered(lo, hi, ivs):
+                for r in range(a - base, b - base + 1):
+                    col[r] += 1
+            ivs.append((lo, hi))
+        hr = self._horiz_range(route)
+        if hr is not None:
+            ch, g_lo, g_hi = hr
+            ivs = self._net_horiz.setdefault((net, ch), [])
+            row = self._hus[self._ci(ch)]
+            for a, b in _uncovered(g_lo, g_hi, ivs):
+                for c in range(a, b + 1):
+                    row[c] += 1
+            ivs.append((g_lo, g_hi))
 
     def remove_route(self, route: RoutedSegment) -> None:
         """Undo a previously-committed route."""
         net = route.net
-        for r, g in self._vert_cells(route):
-            key = (net, r, g)
-            if self._net_vert[key] <= 0:
-                raise KeyError(f"vertical usage underflow at {key}")
-            self._net_vert[key] -= 1
-            if self._net_vert[key] == 0:
-                del self._net_vert[key]
-                self.feed_demand[self._ri(r), g] -= 1
-        for ch, g in self._horiz_cells(route):
-            key = (net, ch, g)
-            if self._net_horiz[key] <= 0:
-                raise KeyError(f"horizontal usage underflow at {key}")
-            self._net_horiz[key] -= 1
-            if self._net_horiz[key] == 0:
-                del self._net_horiz[key]
-                self.husage[self._ci(ch), g] -= 1
+        vr = self._vert_range(route)
+        if vr is not None:
+            g, lo, hi = vr
+            ivs = self._net_vert.get((net, g))
+            if not ivs or (lo, hi) not in ivs:
+                raise KeyError(f"vertical usage underflow at {(net, lo, g)}")
+            ivs.remove((lo, hi))
+            col = self._feed[g]
+            base = self.row_lo
+            for a, b in _uncovered(lo, hi, ivs):
+                for r in range(a - base, b - base + 1):
+                    col[r] -= 1
+            if not ivs:
+                del self._net_vert[(net, g)]
+        hr = self._horiz_range(route)
+        if hr is not None:
+            ch, g_lo, g_hi = hr
+            ivs = self._net_horiz.get((net, ch))
+            if not ivs or (g_lo, g_hi) not in ivs:
+                raise KeyError(f"horizontal usage underflow at {(net, ch, g_lo)}")
+            ivs.remove((g_lo, g_hi))
+            row = self._hus[self._ci(ch)]
+            for a, b in _uncovered(g_lo, g_hi, ivs):
+                for c in range(a, b + 1):
+                    row[c] -= 1
+            if not ivs:
+                del self._net_horiz[(net, ch)]
 
     # -- cost --------------------------------------------------------------
 
@@ -235,26 +329,50 @@ class CoarseGrid:
 
         New feedthroughs cost ``weights.feed`` each plus a congestion term;
         horizontal columns cost 1 each plus a congestion term; resources
-        the net already owns are free (sharing).
+        the net already owns are free (sharing).  The sharing check and the
+        congestion gather run as interval arithmetic and slice operations;
+        the final accumulation walks the (short) per-cell value lists in
+        the same order as the straightforward per-cell implementation, so
+        costs are bit-identical to it — near-ties in the orientation
+        comparison resolve the same way.
         """
         w = self.weights
         cost = 0.0
         ops = 0
         net = route.net
-        for r, g in self._vert_cells(route):
-            ops += 1
-            if self._net_vert.get((net, r, g), 0) == 0:
-                demand = float(self.feed_demand[self._ri(r), g])
-                if self.ext_feed is not None:
-                    demand += float(self.ext_feed[self._ri(r), g])
-                cost += w.feed + w.feed_congestion * demand
-        for ch, g in self._horiz_cells(route):
-            ops += 1
-            if self._net_horiz.get((net, ch, g), 0) == 0:
-                usage = float(self.husage[self._ci(ch), g])
-                if self.ext_husage is not None:
-                    usage += float(self.ext_husage[self._ci(ch), g])
-                cost += 1.0 + w.channel_congestion * usage
+        vr = self._vert_range(route)
+        if vr is not None:
+            g, lo, hi = vr
+            ops += hi - lo + 1
+            ivs = self._net_vert.get((net, g))
+            col = self._feed[g]
+            ext = self._ext_feed_cols[g] if self._ext_feed_cols is not None else None
+            base = self.row_lo
+            wf = w.feed
+            wfc = w.feed_congestion
+            for a, b in _uncovered(lo, hi, ivs) if ivs else ((lo, hi),):
+                if ext is None:
+                    for r in range(a - base, b - base + 1):
+                        cost += wf + wfc * col[r]
+                else:
+                    for r in range(a - base, b - base + 1):
+                        cost += wf + wfc * (col[r] + ext[r])
+        hr = self._horiz_range(route)
+        if hr is not None:
+            ch, g_lo, g_hi = hr
+            ops += g_hi - g_lo + 1
+            ivs = self._net_horiz.get((net, ch))
+            ci = self._ci(ch)
+            row = self._hus[ci]
+            ext = self._ext_hus_rows[ci] if self._ext_hus_rows is not None else None
+            wcc = w.channel_congestion
+            for a, b in _uncovered(g_lo, g_hi, ivs) if ivs else ((g_lo, g_hi),):
+                if ext is None:
+                    for c in range(a, b + 1):
+                        cost += 1.0 + wcc * row[c]
+                else:
+                    for c in range(a, b + 1):
+                        cost += 1.0 + wcc * (row[c] + ext[c])
         counter.add("coarse", max(ops, 1))
         return cost
 
@@ -262,28 +380,32 @@ class CoarseGrid:
 
     def total_feed_demand(self) -> int:
         """Total feedthroughs currently demanded across the window."""
-        return int(self.feed_demand.sum())
+        return sum(sum(col) for col in self._feed)
 
     def demand_for_row(self, row: int) -> np.ndarray:
         """Copy of the feed demand across one row's grid columns."""
-        return self.feed_demand[self._ri(row)].copy()
+        ri = self._ri(row)
+        return np.array([col[ri] for col in self._feed], dtype=np.int32)
 
     def crossings_for_row(self, row: int) -> List[Tuple[int, int]]:
         """Sorted ``(gcol, net)`` crossings through ``row`` (one per
         demanded feed)."""
         out = [
             (g, net)
-            for (net, r, g), cnt in self._net_vert.items()
-            if r == row and cnt > 0
+            for (net, g), ivs in self._net_vert.items()
+            if any(a <= row <= b for a, b in ivs)
         ]
         out.sort()
         return out
 
     def all_crossings(self) -> List[Tuple[int, int, int]]:
         """Sorted ``(row, gcol, net)`` for every demanded feedthrough."""
-        out = [
-            (r, g, net) for (net, r, g), cnt in self._net_vert.items() if cnt > 0
-        ]
+        out: List[Tuple[int, int, int]] = []
+        for (net, g), ivs in self._net_vert.items():
+            covered = set()
+            for a, b in ivs:
+                covered.update(range(a, b + 1))
+            out.extend((r, g, net) for r in covered)
         out.sort()
         return out
 

@@ -18,7 +18,13 @@ enough that the big circuits cannot be routed serially, which the paper
 reports as timeouts).
 """
 
-from repro.perfmodel.counter import WorkCounter, NullCounter, NULL_COUNTER, TallyCounter
+from repro.perfmodel.counter import (
+    WorkCounter,
+    NullCounter,
+    NULL_COUNTER,
+    TallyCounter,
+    FanoutCounter,
+)
 from repro.perfmodel.machine import (
     MachineModel,
     SPARCCENTER_1000,
@@ -35,6 +41,7 @@ __all__ = [
     "NullCounter",
     "NULL_COUNTER",
     "TallyCounter",
+    "FanoutCounter",
     "MachineModel",
     "SPARCCENTER_1000",
     "INTEL_PARAGON",

@@ -63,3 +63,29 @@ class TallyCounter:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         inner = ", ".join(f"{k}={v:g}" for k, v in sorted(self.units.items()))
         return f"TallyCounter({inner})"
+
+
+class FanoutCounter:
+    """Tallies every charge locally *and* forwards it to a sink counter.
+
+    The orchestrators need both views of the same charges: a private
+    :class:`TallyCounter` (the modeled serial runtime recorded in
+    ``RoutingResult.work_units``) and whatever counter the caller passed
+    in (a rank's logical clock, a test probe).  This is the reusable form
+    of that tally+forward pair; charging is on the router's hottest path,
+    so forwarding to the shared no-op counter is skipped up front.
+    """
+
+    __slots__ = ("tally", "_units", "_sink", "_forward")
+
+    def __init__(self, sink: WorkCounter = NULL_COUNTER, tally: TallyCounter | None = None) -> None:
+        self.tally = tally if tally is not None else TallyCounter()
+        self._units = self.tally.units  # bound once: add() is hot
+        self._sink = sink
+        self._forward = not isinstance(sink, NullCounter)
+
+    def add(self, kind: str, units: float) -> None:
+        """Charge ``units`` of ``kind`` to the tally and the sink."""
+        self._units[kind] += units
+        if self._forward:
+            self._sink.add(kind, units)

@@ -19,6 +19,46 @@ from repro.perfmodel.counter import WorkCounter, NULL_COUNTER
 
 Edge = Tuple[int, int]
 
+#: below this terminal count the pure-Python Prim beats the NumPy one —
+#: per-round ufunc dispatch overhead exceeds the actual O(n) work.  Both
+#: paths produce identical edges (same (weight, index) tie-break) and
+#: charge identical work.
+SMALL_NET_TERMINALS = 48
+
+
+def _prim_small(
+    x: List[int], y: List[int], counter: WorkCounter
+) -> List[Edge]:
+    """Pure-Python Prim for small nets; tie-break identical to argmin."""
+    n = len(x)
+    in_tree = [False] * n
+    best_dist = [None] * n  # None = +inf
+    best_parent = [-1] * n
+    edges: List[Edge] = []
+    current = 0
+    in_tree[0] = True
+    for _ in range(n - 1):
+        xc = x[current]
+        yc = y[current]
+        counter.add("steiner", n)
+        nxt = -1
+        nd = None
+        for i in range(n):
+            if in_tree[i]:
+                continue
+            d = abs(x[i] - xc) + abs(y[i] - yc)
+            bi = best_dist[i]
+            if bi is None or d < bi:
+                best_dist[i] = bi = d
+                best_parent[i] = current
+            if nd is None or bi < nd:  # strict <: lowest index wins ties
+                nd = bi
+                nxt = i
+        edges.append((best_parent[nxt], nxt))
+        in_tree[nxt] = True
+        current = nxt
+    return edges
+
 
 def prim_mst(
     coords: np.ndarray,
@@ -33,10 +73,19 @@ def prim_mst(
     counter under the ``"steiner"`` kind, ``n`` units per relaxation round
     (so :math:`O(p^2)` per net, matching the real algorithm's complexity).
     """
-    coords = np.asarray(coords, dtype=np.int64)
     n = len(coords)
     if n <= 1:
         return []
+    if n <= SMALL_NET_TERMINALS:
+        # accept raw (x, row) pair sequences without a NumPy round trip
+        if isinstance(coords, np.ndarray):
+            x = coords[:, 0].tolist()
+            y = [int(r) * row_pitch for r in coords[:, 1].tolist()]
+        else:
+            x = [int(p[0]) for p in coords]
+            y = [int(p[1]) * row_pitch for p in coords]
+        return _prim_small(x, y, counter)
+    coords = np.asarray(coords, dtype=np.int64)
     x = coords[:, 0]
     y = coords[:, 1] * row_pitch
 

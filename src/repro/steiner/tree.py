@@ -96,8 +96,7 @@ def build_net_tree(
     points = [Point(int(p[0]), int(p[1])) for p in terminals]
     if len(points) < 2:
         return NetTree(net=net_id, points=list(points), edges=[], num_terminals=len(points))
-    coords = np.array([(p.x, p.row) for p in points], dtype=np.int64)
-    edges = prim_mst(coords, row_pitch=row_pitch, counter=counter)
+    edges = prim_mst(points, row_pitch=row_pitch, counter=counter)
     tree = NetTree(net=net_id, points=list(points), edges=list(edges), num_terminals=len(points))
     if refine and len(points) >= 3:
         steinerize(tree, row_pitch=row_pitch, counter=counter)
@@ -114,35 +113,54 @@ def steinerize(tree: NetTree, row_pitch: int = 1, counter: WorkCounter = NULL_CO
     vertex order; pairs re-evaluated greedily.
     """
     saved_total = 0
+    # Adjacency lists mirror edge-scan order, so ``adj[v]`` is always
+    # exactly ``tree.neighbors(v)`` — maintained in tandem with the edge
+    # list below instead of rescanning all edges per vertex visit.
+    adj: Dict[int, List[int]] = {}
+    for i, j in tree.edges:
+        adj.setdefault(i, []).append(j)
+        if j != i:
+            adj.setdefault(j, []).append(i)
     v = 0
     while v < len(tree.points):
         improved = True
         while improved:
             improved = False
-            nbrs = tree.neighbors(v)
+            nbrs = adj.get(v, [])
             counter.add("steiner", len(nbrs))
             if len(nbrs) < 2:
                 break
             pv = tree.points[v]
+            vx, vr = pv
             best_gain = 0
             best: Tuple[int, int, Point] | None = None
             for ai in range(len(nbrs)):
+                a = nbrs[ai]
+                ax, ar = tree.points[a]
+                dva = abs(vx - ax) + row_pitch * abs(vr - ar)
                 for bi in range(ai + 1, len(nbrs)):
-                    a, b = nbrs[ai], nbrs[bi]
-                    pa, pb = tree.points[a], tree.points[b]
-                    mx = _median(pv.x, pa.x, pb.x)
-                    mrow = _median(pv.row, pa.row, pb.row)
-                    m = Point(mx, mrow)
-                    old = manhattan(pv, pa, row_pitch) + manhattan(pv, pb, row_pitch)
+                    b = nbrs[bi]
+                    bx, br = tree.points[b]
+                    # median of three via branches (hot inner loop)
+                    if vx < ax:
+                        mx = ax if ax < bx else (bx if vx < bx else vx)
+                    else:
+                        mx = vx if vx < bx else (bx if ax < bx else ax)
+                    if vr < ar:
+                        mr = ar if ar < br else (br if vr < br else vr)
+                    else:
+                        mr = vr if vr < br else (br if ar < br else ar)
+                    old = dva + abs(vx - bx) + row_pitch * abs(vr - br)
                     new = (
-                        manhattan(pv, m, row_pitch)
-                        + manhattan(m, pa, row_pitch)
-                        + manhattan(m, pb, row_pitch)
+                        abs(vx - mx)
+                        + abs(mx - ax)
+                        + abs(mx - bx)
+                        + row_pitch * (abs(vr - mr) + abs(mr - ar) + abs(mr - br))
                     )
                     gain = old - new
                     if gain > best_gain:
                         best_gain = gain
-                        best = (a, b, m)
+                        best = (a, b, Point(mx, mr))
             counter.add("steiner", len(nbrs) * (len(nbrs) - 1) / 2)
             if best is None:
                 break
@@ -155,6 +173,10 @@ def steinerize(tree: NetTree, row_pitch: int = 1, counter: WorkCounter = NULL_CO
             tree.edges.append((v, m_idx))
             tree.edges.append((m_idx, a))
             tree.edges.append((m_idx, b))
+            adj[v] = [w for w in adj[v] if w != a and w != b] + [m_idx]
+            adj[a] = [w for w in adj[a] if w != v] + [m_idx]
+            adj[b] = [w for w in adj[b] if w != v] + [m_idx]
+            adj[m_idx] = [v, a, b]
             saved_total += best_gain
             improved = True
         v += 1

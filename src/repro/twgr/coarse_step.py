@@ -24,16 +24,25 @@ from repro.geometry import Segment
 from repro.grid.coarse import CoarseGrid, Orientation, RoutedSegment
 from repro.perfmodel.counter import WorkCounter, NULL_COUNTER
 from repro.steiner.tree import NetTree, tree_segments
+from repro.twgr.scheduling import split_chunks
 
 
 @dataclass(slots=True)
 class PooledSegment:
-    """A tree segment in the coarse pool with its committed route."""
+    """A tree segment in the coarse pool with its committed route.
+
+    For diagonal segments the two candidate one-bend routes are pure
+    geometry — they depend only on the segment and the grid's column
+    mapping, never on congestion — so they are precomputed once and the
+    improvement passes merely swap between them.
+    """
 
     net: int
     seg: Segment
     orient: Orientation
     route: RoutedSegment
+    route_low: Optional[RoutedSegment] = None
+    route_high: Optional[RoutedSegment] = None
 
 
 def collect_segments(trees: Mapping[int, NetTree]) -> List[Tuple[int, Segment, bool]]:
@@ -83,8 +92,13 @@ def coarse_route(
         locked = bool(entry[2]) if len(entry) > 2 else False
         route = grid.route_for(net, seg, Orientation.VERT_AT_LOW)
         grid.add_route(route)
-        committed.append(PooledSegment(net, seg, Orientation.VERT_AT_LOW, route))
+        ps = PooledSegment(net, seg, Orientation.VERT_AT_LOW, route)
+        committed.append(ps)
         if not seg.is_flat and not locked:
+            # precompute both orientations once; the passes below only
+            # choose between these two frozen routes
+            ps.route_low = route
+            ps.route_high = grid.route_for(net, seg, Orientation.VERT_AT_HIGH)
             diagonal_idx.append(len(committed) - 1)
         counter.add("coarse", 1)
 
@@ -97,18 +111,16 @@ def coarse_route(
     for _ in range(passes):
         changed = 0
         order = rng.permutation(len(diagonal_idx)) if diagonal_idx else np.empty(0, dtype=np.int64)
-        for chunk in _chunks(order, syncs_per_pass if synced else 1):
+        for chunk in split_chunks(order, syncs_per_pass if synced else 1):
             for k in chunk:
                 ps = committed[diagonal_idx[int(k)]]
                 grid.remove_route(ps.route)
-                low = grid.route_for(ps.net, ps.seg, Orientation.VERT_AT_LOW)
-                high = grid.route_for(ps.net, ps.seg, Orientation.VERT_AT_HIGH)
-                c_low = grid.eval_cost(low, counter)
-                c_high = grid.eval_cost(high, counter)
+                c_low = grid.eval_cost(ps.route_low, counter)
+                c_high = grid.eval_cost(ps.route_high, counter)
                 if c_high < c_low:
-                    new_orient, new_route = Orientation.VERT_AT_HIGH, high
+                    new_orient, new_route = Orientation.VERT_AT_HIGH, ps.route_high
                 else:
-                    new_orient, new_route = Orientation.VERT_AT_LOW, low
+                    new_orient, new_route = Orientation.VERT_AT_LOW, ps.route_low
                 if new_orient != ps.orient:
                     changed += 1
                 ps.orient, ps.route = new_orient, new_route
@@ -118,10 +130,3 @@ def coarse_route(
         if changed == 0 and not synced:
             break
     return committed
-
-
-def _chunks(order: np.ndarray, n: int) -> List[np.ndarray]:
-    """Split ``order`` into exactly ``n`` contiguous (possibly empty) parts."""
-    n = max(1, n)
-    bounds = [len(order) * i // n for i in range(n + 1)]
-    return [order[bounds[i] : bounds[i + 1]] for i in range(n)]

@@ -41,6 +41,54 @@ class ConnectStats:
     unplanned_crossings: int = 0
 
 
+#: below this terminal count the pure-Python Prim beats the NumPy one;
+#: both paths produce identical edges and charge identical work.
+SMALL_TERMINAL_COUNT = 48
+
+
+def _connection_mst_small(
+    xs: List[int],
+    rows: List[int],
+    row_pitch: int,
+    skip_row_penalty: int,
+    counter: WorkCounter,
+) -> List[Tuple[int, int]]:
+    """Pure-Python Prim for small nets; tie-break identical to argmin."""
+    n = len(xs)
+    in_tree = [False] * n
+    best = [None] * n  # None = +inf
+    parent = [-1] * n
+    edges: List[Tuple[int, int]] = []
+    current = 0
+    in_tree[0] = True
+    for _ in range(n - 1):
+        xc = xs[current]
+        rc = rows[current]
+        counter.add("connect", n)
+        nxt = -1
+        nd = None
+        for i in range(n):
+            if in_tree[i]:
+                continue
+            dr = rows[i] - rc
+            if dr < 0:
+                dr = -dr
+            d = abs(xs[i] - xc) + row_pitch * dr
+            if dr > 1:
+                d += skip_row_penalty * (dr - 1)
+            bi = best[i]
+            if bi is None or d < bi:
+                best[i] = bi = d
+                parent[i] = current
+            if nd is None or bi < nd:  # strict <: lowest index wins ties
+                nd = bi
+                nxt = i
+        edges.append((parent[nxt], nxt))
+        in_tree[nxt] = True
+        current = nxt
+    return edges
+
+
 def connection_mst(
     xs: np.ndarray,
     rows: np.ndarray,
@@ -57,6 +105,12 @@ def connection_mst(
     n = len(xs)
     if n <= 1:
         return []
+    if n <= SMALL_TERMINAL_COUNT:
+        if isinstance(xs, np.ndarray):
+            xs, rows = xs.tolist(), rows.tolist()
+        return _connection_mst_small(
+            list(xs), list(rows), row_pitch, skip_row_penalty, counter
+        )
     xs = np.asarray(xs, dtype=np.int64)
     rows = np.asarray(rows, dtype=np.int64)
     INF = np.iinfo(np.int64).max
@@ -176,8 +230,8 @@ def connect_nets(
         else:
             reals, fakes = pins, []
         if len(reals) >= 2:
-            xs = np.array([p.x for p in reals], dtype=np.int64)
-            rows = np.array([p.row for p in reals], dtype=np.int64)
+            xs = [p.x for p in reals]
+            rows = [p.row for p in reals]
             edges = connection_mst(xs, rows, row_pitch, skip_row_penalty, counter)
             for i, j in edges:
                 spans.extend(spans_for_edge(reals[i], reals[j], stats, row_pitch))

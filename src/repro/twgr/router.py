@@ -15,7 +15,7 @@ from typing import Optional, Tuple
 from repro.circuits.model import Circuit
 from repro.grid.channels import build_state
 from repro.grid.coarse import CoarseGrid
-from repro.perfmodel.counter import TallyCounter, WorkCounter, NULL_COUNTER
+from repro.perfmodel.counter import FanoutCounter, WorkCounter, NULL_COUNTER
 from repro.steiner.tree import build_net_tree
 from repro.twgr.coarse_step import coarse_route, collect_segments
 from repro.twgr.config import RouterConfig
@@ -43,16 +43,8 @@ class GlobalRouter:
     ) -> Tuple[RoutingResult, StepArtifacts]:
         """Route ``circuit``, also returning every intermediate product."""
         cfg = self.config
-        tally = TallyCounter()
-
-        def charge(kind: str, units: float) -> None:
-            tally.add(kind, units)
-            counter.add(kind, units)
-
-        class _Fan:
-            add = staticmethod(charge)
-
-        fan = _Fan()
+        fan = FanoutCounter(counter)
+        tally = fan.tally
         work = circuit.clone()
         art = StepArtifacts()
 

@@ -1,0 +1,26 @@
+"""Shared pass-scheduling helpers for the TWGR improvement loops.
+
+Both random-order improvement kernels (step 2's L-orientation passes and
+step 5's switchable flips) support a ``sync``/``syncs_per_pass`` protocol:
+each pass's permutation is split into exactly ``n`` contiguous chunks so
+every rank performs the same number of synchronization calls regardless of
+how many items it holds.  The splitting rule lives here so the two loops
+can never drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+def split_chunks(order: np.ndarray, n: int) -> List[np.ndarray]:
+    """Split ``order`` into exactly ``n`` contiguous (possibly empty) parts.
+
+    The bounds are ``len(order) * i // n`` — the same arithmetic on every
+    rank, so collectives placed at chunk boundaries stay aligned.
+    """
+    n = max(1, n)
+    bounds = [len(order) * i // n for i in range(n + 1)]
+    return [order[bounds[i] : bounds[i + 1]] for i in range(n)]

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.grid.channels import ChannelSpan, ChannelState
 from repro.perfmodel.counter import WorkCounter, NULL_COUNTER
+from repro.twgr.scheduling import split_chunks
 
 
 def optimize_switchable(
@@ -58,12 +59,10 @@ def optimize_switchable(
     for _ in range(max(passes, 0)):
         changed = 0
         order = rng.permutation(len(candidates)) if candidates else np.empty(0, dtype=np.int64)
-        nchunks = syncs_per_pass if synced else 1
-        bounds = [len(order) * i // nchunks for i in range(nchunks + 1)]
-        for c in range(nchunks):
+        for chunk in split_chunks(order, syncs_per_pass if synced else 1):
             if synced:
                 sync()
-            for k in order[bounds[c] : bounds[c + 1]]:
+            for k in chunk:
                 span = candidates[int(k)]
                 gain = state.flip_gain(span, counter)
                 if gain > 0:
