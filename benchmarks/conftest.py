@@ -13,7 +13,7 @@ import pytest
 from repro.analysis.experiments import ExperimentSettings
 
 #: scale used by every shipped benchmark artifact
-BENCH_SCALE = 0.1
+BENCH_SCALE = 0.2
 BENCH_SEED = 1
 
 BENCH_SETTINGS = ExperimentSettings(scale=BENCH_SCALE, seed=BENCH_SEED, procs=(1, 2, 4, 8))

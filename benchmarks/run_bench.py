@@ -8,6 +8,11 @@ timings to ``BENCH_kernels.json`` together with the commit hash and
 circuit sizes.  Committing that file after a performance-relevant change
 gives the repository a measured before/after record (see EXPERIMENTS.md).
 
+It also times the sweep execution engine (``repro.exec``) on a
+2-circuit × 3-algorithm × {1,2,4,8}-processor sweep — jobs=1 vs jobs=N
+fan-out and cold vs warm run cache — and writes ``BENCH_sweep.json``
+(skip with ``--no-sweep``).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py                 # full run
@@ -24,9 +29,12 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import os
+import shutil
 import statistics
 import subprocess
 import sys
+import tempfile
 import time
 from pathlib import Path
 from typing import Callable, Dict, List
@@ -170,6 +178,81 @@ def bench_end_to_end(scale: float, seed: int, rounds: int) -> Dict[str, Dict]:
     return out
 
 
+#: the engine sweep: both bench circuits, all three algorithms, the
+#: paper's SparcCenter processor counts
+SWEEP_ALGORITHMS = ("rowwise", "netwise", "hybrid")
+SWEEP_PROCS = (1, 2, 4, 8)
+
+
+def bench_sweep(scale: float, seed: int, jobs: int | None) -> Dict:
+    """Time the execution engine on a full sweep, three ways.
+
+    1. cold, ``jobs=1`` — the in-process reference execution;
+    2. cold, ``jobs=N`` — process-pool fan-out into an empty cache;
+    3. warm — the same sweep replayed entirely from the cache.
+
+    All three must produce bit-identical quality metrics and modeled
+    times; the report records the wall-time ratios.
+    """
+    from repro.exec import SweepPoint, RunCache, resolve_jobs, run_sweep
+
+    cfg = RouterConfig(seed=seed)
+    points = [
+        SweepPoint(
+            circuit=name, algorithm=algo, nprocs=p, scale=scale,
+            circuit_seed=seed, config=cfg,
+        )
+        for name in BENCH_CIRCUITS
+        for algo in SWEEP_ALGORITHMS
+        for p in SWEEP_PROCS
+    ]
+    njobs = resolve_jobs(jobs)
+
+    tmp = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        t0 = time.perf_counter()
+        serial_recs = run_sweep(points, jobs=1)
+        cold_jobs1_s = time.perf_counter() - t0
+
+        cache = RunCache(tmp)
+        t0 = time.perf_counter()
+        pooled_recs = run_sweep(points, jobs=njobs, cache=cache)
+        cold_jobsn_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        warm_recs = run_sweep(points, jobs=njobs, cache=cache)
+        warm_cache_s = time.perf_counter() - t0
+
+        qualities = [list(r.quality) for r in serial_recs]
+        identical = (
+            qualities == [list(r.quality) for r in pooled_recs]
+            and qualities == [list(r.quality) for r in warm_recs]
+            and all(r.cached for r in warm_recs)
+        )
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    return {
+        "scale": scale,
+        "seed": seed,
+        "circuits": list(BENCH_CIRCUITS),
+        "algorithms": list(SWEEP_ALGORITHMS),
+        "procs": list(SWEEP_PROCS),
+        "points": len(points),
+        "host_cpus": os.cpu_count(),
+        "jobs": njobs,
+        "cold_jobs1_s": round(cold_jobs1_s, 4),
+        "cold_jobsN_s": round(cold_jobsn_s, 4),
+        "warm_cache_s": round(warm_cache_s, 4),
+        "jobs_speedup": round(cold_jobs1_s / cold_jobsn_s, 3),
+        "warm_cache_speedup": round(cold_jobsn_s / warm_cache_s, 1),
+        "bit_identical": identical,
+        "quality": {
+            p.describe(): q for p, q in zip(points, qualities)
+        },
+    }
+
+
 def git_commit() -> str:
     try:
         return subprocess.run(
@@ -188,6 +271,22 @@ def main(argv: List[str] | None = None) -> int:
     ap.add_argument("--kernel-scale", type=float, default=1.0, help="scale of the kernel-workload circuit")
     ap.add_argument("--seed", type=int, default=1)
     ap.add_argument("--rounds", type=int, default=5)
+    ap.add_argument(
+        "--sweep-out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_sweep.json"),
+    )
+    ap.add_argument(
+        "--sweep-scale", type=float, default=0.1,
+        help="circuit scale for the engine sweep benchmark",
+    )
+    ap.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the engine sweep (default: host cores)",
+    )
+    ap.add_argument(
+        "--no-sweep", action="store_true",
+        help="skip the execution-engine sweep benchmark",
+    )
     args = ap.parse_args(argv)
     if args.rounds < 1:
         ap.error("--rounds must be >= 1")
@@ -226,6 +325,30 @@ def main(argv: List[str] | None = None) -> int:
             f"  (route: {c['nets']} nets, {c['total_tracks']} tracks)"
         )
     print(f"wrote {args.out}")
+
+    if not args.no_sweep:
+        sweep = bench_sweep(args.sweep_scale, args.seed, args.jobs)
+        sweep_report = {
+            "schema": 1,
+            "commit": report["commit"],
+            "unix_time": report["unix_time"],
+            "python": report["python"],
+            "sweep": sweep,
+        }
+        Path(args.sweep_out).write_text(json.dumps(sweep_report, indent=2) + "\n")
+        print(
+            f"engine sweep ({sweep['points']} points @ scale {sweep['scale']:g}, "
+            f"{sweep['host_cpus']} cpu(s)):"
+        )
+        print(
+            f"  cold jobs=1 {sweep['cold_jobs1_s']:.2f}s, "
+            f"cold jobs={sweep['jobs']} {sweep['cold_jobsN_s']:.2f}s "
+            f"({sweep['jobs_speedup']:.2f}x), "
+            f"warm cache {sweep['warm_cache_s']:.3f}s "
+            f"({sweep['warm_cache_speedup']:.0f}x)"
+        )
+        print(f"  bit-identical across all three: {sweep['bit_identical']}")
+        print(f"wrote {args.sweep_out}")
     return 0
 
 

@@ -1,9 +1,13 @@
 """Canned experiment runners — one per paper table/figure.
 
 Every runner returns a rendered :class:`~repro.analysis.tables.Table`
-(or series) plus the raw records, and the whole module memoizes parallel
-sweeps so that e.g. the Table 2 quality table and the Figure 4 speedup
-figure — which the paper derives from the same runs — share one sweep.
+(or series) plus the raw records.  All routing goes through the
+execution engine (:mod:`repro.exec`): runs are memoized in-process by
+their content address so that e.g. the Table 2 quality table and the
+Figure 4 speedup figure — which the paper derives from the same runs —
+share one sweep, an optional :class:`~repro.exec.RunCache` persists them
+across invocations, and :func:`prefetch` fans a whole sweep out across
+worker processes before the table runners consume it.
 
 Circuits are generated at ``settings.scale`` of their published size so a
 full sweep stays minutes of pure-Python time; EXPERIMENTS.md records the
@@ -12,19 +16,16 @@ scale each shipped artifact used.
 
 from __future__ import annotations
 
-import functools
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.tables import Table, render_series
 from repro.circuits import mcnc
 from repro.circuits.model import Circuit
-from repro.parallel.driver import (
-    ParallelConfig,
-    ParallelRun,
-    route_parallel,
-    serial_baseline,
-)
+from repro.exec.cache import RunCache
+from repro.exec.engine import SweepPoint, execute_point, run_sweep
+from repro.exec.record import RunRecord
+from repro.parallel.driver import ParallelConfig, ParallelRun
 from repro.parallel.partition import partition_nets, partition_summary
 from repro.perfmodel.machine import MACHINES, MachineModel
 from repro.twgr.config import RouterConfig
@@ -62,40 +63,117 @@ QUICK = ExperimentSettings(
 )
 
 
-@functools.lru_cache(maxsize=64)
-def _baseline(settings: ExperimentSettings, name: str) -> RoutingResult:
-    circuit = settings.circuit(name)
-    stats = mcnc.spec(name)
-    full = type(circuit.stats())(  # full-scale counts gate the memory model
-        num_rows=stats.rows,
-        num_pins=int(stats.nets * stats.mean_degree + sum(stats.clock_net_degrees)),
-        num_cells=stats.cells,
-        num_nets=stats.nets,
-    )
-    return serial_baseline(
-        circuit, settings.config, machine=settings.machine, memory_stats=full
-    )
+#: in-process memo of executed runs, keyed by SweepPoint content address.
+#: Keying by content hash (not by call arguments) means a serial baseline
+#: is shared across every settings variant that only differs in parallel
+#: knobs — exactly the runs it is valid for.
+_RECORDS: Dict[str, RunRecord] = {}
+_RUNS: Dict[str, ParallelRun] = {}
+
+#: optional on-disk cache consulted by every run (see :func:`set_cache`)
+_CACHE: Optional[RunCache] = None
+
+#: worker processes for :func:`prefetch` (None = engine default)
+_JOBS: Optional[int] = 1
 
 
-@functools.lru_cache(maxsize=256)
-def _run(settings: ExperimentSettings, algorithm: str, name: str, nprocs: int) -> ParallelRun:
-    circuit = settings.circuit(name)
-    base = _baseline(settings, name)
-    return route_parallel(
-        circuit,
+def set_cache(cache: Optional[RunCache]) -> None:
+    """Attach (or detach) an on-disk run cache for all experiment runs."""
+    global _CACHE
+    _CACHE = cache
+
+
+def set_jobs(jobs: Optional[int]) -> None:
+    """Worker processes :func:`prefetch` may fan out across."""
+    global _JOBS
+    _JOBS = jobs
+
+
+def _point(
+    settings: ExperimentSettings, algorithm: str, name: str, nprocs: int
+) -> SweepPoint:
+    return SweepPoint(
+        circuit=name,
         algorithm=algorithm,
-        nprocs=nprocs,
-        machine=settings.machine,
+        nprocs=1 if algorithm == "serial" else nprocs,
+        scale=settings.scale,
+        circuit_seed=settings.seed,
+        machine=settings.machine_name,
         config=settings.config,
         pconfig=settings.pconfig,
-        baseline=base,
     )
+
+
+def _record(point: SweepPoint) -> RunRecord:
+    key = point.key()
+    rec = _RECORDS.get(key)
+    if rec is None:
+        base = None if point.algorithm == "serial" else _record(point.baseline_point())
+        rec = execute_point(point, cache=_CACHE, baseline_record=base)
+        _RECORDS[key] = rec
+    return rec
+
+
+def _baseline(settings: ExperimentSettings, name: str) -> RoutingResult:
+    return _record(_point(settings, "serial", name, 1)).routing_result()
+
+
+def _run(
+    settings: ExperimentSettings, algorithm: str, name: str, nprocs: int
+) -> ParallelRun:
+    point = _point(settings, algorithm, name, nprocs)
+    key = point.key()
+    run = _RUNS.get(key)
+    if run is None:
+        run = _record(point).parallel_run()
+        _RUNS[key] = run
+    return run
+
+
+def prefetch(
+    settings: ExperimentSettings,
+    algorithms: Sequence[str] = ("rowwise", "netwise", "hybrid"),
+    jobs: Optional[int] = None,
+    cache: Optional[RunCache] = None,
+) -> List[RunRecord]:
+    """Execute the full circuits × algorithms × procs sweep up front.
+
+    Fans out across worker processes (``jobs``, default the module
+    setting) and primes the in-process memo, so the table/figure runners
+    that follow are pure lookups.  Returns the records in sweep order.
+    """
+    points = [
+        _point(settings, algo, name, p)
+        for name in settings.circuits
+        for algo in algorithms
+        for p in settings.procs
+    ]
+    records = run_sweep(
+        points,
+        jobs=jobs if jobs is not None else _JOBS,
+        cache=cache if cache is not None else _CACHE,
+    )
+    for point, rec in zip(points, records):
+        _RECORDS.setdefault(point.key(), rec)
+        bpoint = point.baseline_point()
+        if rec.baseline is not None and bpoint.key() not in _RECORDS:
+            _RECORDS[bpoint.key()] = RunRecord(
+                circuit=rec.circuit,
+                scale=rec.scale,
+                circuit_seed=rec.circuit_seed,
+                algorithm="serial",
+                nprocs=1,
+                machine=rec.machine,
+                result=rec.baseline,
+                key=bpoint.key(),
+            )
+    return records
 
 
 def clear_cache() -> None:
     """Drop memoized runs (tests use this between parameter changes)."""
-    _baseline.cache_clear()
-    _run.cache_clear()
+    _RECORDS.clear()
+    _RUNS.clear()
 
 
 # ---------------------------------------------------------------------------

@@ -4,15 +4,21 @@ Given a sweep of :class:`~repro.parallel.driver.ParallelRun` results over
 processor counts, estimate the effective serial fraction via a
 least-squares fit of Amdahl's law — a compact way to compare how the
 three algorithms' overheads scale, and to extrapolate beyond measured
-processor counts.
+processor counts.  :func:`speedups_from_records` /
+:func:`fits_from_records` consume the run records the execution engine
+(:func:`repro.exec.run_sweep`) produces, so a cached sweep can be
+re-analyzed without recomputing anything.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional
+from typing import TYPE_CHECKING, Dict, Mapping, Optional, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.record import RunRecord
 
 
 @dataclass(frozen=True, slots=True)
@@ -80,3 +86,33 @@ def compare_algorithms(
 ) -> Dict[str, AmdahlFit]:
     """Amdahl fits per algorithm from their speedup sweeps."""
     return {name: fit_amdahl(sweep) for name, sweep in sweeps.items()}
+
+
+def speedups_from_records(
+    records: Sequence["RunRecord"],
+) -> Dict[str, Dict[int, Optional[float]]]:
+    """Group engine run records into per-algorithm speedup sweeps.
+
+    Serial baselines are skipped (they define speedup, they don't have
+    one); a later record for the same ``(algorithm, nprocs)`` wins.
+    """
+    out: Dict[str, Dict[int, Optional[float]]] = {}
+    for rec in records:
+        if rec.algorithm == "serial" or rec.timing is None:
+            continue
+        out.setdefault(rec.algorithm, {})[rec.nprocs] = rec.parallel_run().speedup
+    return out
+
+
+def fits_from_records(records: Sequence["RunRecord"]) -> Dict[str, AmdahlFit]:
+    """Amdahl fits per algorithm straight from engine run records.
+
+    Algorithms without any usable multi-processor speedup (e.g. every
+    baseline hit the memory gate) are omitted rather than raising.
+    """
+    fits: Dict[str, AmdahlFit] = {}
+    for name, sweep in speedups_from_records(records).items():
+        usable = {p: s for p, s in sweep.items() if p > 1 and s is not None and s > 0}
+        if usable:
+            fits[name] = fit_amdahl(usable)
+    return fits

@@ -16,6 +16,14 @@ Commands
 ``trace``
     Route in parallel while recording communication, then print the
     message timeline and the bytes-sent matrix.
+``cache``
+    Inspect or clear the on-disk run cache.
+
+The routing commands (``route``, ``compare``, ``artifact``) execute
+through the sweep engine (:mod:`repro.exec`): ``--jobs`` fans
+independent runs out across worker processes, and ``--cache`` /
+``--cache-dir`` replay previously computed runs from a
+content-addressed on-disk cache instead of recomputing them.
 """
 
 from __future__ import annotations
@@ -40,6 +48,33 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_engine(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for independent runs (default: host cores, "
+        "REPRO_JOBS overrides; 1 = in-process)",
+    )
+    parser.add_argument(
+        "--cache", action="store_true",
+        help="replay/store runs in the on-disk cache (.repro_cache)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache directory (implies --cache)",
+    )
+
+
+def _cache_from(args: argparse.Namespace):
+    """The RunCache requested by ``--cache``/``--cache-dir``, or None."""
+    from repro.exec import RunCache
+
+    if getattr(args, "cache_dir", None):
+        return RunCache(args.cache_dir)
+    if getattr(args, "cache", False):
+        return RunCache()
+    return None
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse parser for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -58,12 +93,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_route.add_argument("--nprocs", type=int, default=8)
     p_route.add_argument("--json", metavar="PATH", help="save the result record")
+    _add_engine(p_route)
 
     p_cmp = sub.add_parser("compare", help="all three algorithms on one circuit")
     _add_common(p_cmp)
     p_cmp.add_argument(
         "--procs", type=int, nargs="+", default=[1, 2, 4, 8], metavar="P"
     )
+    _add_engine(p_cmp)
 
     p_art = sub.add_parser("artifact", help="regenerate a paper table/figure")
     p_art.add_argument(
@@ -76,6 +113,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_art.add_argument("--scale", type=float, default=0.1)
     p_art.add_argument("--seed", type=int, default=1)
+    _add_engine(p_art)
+
+    p_cache = sub.add_parser("cache", help="inspect or clear the run cache")
+    p_cache.add_argument("action", choices=("stats", "clear"))
+    p_cache.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache directory (default .repro_cache / REPRO_CACHE_DIR)",
+    )
 
     p_tr = sub.add_parser("trace", help="route in parallel and show the comm trace")
     _add_common(p_tr)
@@ -106,25 +151,27 @@ def cmd_circuits(_args: argparse.Namespace) -> int:
 
 def cmd_route(args: argparse.Namespace) -> int:
     """Route one circuit and print (optionally save) the metrics."""
-    from repro.parallel.driver import route_parallel, serial_baseline
+    from repro.exec import SweepPoint, execute_point
 
+    cache = _cache_from(args)
     circuit = mcnc.generate(args.circuit, scale=args.scale, seed=args.seed)
-    config = RouterConfig(seed=args.seed)
-    machine = MACHINES[args.machine]
     print(f"circuit: {circuit}")
+    point = SweepPoint(
+        circuit=args.circuit, algorithm=args.algorithm,
+        nprocs=1 if args.algorithm == "serial" else args.nprocs,
+        scale=args.scale, circuit_seed=args.seed, machine=args.machine,
+        config=RouterConfig(seed=args.seed),
+    )
+    record = execute_point(point, cache=cache)
+    suffix = "  (cached)" if record.cached else ""
     if args.algorithm == "serial":
-        result = serial_baseline(circuit, config, machine=machine)
-        print(result.summary())
-        results = [result]
+        print(record.routing_result().summary() + suffix)
+        results = [record.routing_result()]
     else:
-        base = serial_baseline(circuit, config, machine=machine)
-        run = route_parallel(
-            circuit, algorithm=args.algorithm, nprocs=args.nprocs,
-            machine=machine, config=config, baseline=base,
-        )
-        print(f"serial  : {base.summary()}")
-        print(f"parallel: {run.summary()}")
-        results = [base, run.result]
+        run = record.parallel_run()
+        print(f"serial  : {run.baseline.summary()}")
+        print(f"parallel: {run.summary()}{suffix}")
+        results = [run.baseline, run.result]
     if args.json:
         save_results(results, args.json)
         print(f"records written to {args.json}")
@@ -132,16 +179,37 @@ def cmd_route(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    """Run the three algorithms across processor counts."""
+    """Run the three algorithms across processor counts — one engine
+    sweep sharing a single serial baseline."""
     from repro.analysis.tables import Table
-    from repro.parallel.driver import route_parallel, serial_baseline
+    from repro.exec import SweepPoint, run_sweep
 
+    cache = _cache_from(args)
     circuit = mcnc.generate(args.circuit, scale=args.scale, seed=args.seed)
-    config = RouterConfig(seed=args.seed)
     machine = MACHINES[args.machine]
-    base = serial_baseline(circuit, config, machine=machine)
+    config = RouterConfig(seed=args.seed)
+    algorithms = ("rowwise", "netwise", "hybrid")
+
+    def point(algo: str, p: int = 1) -> SweepPoint:
+        return SweepPoint(
+            circuit=args.circuit, algorithm=algo, nprocs=p, scale=args.scale,
+            circuit_seed=args.seed, machine=args.machine, config=config,
+        )
+
+    points = [point("serial")] + [
+        point(a, p) for a in algorithms for p in args.procs
+    ]
+    records = run_sweep(points, jobs=args.jobs, cache=cache)
+    base = records[0].routing_result()
+    runs = {
+        (rec.algorithm, rec.nprocs): rec.parallel_run() for rec in records[1:]
+    }
     print(f"circuit: {circuit}")
-    print(f"serial : {base.total_tracks} tracks, {base.model_time:.1f}s modeled\n")
+    base_time = (
+        f"{base.model_time:.1f}s modeled" if base.model_time is not None
+        else "timeout (memory gate)"
+    )
+    print(f"serial : {base.total_tracks} tracks, {base_time}\n")
     quality = Table(
         title=f"Scaled tracks on {circuit.name}",
         columns=["algorithm"] + [f"{p}p" for p in args.procs],
@@ -150,20 +218,15 @@ def cmd_compare(args: argparse.Namespace) -> int:
         title=f"Modeled speedup on {circuit.name} ({machine.name})",
         columns=["algorithm"] + [f"{p}p" for p in args.procs],
     )
-    for algo in ("rowwise", "netwise", "hybrid"):
-        q_row, s_row = [algo], [algo]
-        for p in args.procs:
-            run = route_parallel(
-                circuit, algorithm=algo, nprocs=p,
-                machine=machine, config=config, baseline=base,
-            )
-            q_row.append(run.scaled_tracks)
-            s_row.append(run.speedup)
-        quality.add_row(*q_row)
-        speed.add_row(*s_row)
+    for algo in algorithms:
+        quality.add_row(algo, *[runs[algo, p].scaled_tracks for p in args.procs])
+        speed.add_row(algo, *[runs[algo, p].speedup for p in args.procs])
     print(quality.render())
     print()
     print(speed.render())
+    if cache is not None:
+        s = cache.stats()
+        print(f"\ncache: {s['hits']} hits, {s['misses']} misses ({s['root']})")
     return 0
 
 
@@ -172,7 +235,27 @@ def cmd_artifact(args: argparse.Namespace) -> int:
     from repro.analysis import experiments as ex
 
     settings = ex.ExperimentSettings(scale=args.scale, seed=args.seed)
+    ex.set_cache(_cache_from(args))
+    ex.set_jobs(args.jobs)
+    try:
+        return _render_artifact(args, settings)
+    finally:
+        ex.set_cache(None)
+        ex.set_jobs(1)
+
+
+def _render_artifact(args: argparse.Namespace, settings) -> int:
+    from repro.analysis import experiments as ex
+
     name = args.name
+    sweep_algo = {
+        "table2": "rowwise", "table3": "netwise", "table4": "hybrid",
+        "fig4": "rowwise", "fig5": "netwise", "fig6": "hybrid",
+    }.get(name)
+    if sweep_algo is not None:
+        # fan the whole sweep out (and/or replay it from the cache)
+        # before the runner consumes it as pure memo lookups
+        ex.prefetch(settings, algorithms=(sweep_algo,))
     if name == "table1":
         print(ex.run_circuit_characteristics(settings).render())
     elif name in ("table2", "table3", "table4"):
@@ -200,6 +283,22 @@ def cmd_artifact(args: argparse.Namespace) -> int:
         )
         table, _ = ex.run_sync_frequency_ablation(profile)
         print(table.render())
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or clear the on-disk run cache."""
+    from repro.exec import RunCache
+
+    cache = RunCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached run(s) from {cache.root}")
+        return 0
+    s = cache.stats()
+    print(f"cache dir : {s['root']}")
+    print(f"entries   : {s['entries']}")
+    print(f"code salt : {s['salt']}")
     return 0
 
 
@@ -254,6 +353,7 @@ COMMANDS = {
     "route": cmd_route,
     "compare": cmd_compare,
     "artifact": cmd_artifact,
+    "cache": cmd_cache,
     "trace": cmd_trace,
     "stats": cmd_stats,
 }

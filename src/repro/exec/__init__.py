@@ -1,0 +1,40 @@
+"""Sweep execution engine: fan-out, run cache, run records.
+
+The repo's experiment suite is a sweep over circuits × algorithms ×
+processor counts, and every sweep point is an independent deterministic
+computation.  This package executes such sweeps:
+
+* :mod:`repro.exec.record` — :class:`RunRecord`, the compact picklable
+  and JSON-safe record one sweep point produces (quality metrics, the
+  modeled timing report, and the shared serial baseline) instead of the
+  full ``RoutingResult``/artifact object graph;
+* :mod:`repro.exec.cache` — :class:`RunCache`, a content-addressed
+  on-disk cache of run records, keyed by a hash of everything that
+  determines the run (circuit spec, configs, machine, algorithm,
+  processor count, seed, and a code-version salt);
+* :mod:`repro.exec.engine` — :class:`SweepPoint` and :func:`run_sweep`,
+  which resolve cache hits, compute each distinct serial baseline once,
+  and fan the remaining points out over a ``ProcessPoolExecutor``
+  (degrading gracefully to in-process execution on one-core hosts,
+  ``jobs=1``, or pool failure).
+
+Every run is deterministic, so a pooled run, its cached replay, and a
+direct in-process :func:`repro.parallel.driver.route_parallel` call
+produce bit-identical quality metrics and modeled times —
+``tests/exec/test_engine.py`` enforces this.
+"""
+
+from repro.exec.cache import CODE_SALT, RunCache, cache_key
+from repro.exec.engine import SweepPoint, execute_point, resolve_jobs, run_sweep
+from repro.exec.record import RunRecord
+
+__all__ = [
+    "CODE_SALT",
+    "RunCache",
+    "RunRecord",
+    "SweepPoint",
+    "cache_key",
+    "execute_point",
+    "resolve_jobs",
+    "run_sweep",
+]

@@ -1,0 +1,310 @@
+"""Sweep execution: shared baselines, cache resolution, process fan-out.
+
+A :class:`SweepPoint` names one deterministic routing run — circuit
+(by benchmark name, scale, and seed), algorithm, processor count,
+machine model, and the two config dataclasses.  :func:`run_sweep`
+executes a batch of points:
+
+1. resolve cache hits (nothing deterministic is ever computed twice);
+2. compute each *distinct* serial baseline exactly once — a processor
+   sweep over one circuit/config shares a single serial route, and the
+   ablation sweeps (which vary only ``ParallelConfig``) share it too,
+   because the baseline key normalizes the parallel knobs away;
+3. fan the remaining points out over a ``ProcessPoolExecutor``, each
+   worker regenerating its circuit from the spec (specs pickle in
+   microseconds; circuits would not) and returning a compact
+   :class:`~repro.exec.record.RunRecord` dict.
+
+``jobs=1``, a one-core host, a single task, or any pool failure all
+degrade to plain in-process execution of the identical code path, so
+results never depend on how they were scheduled.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.circuits import mcnc
+from repro.circuits.model import CircuitStats
+from repro.exec.cache import RunCache, cache_key
+from repro.exec.record import RunRecord, record_from_results
+from repro.parallel.driver import ParallelConfig, route_parallel, serial_baseline
+from repro.perfmodel.machine import MACHINES
+from repro.twgr.config import RouterConfig
+from repro.twgr.result import RoutingResult
+
+#: environment override for the default worker count
+JOBS_ENV = "REPRO_JOBS"
+
+
+@dataclass(frozen=True, slots=True)
+class SweepPoint:
+    """One deterministic routing run, identified by value.
+
+    Circuits are referenced by benchmark name + scale + seed (the
+    generator is seeded, so this fully determines the netlist) rather
+    than by object, which keeps points hashable, picklable, and
+    content-addressable.
+    """
+
+    circuit: str
+    algorithm: str = "serial"
+    nprocs: int = 1
+    scale: float = 1.0
+    circuit_seed: int = 0
+    machine: str = "SparcCenter-1000"
+    config: RouterConfig = field(default_factory=RouterConfig)
+    pconfig: ParallelConfig = field(default_factory=ParallelConfig)
+
+    def validate(self) -> None:
+        """Raise early on specs the workers would reject later."""
+        mcnc.spec(self.circuit)  # KeyError with the benchmark list
+        machine = MACHINES.get(self.machine)
+        if machine is None:
+            raise ValueError(
+                f"unknown machine {self.machine!r}; choose from {sorted(MACHINES)}"
+            )
+        if self.algorithm != "serial":
+            if self.nprocs < 1:
+                raise ValueError("nprocs must be >= 1")
+            if self.nprocs > machine.max_procs:
+                raise ValueError(
+                    f"{machine.name} has only {machine.max_procs} processors, "
+                    f"asked for {self.nprocs}"
+                )
+        self.config.validate()
+
+    def spec(self) -> Dict[str, Any]:
+        """Canonical JSON-safe description — the cache-key payload.
+
+        Serial runs drop the parallel knobs so every ``ParallelConfig``
+        ablation shares one baseline entry.
+        """
+        spec: Dict[str, Any] = {
+            "circuit": self.circuit,
+            "scale": self.scale,
+            "circuit_seed": self.circuit_seed,
+            "algorithm": self.algorithm,
+            "nprocs": 1 if self.algorithm == "serial" else self.nprocs,
+            "machine": self.machine,
+            "config": dataclasses.asdict(self.config),
+        }
+        if self.algorithm != "serial":
+            spec["pconfig"] = dataclasses.asdict(self.pconfig)
+        return spec
+
+    def key(self) -> str:
+        """Content address of this point (includes the code salt)."""
+        return cache_key(self.spec())
+
+    def baseline_point(self) -> "SweepPoint":
+        """The serial run this point's quality is scaled against."""
+        return replace(
+            self, algorithm="serial", nprocs=1, pconfig=ParallelConfig()
+        )
+
+    def describe(self) -> str:
+        """Short human-readable label (progress/benchmark output)."""
+        if self.algorithm == "serial":
+            return f"{self.circuit}@{self.scale:g} serial [{self.machine}]"
+        return (
+            f"{self.circuit}@{self.scale:g} {self.algorithm} "
+            f"p={self.nprocs} [{self.machine}]"
+        )
+
+
+def _full_scale_stats(name: str) -> CircuitStats:
+    """Full-size benchmark counts, which gate the per-node memory model
+    (the Paragon "timeout" entries of Table 5) even when the routed
+    instance is scaled down."""
+    stats = mcnc.spec(name)
+    return CircuitStats(
+        num_rows=stats.rows,
+        num_pins=int(stats.nets * stats.mean_degree + sum(stats.clock_net_degrees)),
+        num_cells=stats.cells,
+        num_nets=stats.nets,
+    )
+
+
+def _execute(point: SweepPoint, baseline: Optional[RoutingResult]) -> RunRecord:
+    """Compute one point in this process (the only code path that routes)."""
+    circuit = mcnc.generate(point.circuit, scale=point.scale, seed=point.circuit_seed)
+    machine = MACHINES[point.machine]
+    t0 = time.perf_counter()
+    if point.algorithm == "serial":
+        result = serial_baseline(
+            circuit,
+            point.config,
+            machine=machine,
+            memory_stats=_full_scale_stats(point.circuit),
+        )
+        return record_from_results(
+            point, result, key=point.key(), host_seconds=time.perf_counter() - t0
+        )
+    run = route_parallel(
+        circuit,
+        algorithm=point.algorithm,
+        nprocs=point.nprocs,
+        machine=machine,
+        config=point.config,
+        pconfig=point.pconfig,
+        baseline=baseline,
+        compute_baseline=False,
+    )
+    return record_from_results(
+        point,
+        run.result,
+        timing=run.timing,
+        baseline=baseline,
+        key=point.key(),
+        host_seconds=time.perf_counter() - t0,
+    )
+
+
+def _worker(task: Tuple[SweepPoint, Optional[Dict[str, Any]]]) -> Dict[str, Any]:
+    """Process-pool entry point: compute one point, return its dict form."""
+    from repro.analysis.records import result_from_dict  # avoids an import cycle
+
+    point, baseline_dict = task
+    baseline = result_from_dict(baseline_dict) if baseline_dict is not None else None
+    return _execute(point, baseline).to_dict()
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Effective worker count: explicit > ``REPRO_JOBS`` > host cores."""
+    if jobs is not None and jobs > 0:
+        return jobs
+    env = os.environ.get(JOBS_ENV, "").strip()
+    if env:
+        try:
+            parsed = int(env)
+        except ValueError:
+            parsed = 0
+        if parsed > 0:
+            return parsed
+    return os.cpu_count() or 1
+
+
+def _map_tasks(
+    tasks: Sequence[Tuple[SweepPoint, Optional[Dict[str, Any]]]], jobs: int
+) -> List[Dict[str, Any]]:
+    """Run tasks across the pool (or inline), preserving order.
+
+    Falls back to in-process execution when the pool cannot be created
+    or dies — the worker is a pure function, so rerunning inline yields
+    the identical records.
+    """
+    if jobs <= 1 or len(tasks) <= 1:
+        return [_worker(t) for t in tasks]
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+            return list(pool.map(_worker, tasks))
+    except Exception:
+        return [_worker(t) for t in tasks]
+
+
+def execute_point(
+    point: SweepPoint,
+    cache: Optional[RunCache] = None,
+    baseline_record: Optional[RunRecord] = None,
+    compute_baseline: bool = True,
+) -> RunRecord:
+    """Execute (or replay) a single point in-process.
+
+    Parallel points need a serial baseline for scaled metrics; pass one
+    as ``baseline_record`` to share it across calls, or let this resolve
+    it (through the cache when one is given).  ``compute_baseline=False``
+    skips the baseline entirely, mirroring
+    :func:`~repro.parallel.driver.route_parallel`.
+    """
+    point.validate()
+    key = point.key()
+    if cache is not None:
+        payload = cache.get(key)
+        if payload is not None:
+            return RunRecord.from_dict(payload, cached=True)
+    baseline: Optional[RoutingResult] = None
+    if point.algorithm != "serial":
+        if baseline_record is None and compute_baseline:
+            baseline_record = execute_point(point.baseline_point(), cache=cache)
+        if baseline_record is not None:
+            baseline = baseline_record.routing_result()
+    record = _execute(point, baseline)
+    if cache is not None:
+        cache.put(key, record.to_dict())
+    return record
+
+
+def run_sweep(
+    points: Sequence[SweepPoint],
+    jobs: Optional[int] = None,
+    cache: Optional[RunCache] = None,
+) -> List[RunRecord]:
+    """Execute a batch of points; returns records in input order.
+
+    Cache hits are replayed without computing; each distinct serial
+    baseline is computed once and shared by every parallel point that
+    scales against it; everything else fans out across ``jobs`` worker
+    processes (default: :func:`resolve_jobs`).
+    """
+    points = list(points)
+    for p in points:
+        p.validate()
+    njobs = resolve_jobs(jobs)
+    keys = [p.key() for p in points]
+    records: List[Optional[RunRecord]] = [None] * len(points)
+
+    if cache is not None:
+        for i, key in enumerate(keys):
+            payload = cache.get(key)
+            if payload is not None:
+                records[i] = RunRecord.from_dict(payload, cached=True)
+
+    todo = [i for i, r in enumerate(records) if r is None]
+
+    # -- phase 1: each distinct serial baseline, exactly once ------------
+    base_points: Dict[str, SweepPoint] = {}
+    for i in todo:
+        p = points[i]
+        bp = p if p.algorithm == "serial" else p.baseline_point()
+        base_points.setdefault(bp.key(), bp)
+    base_records: Dict[str, RunRecord] = {}
+    missing: List[Tuple[str, SweepPoint]] = []
+    for bkey, bp in base_points.items():
+        payload = cache.get(bkey) if cache is not None else None
+        if payload is not None:
+            base_records[bkey] = RunRecord.from_dict(payload, cached=True)
+        else:
+            missing.append((bkey, bp))
+    if missing:
+        outputs = _map_tasks([(bp, None) for _, bp in missing], njobs)
+        for (bkey, _bp), out in zip(missing, outputs):
+            rec = RunRecord.from_dict(out)
+            base_records[bkey] = rec
+            if cache is not None:
+                cache.put(bkey, out)
+
+    # -- phase 2: the parallel points, against their shared baselines ----
+    tasks: List[Tuple[SweepPoint, Optional[Dict[str, Any]]]] = []
+    task_slots: List[int] = []
+    for i in todo:
+        p = points[i]
+        if p.algorithm == "serial":
+            records[i] = base_records[p.key()]
+            continue
+        tasks.append((p, base_records[p.baseline_point().key()].result))
+        task_slots.append(i)
+    if tasks:
+        outputs = _map_tasks(tasks, njobs)
+        for i, out in zip(task_slots, outputs):
+            records[i] = RunRecord.from_dict(out)
+            if cache is not None:
+                cache.put(keys[i], out)
+
+    return [r for r in records if r is not None]

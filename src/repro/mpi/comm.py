@@ -141,8 +141,9 @@ class Communicator:
         return Request(resolve=lambda: self._fetch(source, tag))
 
     # -- internals shared with collectives --------------------------------
-    def _post(self, obj: Any, dest: int, tag: int) -> None:
-        nbytes = estimate_size(obj)
+    def _post(self, obj: Any, dest: int, tag: int, nbytes: Optional[int] = None) -> None:
+        if nbytes is None:
+            nbytes = estimate_size(obj)
         timestamp = None
         if self.clock is not None:
             cost = self.clock.machine.msg_seconds(nbytes)
@@ -155,6 +156,12 @@ class Communicator:
         self._router.deliver(self.rank, dest, tag, obj, timestamp, nbytes)
 
     def _fetch(self, source: int, tag: int) -> Any:
+        return self._fetch_sized(source, tag)[0]
+
+    def _fetch_sized(self, source: int, tag: int) -> "tuple[Any, int]":
+        """Receive and also return the message's wire-size estimate, so
+        forwarding collectives (bcast) can reuse it instead of
+        re-estimating the identical payload."""
         obj, timestamp, nbytes = self._router.collect(self.rank, source, tag)
         if self.clock is not None:
             if timestamp is not None:
@@ -167,7 +174,7 @@ class Communicator:
                 self.clock.time if self.clock is not None else 0.0,
                 self.rank, source, tag, nbytes,
             )
-        return obj
+        return obj, nbytes
 
     def _coll_tag(self) -> int:
         """Fresh reserved tag for the next collective (SPMD order)."""
@@ -189,18 +196,24 @@ class Communicator:
         tag = self._coll_tag()
         self._overhead()
         vrank = (self.rank - root) % self.size
+        # The identical payload travels every tree edge, so its size
+        # estimate is computed once (at the root) or taken from the
+        # incoming message — never re-derived per forwarded copy.
+        nbytes: Optional[int] = None
         mask = 1
         while mask < self.size:
             if vrank & mask:
                 src = (self.rank - mask) % self.size
-                obj = self._fetch(src, tag)
+                obj, nbytes = self._fetch_sized(src, tag)
                 break
             mask <<= 1
         mask >>= 1
         while mask > 0:
             if vrank + mask < self.size:
                 dest = (self.rank + mask) % self.size
-                self._post(obj, dest, tag)
+                if nbytes is None:
+                    nbytes = estimate_size(obj)
+                self._post(obj, dest, tag, nbytes=nbytes)
             mask >>= 1
         return obj
 

@@ -19,6 +19,7 @@ genuinely missing message is a program bug, not a race).
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -42,11 +43,21 @@ class DeadlockError(RuntimeError):
 
 
 class _MailboxRouter:
-    """Shared mailbox state for one SPMD run."""
+    """Shared mailbox state for one SPMD run.
+
+    One lock guards all mailboxes, but each destination rank waits on its
+    own condition variable, so a delivery wakes only the addressee instead
+    of every blocked rank (``notify_all`` on a single shared condition
+    made every message an all-rank wakeup — quadratic scheduler churn at
+    high rank counts).  Deadlock detection uses a ``time.monotonic()``
+    deadline: only real elapsed time counts, never the number of times the
+    wait happened to wake.
+    """
 
     def __init__(self, size: int) -> None:
         self.size = size
-        self._cond = threading.Condition()
+        self._lock = threading.Lock()
+        self._conds = [threading.Condition(self._lock) for _ in range(size)]
         # mailbox[dest][(src, tag)] -> deque of (obj, timestamp, nbytes)
         self._boxes: List[Dict[Tuple[int, int], deque]] = [dict() for _ in range(size)]
         self.aborted: Optional[RankError] = None
@@ -57,7 +68,7 @@ class _MailboxRouter:
     def deliver(
         self, src: int, dest: int, tag: int, obj: Any, timestamp: Optional[float], nbytes: int
     ) -> None:
-        with self._cond:
+        with self._lock:
             if self.aborted is not None:
                 raise self.aborted
             self._boxes[dest].setdefault((src, tag), deque()).append(
@@ -65,14 +76,15 @@ class _MailboxRouter:
             )
             self.message_count += 1
             self.byte_count += nbytes
-            self._cond.notify_all()
+            self._conds[dest].notify()
 
     def collect(
         self, dest: int, src: int, tag: int, timeout: float = 60.0
     ) -> Tuple[Any, Optional[float], int]:
         key = (src, tag)
-        with self._cond:
-            waited = 0.0
+        cond = self._conds[dest]
+        deadline: Optional[float] = None
+        with self._lock:
             while True:
                 if self.aborted is not None:
                     raise self.aborted
@@ -82,19 +94,23 @@ class _MailboxRouter:
                     if not q:
                         del self._boxes[dest][key]
                     return item
-                if waited >= timeout:
+                now = time.monotonic()
+                if deadline is None:
+                    deadline = now + timeout
+                remaining = deadline - now
+                if remaining <= 0:
                     raise DeadlockError(
                         f"rank {dest} waited {timeout}s for message from "
                         f"rank {src} tag {tag}"
                     )
-                self._cond.wait(timeout=0.5)
-                waited += 0.5
+                cond.wait(timeout=remaining)
 
     def abort(self, err: RankError) -> None:
-        with self._cond:
+        with self._lock:
             if self.aborted is None:
                 self.aborted = err
-            self._cond.notify_all()
+            for cond in self._conds:
+                cond.notify_all()
 
 
 @dataclass(slots=True)

@@ -11,20 +11,54 @@ exact buffer size.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any
+from array import array
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
 _SCALAR_BYTES = 8
 _CONTAINER_OVERHEAD = 16
 
+#: memoized sizes of small all-scalar tuple shapes, keyed by the element
+#: type tuple — the dominant interned payload shape (span/route tuples)
+_SMALL_TUPLE_SIZES: Dict[Tuple[type, ...], int] = {}
+_SMALL_TUPLE_LIMIT = 1024
+_SCALAR_TYPES = (bool, int, float, type(None))
+
+#: per-class attribute walk plans: (kind, names) where kind is
+#: "dataclass" or "slots", or None for classes walked via __dict__
+_FIELD_PLANS: Dict[type, Optional[Tuple[str, Tuple[str, ...]]]] = {}
+
+
+def _field_plan(cls: type) -> Optional[Tuple[str, Tuple[str, ...]]]:
+    """Cached attribute list for dataclass/__slots__ payload classes.
+
+    ``dataclasses.fields`` and the ``__slots__`` MRO lookup are pure
+    functions of the class, so repeated messages of the same type skip
+    them entirely.  The walk order and membership are identical to the
+    uncached lookups.
+    """
+    try:
+        return _FIELD_PLANS[cls]
+    except KeyError:
+        pass
+    plan: Optional[Tuple[str, Tuple[str, ...]]] = None
+    if dataclasses.is_dataclass(cls):
+        plan = ("dataclass", tuple(f.name for f in dataclasses.fields(cls)))
+    else:
+        slots = getattr(cls, "__slots__", None)
+        if slots:
+            plan = ("slots", tuple(s for s in slots if isinstance(s, str)))
+    _FIELD_PLANS[cls] = plan
+    return plan
+
 
 def estimate_size(obj: Any, _depth: int = 0) -> int:
     """Approximate wire size of ``obj`` in bytes.
 
-    Handles scalars, strings, containers, numpy arrays, dataclasses and
-    ``__slots__`` objects; anything else costs a flat 64 bytes (message
-    framing) — rank programs only send the handled kinds.
+    Handles scalars, strings, containers, numpy/stdlib arrays,
+    dataclasses and ``__slots__`` objects; anything else costs a flat 64
+    bytes (message framing) — rank programs only send the handled kinds.
     """
     if _depth > 32:
         return _SCALAR_BYTES
@@ -36,11 +70,26 @@ def estimate_size(obj: Any, _depth: int = 0) -> int:
         return int(obj.nbytes) + 64
     if isinstance(obj, np.generic):
         return _SCALAR_BYTES
+    if isinstance(obj, array):
+        # stdlib arrays report their exact buffer, like ndarrays
+        return len(obj) * obj.itemsize + 64
     if isinstance(obj, (list, tuple, set, frozenset)):
         if len(obj) > 0:
+            if type(obj) is tuple and len(obj) <= 16:
+                # Small scalar tuples are the most common interned payload
+                # shape; their size is a pure function of the type tuple.
+                tkey = tuple(map(type, obj))
+                size = _SMALL_TUPLE_SIZES.get(tkey)
+                if size is not None:
+                    return size
+                if all(t in _SCALAR_TYPES for t in tkey):
+                    size = _SCALAR_BYTES * len(obj) + _CONTAINER_OVERHEAD
+                    if len(_SMALL_TUPLE_SIZES) < _SMALL_TUPLE_LIMIT:
+                        _SMALL_TUPLE_SIZES[tkey] = size
+                    return size
             # Sample large homogeneous containers instead of walking all
             # elements: estimate = len * mean(sample).
-            items = list(obj)
+            items = obj if isinstance(obj, (list, tuple)) else list(obj)
             if len(items) > 64:
                 step = len(items) // 32
                 sample = items[::step][:32]
@@ -65,24 +114,14 @@ def estimate_size(obj: Any, _depth: int = 0) -> int:
             )
             + _CONTAINER_OVERHEAD
         )
-    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        return (
-            sum(
-                estimate_size(getattr(obj, f.name), _depth + 1)
-                for f in dataclasses.fields(obj)
+    if not isinstance(obj, type):
+        plan = _field_plan(type(obj))
+        if plan is not None:
+            _kind, names = plan
+            return (
+                sum(estimate_size(getattr(obj, n, None), _depth + 1) for n in names)
+                + _CONTAINER_OVERHEAD
             )
-            + _CONTAINER_OVERHEAD
-        )
-    slots = getattr(type(obj), "__slots__", None)
-    if slots:
-        return (
-            sum(
-                estimate_size(getattr(obj, s, None), _depth + 1)
-                for s in slots
-                if isinstance(s, str)
-            )
-            + _CONTAINER_OVERHEAD
-        )
     if hasattr(obj, "__dict__"):
         return estimate_size(vars(obj), _depth + 1)
     return 64

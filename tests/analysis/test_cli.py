@@ -84,3 +84,58 @@ def test_stats(capsys):
     assert code == 0
     assert "net degree histogram" in out
     assert "busiest channels" in out
+
+
+def test_compare_sweep_routes_serially_exactly_once(capsys, monkeypatch):
+    """A 4-point procs sweep (x3 algorithms) shares one serial baseline."""
+    from repro.exec import engine as engine_mod
+
+    calls = {"n": 0}
+    real = engine_mod.serial_baseline
+
+    def counting(*args, **kwargs):
+        calls["n"] += 1
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(engine_mod, "serial_baseline", counting)
+    code, out = run(
+        capsys, "compare", "--circuit", "primary1", "--scale", "0.05",
+        "--procs", "1", "2", "3", "4", "--jobs", "1",
+    )
+    assert code == 0
+    assert "Scaled tracks" in out
+    assert calls["n"] == 1
+
+
+def test_compare_warm_cache_replays_without_routing(capsys, tmp_path, monkeypatch):
+    argv = (
+        "compare", "--circuit", "primary1", "--scale", "0.05",
+        "--procs", "1", "2", "--jobs", "1", "--cache-dir", str(tmp_path / "c"),
+    )
+    code, cold = run(capsys, *argv)
+    assert code == 0
+
+    from repro.exec import engine as engine_mod
+
+    def boom(*args, **kwargs):
+        raise AssertionError("routed despite a warm cache")
+
+    monkeypatch.setattr(engine_mod, "_execute", boom)
+    code, warm = run(capsys, *argv)
+    assert code == 0
+    # identical tables; only the cache hit/miss line differs
+    assert cold.split("cache:")[0] == warm.split("cache:")[0]
+
+
+def test_cache_subcommand(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+    run(
+        capsys, "route", "--circuit", "primary1", "--scale", "0.05",
+        "--algorithm", "serial", "--cache",
+    )
+    code, out = run(capsys, "cache", "stats")
+    assert code == 0
+    assert "entries   : 1" in out
+    code, out = run(capsys, "cache", "clear")
+    assert code == 0
+    assert "removed 1" in out

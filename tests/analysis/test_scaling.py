@@ -84,3 +84,29 @@ def test_fit_on_real_run():
     fit = fit_amdahl(pts)
     assert 0.0 < fit.serial_fraction < 0.6
     assert fit.rmse < 1.0
+
+
+def test_fits_from_engine_records():
+    from repro.analysis.scaling import fits_from_records, speedups_from_records
+    from repro.exec import SweepPoint, run_sweep
+    from repro.twgr.config import RouterConfig
+
+    cfg = RouterConfig(seed=13)
+    points = [
+        SweepPoint(circuit="primary1", algorithm=a, nprocs=p, scale=0.05,
+                   circuit_seed=1, config=cfg)
+        for a in ("rowwise", "hybrid") for p in (2, 4)
+    ]
+    records = run_sweep(points, jobs=1)
+    sweeps = speedups_from_records(records)
+    assert set(sweeps) == {"rowwise", "hybrid"}
+    assert set(sweeps["rowwise"]) == {2, 4}
+    fits = fits_from_records(records)
+    assert set(fits) == {"rowwise", "hybrid"}
+    for algo, fit in fits.items():
+        assert 0.0 <= fit.serial_fraction <= 1.0
+        assert fit.measured == {
+            p: s for p, s in sweeps[algo].items() if s is not None and s > 0
+        }
+    # serial-only record sets produce no fit instead of raising
+    assert fits_from_records([r for r in records if r.algorithm == "serial"]) == {}

@@ -3,7 +3,11 @@ import pytest
 
 from repro.mpi import CONCAT, MAX, MIN, SUM, run_spmd
 
-SIZES = [1, 2, 3, 4, 5, 8]
+SIZES = [1, 2, 3, 4, 5, 7, 8]
+
+#: the mailbox refactor's likeliest breakage: binomial-tree masks at
+#: non-power-of-two and degenerate size-1 communicators
+ODD_SIZES = [1, 3, 5, 7]
 
 
 @pytest.mark.parametrize("p", SIZES)
@@ -87,6 +91,55 @@ def test_allreduce_numpy_arrays():
     out = run_spmd(4, prog)
     for v in out.values:
         assert (v == 10).all()
+
+
+@pytest.mark.parametrize("p", ODD_SIZES)
+@pytest.mark.parametrize("root", [0, -1])
+def test_reduce_odd_sizes_any_root(p, root):
+    """Tree reduction at size-1 and non-power-of-two communicators."""
+    r = root % p
+
+    def prog(comm):
+        return comm.reduce(comm.rank + 1, SUM, root=r)
+
+    out = run_spmd(p, prog)
+    assert out.values[r] == p * (p + 1) // 2
+    assert all(v is None for i, v in enumerate(out.values) if i != r)
+
+
+@pytest.mark.parametrize("p", ODD_SIZES)
+def test_bcast_reduce_alltoall_composed_odd_sizes(p):
+    """bcast → reduce → alltoall back-to-back, exercising the reserved
+    collective tag sequence at every odd communicator size."""
+
+    def prog(comm):
+        seedv = comm.bcast(17 if comm.rank == 0 else None, root=0)
+        total = comm.reduce(seedv + comm.rank, SUM, root=p - 1)
+        outgoing = [seedv * 100 + comm.rank * 10 + d for d in range(comm.size)]
+        incoming = comm.alltoall(outgoing)
+        return (total, incoming)
+
+    out = run_spmd(p, prog)
+    expect_total = 17 * p + p * (p - 1) // 2
+    assert out.values[p - 1][0] == expect_total
+    assert all(v[0] is None for v in out.values[:-1]) or p == 1
+    for r in range(p):
+        assert out.values[r][1] == [1700 + s * 10 + r for s in range(p)]
+
+
+@pytest.mark.parametrize("p", ODD_SIZES)
+def test_allreduce_concat_odd_sizes_deterministic(p):
+    """CONCAT allreduce order is the fixed binomial-tree order per size."""
+
+    def prog(comm):
+        return comm.allreduce([comm.rank], CONCAT)
+
+    out = run_spmd(p, prog)
+    first = out.values[0]
+    assert sorted(first) == list(range(p))
+    assert out.values == [first] * p
+    # determinism: an identical run combines in the identical order
+    assert run_spmd(p, prog).values[0] == first
 
 
 def test_reduce_concat_rank_order():

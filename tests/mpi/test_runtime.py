@@ -1,3 +1,5 @@
+import time
+
 import pytest
 
 from repro.mpi import DeadlockError, RankError, run_spmd
@@ -51,6 +53,73 @@ def test_deadlock_detection():
 
     with pytest.raises((DeadlockError, RankError)):
         run_spmd(2, prog, deadlock_timeout=1.0)
+
+
+def test_timeout_counts_elapsed_time_not_wakeups():
+    """A chatty run must not trip the deadlock timeout early.
+
+    Regression: `collect` used to charge 0.5s of "waiting" per Condition
+    wakeup, so deliveries for *other* tags (which wake the same waiter)
+    consumed the budget — here 40 of them would charge 20s against a 1s
+    timeout in a few milliseconds of real time.  Only a monotonic
+    deadline on real elapsed time is correct.
+    """
+
+    def prog(comm):
+        if comm.rank == 1:
+            for i in range(40):
+                comm.send(i, dest=0, tag=1)  # chatter rank 0 isn't waiting for
+                time.sleep(0.002)
+            comm.send("done", dest=0, tag=0)
+            return None
+        # rank 0 blocks on tag 0 while tag-1 chatter wakes it repeatedly
+        got = comm.recv(source=1, tag=0)
+        for _ in range(40):
+            comm.recv(source=1, tag=1)
+        return got
+
+    out = run_spmd(2, prog, deadlock_timeout=1.0)
+    assert out.values[0] == "done"
+
+
+def test_timeout_still_fires_after_real_elapsed_time():
+    """Chatter must not *extend* the deadline either: a genuinely missing
+    message still raises after ~timeout real seconds."""
+
+    def prog(comm):
+        if comm.rank == 1:
+            for i in range(50):
+                comm.send(i, dest=0, tag=1)
+                time.sleep(0.002)
+            # drain nothing; rank 0's tag-99 receive must still time out
+            return None
+        comm.recv(source=1, tag=99)  # nobody ever sends tag 99
+
+    t0 = time.monotonic()
+    with pytest.raises((DeadlockError, RankError)):
+        run_spmd(2, prog, deadlock_timeout=0.5)
+    elapsed = time.monotonic() - t0
+    assert elapsed >= 0.4  # the deadline reflects real time, not wakeups
+
+
+def test_many_ranks_chatty_short_timeout():
+    """All-to-all chatter across 8 ranks completes under a short timeout."""
+
+    def prog(comm):
+        total = 0
+        for _round in range(10):
+            for shift in range(1, comm.size):
+                dest = (comm.rank + shift) % comm.size
+                comm.send(comm.rank, dest=dest, tag=_round)
+            for shift in range(1, comm.size):
+                src = (comm.rank - shift) % comm.size
+                total += comm.recv(source=src, tag=_round)
+        return total
+
+    out = run_spmd(8, prog, deadlock_timeout=2.0)
+    # each rank sums the other seven ranks' ids, ten rounds over
+    assert out.values == [10 * (sum(range(8)) - r) for r in range(8)]
+    assert out.message_count == 8 * 10 * 7
 
 
 def test_message_and_byte_counts():

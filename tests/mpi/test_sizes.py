@@ -1,3 +1,5 @@
+from array import array
+
 import numpy as np
 
 from repro.geometry import Point
@@ -55,6 +57,46 @@ def test_size_monotone_in_payload():
     small = estimate_size([(1, 2)] * 10)
     big = estimate_size([(1, 2)] * 1000)
     assert big > small
+
+
+def test_stdlib_array_exact_buffer():
+    a = array("d", range(100))
+    assert estimate_size(a) == 100 * 8 + 64
+    b = array("i", range(50))
+    assert estimate_size(b) == 50 * b.itemsize + 64
+
+
+def test_small_scalar_tuple_memo_matches_elementwise():
+    """The memoized small-tuple fast path must equal the recursive sum."""
+    cases = [(1, 2), (1.5, 2, True), (None, 0), tuple(range(16)), (7,)]
+    for t in cases:
+        expected = 8 * len(t) + 16
+        assert estimate_size(t) == expected
+        # second call hits the shape memo; value must be identical
+        assert estimate_size(t) == expected
+
+
+def test_tuple_with_container_not_memoized_wrong():
+    t = ("abc", 1)
+    assert estimate_size(t) == (3 + 16) + 8 + 16
+    # repeated calls stay correct (no false memo hit for mixed shapes)
+    assert estimate_size(t) == (3 + 16) + 8 + 16
+
+
+def test_field_plan_cache_consistent_across_calls():
+    tree = build_net_tree(0, [Point(0, 0), Point(5, 5), Point(9, 1)])
+    assert estimate_size(tree) == estimate_size(tree)
+    p = Point(3, 4)
+    first = estimate_size(p)
+    assert first == estimate_size(p)
+    assert first > 0
+
+
+def test_namedtuple_still_summed_elementwise():
+    from collections import namedtuple
+
+    NT = namedtuple("NT", "a b")
+    assert estimate_size(NT(1, 2)) == 2 * 8 + 16
 
 
 def test_depth_capped():
