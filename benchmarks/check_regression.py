@@ -1,0 +1,163 @@
+#!/usr/bin/env python
+"""Deterministic step-time regression gate.
+
+Routes a fixed smoke spec (``primary1`` at scale 0.1, serial and hybrid
+p=4), condenses each run into a :class:`~repro.obs.profile.RunProfile`,
+and diffs the *modeled* per-step seconds against the committed reference
+``benchmarks/PROFILE_smoke.json``.  Modeled seconds are derived from the
+work counters via the machine model, so they are bit-deterministic for a
+fixed spec: a diff ratio other than exactly 1.0 means a code change
+altered how much work a step performs — the same property the cache's
+``CODE_SALT`` invalidation rule tracks.  Exits nonzero when any step
+regressed by more than the threshold (default +25%).
+
+It also loads the committed benchmark records ``BENCH_kernels.json`` and
+``BENCH_sweep.json`` (repo root) as context: the kernel means are printed
+for reference and the sweep record's ``bit_identical`` flag is enforced —
+a historical sweep that was not bit-identical would mean the committed
+baseline itself is untrustworthy.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py            # gate
+    PYTHONPATH=src python benchmarks/check_regression.py --update   # rebase
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO = Path(__file__).resolve().parent.parent
+DEFAULT_REFERENCE = Path(__file__).resolve().parent / "PROFILE_smoke.json"
+
+SMOKE_FORMAT = "repro-profile-smoke-v1"
+SMOKE_CIRCUIT = "primary1"
+SMOKE_SCALE = 0.1
+SMOKE_SEED = 1
+SMOKE_MACHINE = "SparcCenter-1000"
+#: label -> (algorithm, nprocs); both legs of the gate
+SMOKE_RUNS = {
+    "serial": ("serial", 1),
+    "hybrid_p4": ("hybrid", 4),
+}
+
+
+def smoke_profiles() -> Dict[str, Dict]:
+    """Route the smoke specs and return ``label -> profile dict``."""
+    from repro.exec import SweepPoint, execute_point
+    from repro.twgr.config import RouterConfig
+
+    out: Dict[str, Dict] = {}
+    for label, (algorithm, nprocs) in SMOKE_RUNS.items():
+        point = SweepPoint(
+            circuit=SMOKE_CIRCUIT, algorithm=algorithm, nprocs=nprocs,
+            scale=SMOKE_SCALE, circuit_seed=SMOKE_SEED, machine=SMOKE_MACHINE,
+            config=RouterConfig(seed=SMOKE_SEED),
+        )
+        record = execute_point(point, compute_baseline=False)
+        assert record.profile is not None
+        out[label] = record.profile
+    return out
+
+
+def load_reference(path: Path) -> Dict[str, Dict]:
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("format") != SMOKE_FORMAT:
+        raise ValueError(f"{path} is not a smoke-profile reference")
+    return data["profiles"]
+
+
+def check_bench_records(kernels_path: Path, sweep_path: Path) -> List[str]:
+    """Sanity-check the committed benchmark records; returns problems."""
+    problems: List[str] = []
+    try:
+        kernels = json.loads(kernels_path.read_text(encoding="utf-8"))
+        names = sorted(kernels.get("kernels", {}))
+        print(f"kernel baseline ({kernels_path.name}, commit {kernels.get('commit', '?')[:12]}):")
+        for name in names:
+            k = kernels["kernels"][name]
+            print(f"  {name:<28} {1e3 * k['mean_s']:9.3f} ms")
+    except (OSError, ValueError) as exc:
+        problems.append(f"cannot read {kernels_path}: {exc}")
+    try:
+        sweep = json.loads(sweep_path.read_text(encoding="utf-8"))
+        identical = sweep.get("sweep", {}).get("bit_identical")
+        print(
+            f"sweep baseline ({sweep_path.name}): "
+            f"{sweep.get('sweep', {}).get('points', '?')} points, "
+            f"bit_identical={identical}"
+        )
+        if identical is not True:
+            problems.append(
+                f"{sweep_path.name}: committed sweep was not bit-identical"
+            )
+    except (OSError, ValueError) as exc:
+        problems.append(f"cannot read {sweep_path}: {exc}")
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--reference", default=str(DEFAULT_REFERENCE))
+    ap.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="per-step regression threshold (fraction, default 0.25)",
+    )
+    ap.add_argument(
+        "--update", action="store_true",
+        help="rewrite the reference from the current code instead of gating",
+    )
+    ap.add_argument("--kernels", default=str(REPO / "BENCH_kernels.json"))
+    ap.add_argument("--sweep", default=str(REPO / "BENCH_sweep.json"))
+    ap.add_argument(
+        "--skip-bench-files", action="store_true",
+        help="gate on the smoke profile only (no BENCH_*.json checks)",
+    )
+    args = ap.parse_args(argv)
+
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.obs.profile import RunProfile, profile_diff
+
+    fresh = smoke_profiles()
+
+    if args.update:
+        payload = {"format": SMOKE_FORMAT, "profiles": fresh}
+        Path(args.reference).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"reference rewritten: {args.reference}")
+        return 0
+
+    problems: List[str] = []
+    if not args.skip_bench_files:
+        problems += check_bench_records(Path(args.kernels), Path(args.sweep))
+
+    reference = load_reference(Path(args.reference))
+    for label, old_dict in reference.items():
+        if label not in fresh:
+            problems.append(f"reference run {label!r} missing from smoke set")
+            continue
+        old = RunProfile.from_dict(old_dict)
+        new = RunProfile.from_dict(fresh[label])
+        diff = profile_diff(old, new, threshold=args.threshold)
+        print(f"\nsmoke run {label} ({old.circuit}@{old.scale:g}):")
+        print(diff.render())
+        if not diff.ok:
+            problems.append(
+                f"{label}: steps regressed beyond +{args.threshold:.0%}: "
+                + ", ".join(d.step for d in diff.regressions)
+            )
+
+    if problems:
+        print("\nREGRESSION CHECK FAILED:")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    print("\nregression check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

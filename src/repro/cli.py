@@ -15,20 +15,29 @@ Commands
     chosen scale.
 ``trace``
     Route in parallel while recording communication, then print the
-    message timeline and the bytes-sent matrix.
+    message timeline and the bytes-sent matrix; ``--chrome``/``--jsonl``
+    export the span trace, ``--flame`` renders a text flamegraph.
+``profile``
+    Route one circuit and print its per-step time/ops/bytes profile;
+    ``--diff`` compares against a saved profile and flags regressions.
 ``cache``
-    Inspect or clear the on-disk run cache.
+    Inspect or clear the on-disk run cache (``stats`` reports session
+    and lifetime hit rates).
 
-The routing commands (``route``, ``compare``, ``artifact``) execute
-through the sweep engine (:mod:`repro.exec`): ``--jobs`` fans
+The routing commands (``route``, ``compare``, ``artifact``, ``profile``)
+execute through the sweep engine (:mod:`repro.exec`): ``--jobs`` fans
 independent runs out across worker processes, and ``--cache`` /
 ``--cache-dir`` replay previously computed runs from a
 content-addressed on-disk cache instead of recomputing them.
+
+``--quiet`` suppresses progress/context lines (tables and results still
+print); ``--verbose`` enables debug logging.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import List, Optional
 
@@ -36,6 +45,41 @@ from repro.analysis.records import save_results
 from repro.circuits import mcnc
 from repro.perfmodel.machine import MACHINES, SPARCCENTER_1000
 from repro.twgr.config import RouterConfig
+
+log = logging.getLogger("repro")
+
+
+class _StdoutHandler(logging.Handler):
+    """Message-only handler that resolves ``sys.stdout`` at emit time.
+
+    Resolving lazily (instead of capturing the stream like
+    ``StreamHandler``) keeps logging correct when the surrounding process
+    swaps ``sys.stdout`` — notably pytest's capture fixtures.
+    """
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            print(self.format(record), file=sys.stdout)
+        except Exception:  # pragma: no cover - mirrors StreamHandler
+            self.handleError(record)
+
+
+def configure_logging(quiet: bool = False, verbose: bool = False) -> None:
+    """Set up CLI logging: WARNING when quiet, DEBUG when verbose.
+
+    Progress/context lines go through the ``repro`` logger (message-only
+    format) so ``--quiet`` filters them while deliverable output —
+    tables, results, file paths — always prints.  Idempotent: repeated
+    ``main()`` calls in one process adjust the level without stacking
+    handlers.
+    """
+    level = logging.WARNING if quiet else (logging.DEBUG if verbose else logging.INFO)
+    root = logging.getLogger()
+    root.setLevel(level)
+    if not any(isinstance(h, _StdoutHandler) for h in root.handlers):
+        handler = _StdoutHandler()
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        root.addHandler(handler)
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -80,6 +124,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Parallel global routing for standard cells (IPPS'97 reproduction)",
+    )
+    parser.add_argument(
+        "--quiet", "-q", action="store_true",
+        help="suppress progress/context lines (results still print)",
+    )
+    parser.add_argument(
+        "--verbose", "-v", action="store_true", help="enable debug logging"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -128,6 +179,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithm", default="hybrid", choices=("rowwise", "netwise", "hybrid")
     )
     p_tr.add_argument("--nprocs", type=int, default=4)
+    p_tr.add_argument(
+        "--chrome", metavar="PATH",
+        help="write the span trace in Chrome trace-event format "
+        "(load in chrome://tracing or Perfetto)",
+    )
+    p_tr.add_argument(
+        "--jsonl", metavar="PATH", help="write flattened spans + comm events as JSONL"
+    )
+    p_tr.add_argument(
+        "--flame", action="store_true", help="render a text flamegraph of the spans"
+    )
+
+    p_prof = sub.add_parser(
+        "profile", help="per-step time/ops/bytes profile of one routed circuit"
+    )
+    p_prof.add_argument("circuit", help="benchmark name (see `circuits`)")
+    p_prof.add_argument(
+        "--algorithm", default="serial",
+        choices=("serial", "rowwise", "netwise", "hybrid"),
+    )
+    p_prof.add_argument("--nprocs", type=int, default=8)
+    p_prof.add_argument("--scale", type=float, default=0.1)
+    p_prof.add_argument("--seed", type=int, default=1)
+    p_prof.add_argument(
+        "--machine", default=SPARCCENTER_1000.name, choices=sorted(MACHINES)
+    )
+    p_prof.add_argument("--json", metavar="PATH", help="save the profile as JSON")
+    p_prof.add_argument(
+        "--diff", metavar="OLD.json",
+        help="compare against a saved profile; exit 1 on step regressions",
+    )
+    p_prof.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="regression threshold for --diff (fraction, default 0.25)",
+    )
+    _add_engine(p_prof)
 
     p_st = sub.add_parser(
         "stats", help="circuit statistics and post-route congestion report"
@@ -155,7 +242,7 @@ def cmd_route(args: argparse.Namespace) -> int:
 
     cache = _cache_from(args)
     circuit = mcnc.generate(args.circuit, scale=args.scale, seed=args.seed)
-    print(f"circuit: {circuit}")
+    log.info("circuit: %s", circuit)
     point = SweepPoint(
         circuit=args.circuit, algorithm=args.algorithm,
         nprocs=1 if args.algorithm == "serial" else args.nprocs,
@@ -204,7 +291,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     runs = {
         (rec.algorithm, rec.nprocs): rec.parallel_run() for rec in records[1:]
     }
-    print(f"circuit: {circuit}")
+    log.info("circuit: %s", circuit)
     base_time = (
         f"{base.model_time:.1f}s modeled" if base.model_time is not None
         else "timeout (memory gate)"
@@ -296,33 +383,95 @@ def cmd_cache(args: argparse.Namespace) -> int:
         print(f"removed {removed} cached run(s) from {cache.root}")
         return 0
     s = cache.stats()
+    life = s["lifetime"]
+    rate = s["lifetime_hit_rate"]
     print(f"cache dir : {s['root']}")
     print(f"entries   : {s['entries']}")
     print(f"code salt : {s['salt']}")
+    print(
+        f"lifetime  : {life['hits']} hits, {life['misses']} misses, "
+        f"{life['stores']} stores"
+    )
+    print(f"hit rate  : {f'{rate:.1%}' if rate is not None else 'n/a (no lookups yet)'}")
     return 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    """Route with a trace recorder and render the comm structure."""
+    """Route with trace recorder + span tracer; render/export the traces."""
     from repro.mpi.trace import TraceRecorder
+    from repro.obs import Tracer, render_flamegraph, write_chrome_trace, write_jsonl
     from repro.parallel.driver import route_parallel
 
     circuit = mcnc.generate(args.circuit, scale=args.scale, seed=args.seed)
     config = RouterConfig(seed=args.seed)
     machine = MACHINES[args.machine]
     recorder = TraceRecorder()
+    tracer = Tracer()
     run = route_parallel(
         circuit, algorithm=args.algorithm, nprocs=args.nprocs,
-        machine=machine, config=config, compute_baseline=False, trace=recorder,
+        machine=machine, config=config, compute_baseline=False,
+        trace=recorder, obs=tracer,
     )
     print(run.result.summary())
+    colls = recorder.collectives_by_op()
+    coll_text = ", ".join(f"{op}×{n}" for op, n in sorted(colls.items())) or "none"
     print(
         f"messages: {recorder.total_messages():,}, "
-        f"bytes: {recorder.total_bytes():,}\n"
+        f"bytes: {recorder.total_bytes():,}, collectives: {coll_text}\n"
     )
     print(recorder.render_timeline(args.nprocs))
     print()
     print(recorder.render_matrix(args.nprocs))
+    if args.flame:
+        print()
+        print(render_flamegraph(tracer))
+    if args.chrome:
+        write_chrome_trace(args.chrome, tracer, recorder)
+        print(f"chrome trace written to {args.chrome}")
+    if args.jsonl:
+        write_jsonl(args.jsonl, tracer, recorder)
+        print(f"jsonl trace written to {args.jsonl}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Route one circuit and print (optionally diff) its step profile."""
+    import json as _json
+
+    from repro.exec import SweepPoint, execute_point
+    from repro.obs import RunProfile, profile_diff, render_profile
+
+    cache = _cache_from(args)
+    point = SweepPoint(
+        circuit=args.circuit, algorithm=args.algorithm,
+        nprocs=1 if args.algorithm == "serial" else args.nprocs,
+        scale=args.scale, circuit_seed=args.seed, machine=args.machine,
+        config=RouterConfig(seed=args.seed),
+    )
+    record = execute_point(point, cache=cache, compute_baseline=False)
+    profile = record.run_profile()
+    if profile is None:
+        print("record carries no profile (cached under an old schema?)")
+        return 1
+    if cache is not None:
+        profile.cache = {
+            k: v for k, v in cache.stats().items()
+            if k in ("hits", "misses", "stores")
+        }
+    log.info("%s%s", point.describe(), "  (cached)" if record.cached else "")
+    print(render_profile(profile))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(profile.to_dict(), fh, indent=2)
+        print(f"profile written to {args.json}")
+    if args.diff:
+        with open(args.diff, "r", encoding="utf-8") as fh:
+            old = RunProfile.from_dict(_json.load(fh))
+        diff = profile_diff(old, profile, threshold=args.threshold)
+        print()
+        print(diff.render())
+        if not diff.ok:
+            return 1
     return 0
 
 
@@ -355,6 +504,7 @@ COMMANDS = {
     "artifact": cmd_artifact,
     "cache": cmd_cache,
     "trace": cmd_trace,
+    "profile": cmd_profile,
     "stats": cmd_stats,
 }
 
@@ -362,6 +512,7 @@ COMMANDS = {
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    configure_logging(quiet=args.quiet, verbose=args.verbose)
     return COMMANDS[args.command](args)
 
 

@@ -33,10 +33,16 @@ from typing import Any, Dict, Optional, Union
 
 #: Version salt folded into every cache key.  Bump when routing
 #: semantics, modeled costs, or the record schema change.
-CODE_SALT = "repro-exec-v1"
+#: v2: run records embed a per-step ``profile`` section.
+CODE_SALT = "repro-exec-v2"
 
 #: default cache directory (relative to the current working directory)
 DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: sidecar holding lifetime hit/miss/store tallies.  Deliberately not a
+#: ``*.json`` name: ``__len__``/``clear`` glob ``*.json`` for records and
+#: must never count (or delete) the bookkeeping file.
+STATS_FILE = "_stats.meta"
 
 
 def cache_key(spec: Dict[str, Any], salt: str = CODE_SALT) -> str:
@@ -58,6 +64,10 @@ class RunCache:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self.stores = 0
+        # what persist_stats() has already folded into the sidecar, so
+        # repeated persists never double-count this instance's tallies
+        self._flushed = (0, 0, 0)
 
     def path_for(self, key: str) -> Path:
         """Where the record for ``key`` lives (whether or not it exists)."""
@@ -65,13 +75,17 @@ class RunCache:
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """The stored payload for ``key``, or ``None`` on a miss."""
+        from repro.obs.metrics import REGISTRY
+
         path = self.path_for(key)
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, ValueError):
             self.misses += 1
+            REGISTRY.counter("cache.miss").inc()
             return None
         self.hits += 1
+        REGISTRY.counter("cache.hit").inc()
         return payload
 
     def put(self, key: str, payload: Dict[str, Any]) -> None:
@@ -80,6 +94,8 @@ class RunCache:
         Concurrent writers are safe: determinism means any two writers
         of the same key hold identical content.
         """
+        from repro.obs.metrics import REGISTRY
+
         self.root.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
@@ -92,6 +108,8 @@ class RunCache:
             except OSError:
                 pass
             raise
+        self.stores += 1
+        REGISTRY.counter("cache.store").inc()
 
     def __len__(self) -> int:
         if not self.root.is_dir():
@@ -110,12 +128,75 @@ class RunCache:
                     pass
         return removed
 
+    # -- stats ---------------------------------------------------------
+    @property
+    def _stats_path(self) -> Path:
+        return self.root / STATS_FILE
+
+    def lifetime_stats(self) -> Dict[str, int]:
+        """Persisted hit/miss/store tallies (zeros when never persisted)."""
+        try:
+            data = json.loads(self._stats_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            data = {}
+        return {
+            "hits": int(data.get("hits", 0)),
+            "misses": int(data.get("misses", 0)),
+            "stores": int(data.get("stores", 0)),
+        }
+
+    def persist_stats(self) -> Dict[str, int]:
+        """Fold this instance's tallies into the on-disk sidecar.
+
+        Read-modify-write with an atomic replace; concurrent CLI
+        invocations may lose a delta to last-write-wins, which is
+        acceptable for advisory counters.  Safe to call repeatedly — only
+        the delta since the last persist is added.
+        """
+        delta = (
+            self.hits - self._flushed[0],
+            self.misses - self._flushed[1],
+            self.stores - self._flushed[2],
+        )
+        life = self.lifetime_stats()
+        life["hits"] += delta[0]
+        life["misses"] += delta[1]
+        life["stores"] += delta[2]
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(life, fh, separators=(",", ":"))
+            os.replace(tmp, self._stats_path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._flushed = (self.hits, self.misses, self.stores)
+        return life
+
     def stats(self) -> Dict[str, Any]:
-        """Counters and location, for CLI reporting."""
+        """Counters and location, for CLI reporting.
+
+        ``hits``/``misses``/``stores`` are this instance's session
+        tallies; ``lifetime`` is the persisted sidecar (which includes
+        any deltas already folded in by :meth:`persist_stats`).
+        """
+        looked_up = self.hits + self.misses
+        life = self.lifetime_stats()
+        life_lookups = life["hits"] + life["misses"]
         return {
             "root": str(self.root),
             "entries": len(self),
             "hits": self.hits,
             "misses": self.misses,
+            "stores": self.stores,
+            "hit_rate": (self.hits / looked_up) if looked_up else None,
+            "lifetime": life,
+            "lifetime_hit_rate": (
+                life["hits"] / life_lookups if life_lookups else None
+            ),
             "salt": CODE_SALT,
         }

@@ -131,9 +131,19 @@ def _full_scale_stats(name: str) -> CircuitStats:
 
 
 def _execute(point: SweepPoint, baseline: Optional[RoutingResult]) -> RunRecord:
-    """Compute one point in this process (the only code path that routes)."""
+    """Compute one point in this process (the only code path that routes).
+
+    Every execution is traced — step spans are cheap relative to routing —
+    so all records carry a :class:`~repro.obs.profile.RunProfile` and
+    cached replays keep their telemetry.  Tracing is passive (see
+    :mod:`repro.obs`): routed metrics are bit-identical with or without it.
+    """
+    from repro.obs.profile import profile_from_tracer
+    from repro.obs.tracer import Tracer
+
     circuit = mcnc.generate(point.circuit, scale=point.scale, seed=point.circuit_seed)
     machine = MACHINES[point.machine]
+    tracer = Tracer()
     t0 = time.perf_counter()
     if point.algorithm == "serial":
         result = serial_baseline(
@@ -141,27 +151,46 @@ def _execute(point: SweepPoint, baseline: Optional[RoutingResult]) -> RunRecord:
             point.config,
             machine=machine,
             memory_stats=_full_scale_stats(point.circuit),
+            tracer=tracer,
         )
-        return record_from_results(
-            point, result, key=point.key(), host_seconds=time.perf_counter() - t0
+        run_result = result
+    else:
+        run = route_parallel(
+            circuit,
+            algorithm=point.algorithm,
+            nprocs=point.nprocs,
+            machine=machine,
+            config=point.config,
+            pconfig=point.pconfig,
+            baseline=baseline,
+            compute_baseline=False,
+            obs=tracer,
         )
-    run = route_parallel(
-        circuit,
+        run_result = run.result
+    host_seconds = time.perf_counter() - t0
+    profile = profile_from_tracer(
+        tracer,
+        circuit=point.circuit,
         algorithm=point.algorithm,
         nprocs=point.nprocs,
+        scale=point.scale,
+        seed=point.circuit_seed,
         machine=machine,
-        config=point.config,
-        pconfig=point.pconfig,
-        baseline=baseline,
-        compute_baseline=False,
+        model_time=run_result.model_time,
     )
+    if point.algorithm == "serial":
+        return record_from_results(
+            point, result, profile=profile.to_dict(), key=point.key(),
+            host_seconds=host_seconds,
+        )
     return record_from_results(
         point,
         run.result,
         timing=run.timing,
         baseline=baseline,
+        profile=profile.to_dict(),
         key=point.key(),
-        host_seconds=time.perf_counter() - t0,
+        host_seconds=host_seconds,
     )
 
 
@@ -228,6 +257,7 @@ def execute_point(
     if cache is not None:
         payload = cache.get(key)
         if payload is not None:
+            cache.persist_stats()
             return RunRecord.from_dict(payload, cached=True)
     baseline: Optional[RoutingResult] = None
     if point.algorithm != "serial":
@@ -238,6 +268,7 @@ def execute_point(
     record = _execute(point, baseline)
     if cache is not None:
         cache.put(key, record.to_dict())
+        cache.persist_stats()
     return record
 
 
@@ -307,4 +338,6 @@ def run_sweep(
             if cache is not None:
                 cache.put(keys[i], out)
 
+    if cache is not None:
+        cache.persist_stats()
     return [r for r in records if r is not None]

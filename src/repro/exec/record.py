@@ -47,6 +47,9 @@ class RunRecord:
     result: Dict[str, Any] = field(default_factory=dict)
     timing: Optional[Dict[str, Any]] = None
     baseline: Optional[Dict[str, Any]] = None
+    #: per-step telemetry summary (:class:`repro.obs.profile.RunProfile`
+    #: dict form); ``None`` for records predating the telemetry layer
+    profile: Optional[Dict[str, Any]] = None
     #: content-address of this run in the cache ("" when not computed)
     key: str = ""
     #: True when this record was replayed from the on-disk cache
@@ -85,6 +88,14 @@ class RunRecord:
             baseline=self.baseline_result(),
         )
 
+    def run_profile(self) -> Optional["Any"]:
+        """The embedded :class:`~repro.obs.profile.RunProfile`, if any."""
+        if self.profile is None:
+            return None
+        from repro.obs.profile import RunProfile
+
+        return RunProfile.from_dict(self.profile)
+
     @property
     def quality(self) -> Tuple[int, int, int, Optional[float]]:
         """The bit-identity tuple: (tracks, area, feedthroughs, model_time)."""
@@ -109,6 +120,7 @@ class RunRecord:
             "result": self.result,
             "timing": self.timing,
             "baseline": self.baseline,
+            "profile": self.profile,
             "key": self.key,
             "host_seconds": self.host_seconds,
         }
@@ -128,6 +140,7 @@ class RunRecord:
             result=data["result"],
             timing=data.get("timing"),
             baseline=data.get("baseline"),
+            profile=data.get("profile"),
             key=data.get("key", ""),
             cached=cached,
             host_seconds=0.0 if cached else data.get("host_seconds", 0.0),
@@ -139,6 +152,7 @@ def record_from_results(
     result: RoutingResult,
     timing: Optional[TimingReport] = None,
     baseline: Optional[RoutingResult] = None,
+    profile: Optional[Dict[str, Any]] = None,
     key: str = "",
     host_seconds: float = 0.0,
 ) -> RunRecord:
@@ -154,6 +168,7 @@ def record_from_results(
         result=codec.result_to_dict(result),
         timing=codec.timing_to_dict(timing) if timing is not None else None,
         baseline=codec.result_to_dict(baseline) if baseline is not None else None,
+        profile=profile,
         key=key,
         host_seconds=host_seconds,
     )

@@ -83,12 +83,19 @@ class Communicator:
         router: "object",
         clock: Optional[LogicalClock],
         trace: Optional["object"] = None,
+        obs: Optional["object"] = None,
     ) -> None:
+        from repro.obs.tracer import NULL_TRACER
+
         self.rank = rank
         self.size = size
         self._router = router
         self.clock = clock
         self.trace = trace
+        #: span tracer (``repro.obs``); rank programs use it for step spans
+        #: and the communicator attributes message counts/bytes to the
+        #: currently open span — the per-phase communication breakdown.
+        self.obs = obs if obs is not None else NULL_TRACER
         self._coll_seq = 0
 
     # ------------------------------------------------------------------
@@ -153,6 +160,8 @@ class Communicator:
             self.trace.record(
                 "send", timestamp or 0.0, self.rank, dest, tag, nbytes
             )
+        self.obs.add_metric("msg.sent", 1)
+        self.obs.add_metric("msg.bytes", nbytes)
         self._router.deliver(self.rank, dest, tag, obj, timestamp, nbytes)
 
     def _fetch(self, source: int, tag: int) -> Any:
@@ -185,6 +194,22 @@ class Communicator:
         if self.clock is not None:
             self.clock.charge_comm(self.clock.machine.collective_overhead_s)
 
+    def _coll_begin(self, op: str) -> int:
+        """Common prologue of every primitive collective: reserve the tag,
+        charge the fixed overhead, and record the logical operation (the
+        tree-edge messages underneath are recorded individually by
+        ``_post``/``_fetch``)."""
+        tag = self._coll_tag()
+        self._overhead()
+        if self.trace is not None:
+            self.trace.record(
+                "collective",
+                self.clock.time if self.clock is not None else 0.0,
+                self.rank, -1, tag, 0, op=op,
+            )
+        self.obs.add_metric(f"coll.{op}", 1)
+        return tag
+
     # -- collectives --------------------------------------------------------
     def barrier(self) -> None:
         """Synchronize all ranks (and their logical clocks)."""
@@ -193,8 +218,7 @@ class Communicator:
     def bcast(self, obj: Any, root: int = 0) -> Any:
         """Broadcast ``obj`` from ``root`` via a binomial tree."""
         self._check_peer(root)
-        tag = self._coll_tag()
-        self._overhead()
+        tag = self._coll_begin("bcast")
         vrank = (self.rank - root) % self.size
         # The identical payload travels every tree edge, so its size
         # estimate is computed once (at the root) or taken from the
@@ -223,8 +247,7 @@ class Communicator:
         Returns the rank-ordered list at root, ``None`` elsewhere.
         """
         self._check_peer(root)
-        tag = self._coll_tag()
-        self._overhead()
+        tag = self._coll_begin("gather")
         if self.rank == root:
             out: List[Any] = []
             for r in range(self.size):
@@ -236,8 +259,7 @@ class Communicator:
     def scatter(self, objs: Optional[Sequence[Any]], root: int = 0) -> Any:
         """Scatter one object to each rank from ``root``."""
         self._check_peer(root)
-        tag = self._coll_tag()
-        self._overhead()
+        tag = self._coll_begin("scatter")
         if self.rank == root:
             if objs is None or len(objs) != self.size:
                 raise ValueError("scatter root needs exactly one object per rank")
@@ -260,8 +282,7 @@ class Communicator:
         deterministically.
         """
         self._check_peer(root)
-        tag = self._coll_tag()
-        self._overhead()
+        tag = self._coll_begin("reduce")
         vrank = (self.rank - root) % self.size
         acc = obj
         mask = 1
@@ -295,8 +316,7 @@ class Communicator:
         """
         if len(objs) != self.size:
             raise ValueError("alltoall needs exactly one object per rank")
-        tag = self._coll_tag()
-        self._overhead()
+        tag = self._coll_begin("alltoall")
         out: List[Any] = [None] * self.size
         out[self.rank] = objs[self.rank]
         for shift in range(1, self.size):

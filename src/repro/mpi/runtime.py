@@ -142,17 +142,24 @@ def run_spmd(
     machine: Optional[MachineModel] = None,
     deadlock_timeout: float = 60.0,
     trace: Optional[Any] = None,
+    obs: Optional[Any] = None,
 ) -> SpmdResult:
     """Run ``fn(comm, *args, **kwargs)`` on ``nprocs`` ranks.
 
     With a ``machine`` model, each rank gets a logical clock charged by
     both the communicator and any kernels using ``comm.counter``.  A
     :class:`~repro.mpi.trace.TraceRecorder` passed as ``trace`` collects
-    one event per message for post-run analysis.
+    one event per message for post-run analysis.  An
+    :class:`~repro.obs.tracer.Tracer` passed as ``obs`` wraps each rank
+    in a span (with the rank's logical clock bound for simulated
+    timestamps) and lets rank programs open step spans via ``comm.obs``.
     """
+    from repro.obs.tracer import NULL_TRACER
+
     if nprocs <= 0:
         raise ValueError("nprocs must be positive")
     kwargs = kwargs or {}
+    obs = obs if obs is not None else NULL_TRACER
     router = _MailboxRouter(nprocs)
     clocks: List[Optional[LogicalClock]] = [
         LogicalClock(machine) if machine is not None else None for _ in range(nprocs)
@@ -175,15 +182,19 @@ def run_spmd(
     bound = _BoundRouter(router)
 
     def runner(rank: int) -> None:
-        comm = Communicator(rank, nprocs, bound, clocks[rank], trace=trace)
+        comm = Communicator(rank, nprocs, bound, clocks[rank], trace=trace, obs=obs)
+        obs.bind_clock(clocks[rank])
         try:
-            values[rank] = fn(comm, *args, **kwargs)
+            with obs.span("rank", rank=rank, nprocs=nprocs):
+                values[rank] = fn(comm, *args, **kwargs)
         except RankError as err:  # propagated abort from another rank
             errors[rank] = err
         except BaseException as exc:  # noqa: BLE001 - must not hang siblings
             err = RankError(rank, exc)
             errors[rank] = err
             router.abort(err)
+        finally:
+            obs.bind_clock(None)
 
     if nprocs == 1:
         runner(0)

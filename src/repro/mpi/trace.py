@@ -8,6 +8,7 @@ synchronization phases line up) without any plotting dependency.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, List
 
@@ -16,23 +17,47 @@ from typing import Dict, List
 class TraceEvent:
     """One communication event."""
 
-    kind: str  # "send" | "recv"
+    kind: str  # "send" | "recv" | "collective"
     time: float  # simulated seconds (0.0 when no machine model)
     rank: int
-    peer: int
+    peer: int  # source/destination rank; -1 for collectives
     tag: int
     nbytes: int
+    #: collective operation name ("bcast", "reduce", ...); "" for p2p
+    op: str = ""
 
 
 class TraceRecorder:
-    """Collects trace events from a run (thread-safe by append-only use)."""
+    """Collects trace events from a run.
+
+    Rank programs run on concurrent threads and ``list.append`` is *not*
+    a documented atomic operation, so :meth:`record` takes a lock — the
+    recorder must stay correct no matter how the interpreter schedules
+    rank threads.  Point-to-point ``send``/``recv`` events cover all
+    traffic (collectives are built from point-to-point messages, so their
+    tree edges are recorded too); ``collective`` events additionally mark
+    each logical collective operation so analysis can attribute the
+    reserved-tag traffic underneath to barrier/bcast/reduce phases.
+    """
 
     def __init__(self) -> None:
         self.events: List[TraceEvent] = []
+        self._lock = threading.Lock()
 
-    def record(self, kind: str, time: float, rank: int, peer: int, tag: int, nbytes: int) -> None:
+    def record(
+        self,
+        kind: str,
+        time: float,
+        rank: int,
+        peer: int,
+        tag: int,
+        nbytes: int,
+        op: str = "",
+    ) -> None:
         """Append one event (called by the communicator)."""
-        self.events.append(TraceEvent(kind, time, rank, peer, tag, nbytes))
+        event = TraceEvent(kind, time, rank, peer, tag, nbytes, op)
+        with self._lock:
+            self.events.append(event)
 
     # -- queries -----------------------------------------------------------
 
@@ -56,8 +81,25 @@ class TraceRecorder:
         return sum(e.nbytes for e in self.events if e.kind == "send")
 
     def total_messages(self) -> int:
-        """Messages sent across the whole run."""
+        """Messages sent across the whole run.
+
+        Counts every point-to-point send, including the tree edges inside
+        collectives (which use reserved negative tags) — barrier/bcast
+        traffic is real traffic.
+        """
         return sum(1 for e in self.events if e.kind == "send")
+
+    def total_collectives(self) -> int:
+        """Logical collective operations across the whole run."""
+        return sum(1 for e in self.events if e.kind == "collective")
+
+    def collectives_by_op(self) -> Dict[str, int]:
+        """``op name -> count`` of collective operations."""
+        out: Dict[str, int] = {}
+        for e in self.events:
+            if e.kind == "collective":
+                out[e.op] = out.get(e.op, 0) + 1
+        return out
 
     # -- rendering ----------------------------------------------------------
 
@@ -76,7 +118,7 @@ class TraceRecorder:
         for rank in range(nprocs):
             lane = [" "] * width
             for e in self.events:
-                if e.rank != rank:
+                if e.rank != rank or e.kind == "collective":
                     continue
                 slot = min(int(e.time / t_max * (width - 1)), width - 1)
                 mark = ">" if e.kind == "send" else "<"

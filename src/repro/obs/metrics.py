@@ -1,0 +1,179 @@
+"""Metrics registry: named counters, gauges, and histograms.
+
+A :class:`MetricsRegistry` is a thread-safe map of named instruments.
+Process safety comes from value semantics rather than shared memory: a
+worker process snapshots its registry (:meth:`MetricsRegistry.snapshot`)
+into a plain dict that travels in its :class:`~repro.exec.record.RunRecord`,
+and the parent folds it back in with :meth:`MetricsRegistry.merge`.
+
+The module-level :data:`REGISTRY` is the default sink for subsystem
+counters (the run cache's hit/miss/store tallies, engine point counts);
+code that wants isolation creates its own registry.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """Last-written value (e.g. pool size, queue depth)."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        with self._lock:
+            self.value = value
+
+    def add(self, delta: float) -> None:
+        """Shift the current level by ``delta``."""
+        with self._lock:
+            self.value += delta
+
+
+class Histogram:
+    """Streaming distribution summary: count/sum/min/max + power-of-2 buckets.
+
+    Buckets hold counts of observations with ``value <= 2**i`` (the last
+    bucket is the overflow), which is plenty for latency- and size-shaped
+    data without storing samples.
+    """
+
+    __slots__ = ("_lock", "count", "total", "min", "max", "buckets")
+
+    NBUCKETS = 32
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.buckets = [0] * self.NBUCKETS
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the summary."""
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+            idx = 0
+            while idx < self.NBUCKETS - 1 and value > (1 << idx):
+                idx += 1
+            self.buckets[idx] += 1
+
+    @property
+    def mean(self) -> float:
+        """Average observation (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Thread-safe named instruments with snapshot/merge value semantics."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get-or-create the named counter."""
+        with self._lock:
+            inst = self._counters.get(name)
+            if inst is None:
+                inst = self._counters[name] = Counter(self._lock)
+            return inst
+
+    def gauge(self, name: str) -> Gauge:
+        """Get-or-create the named gauge."""
+        with self._lock:
+            inst = self._gauges.get(name)
+            if inst is None:
+                inst = self._gauges[name] = Gauge(self._lock)
+            return inst
+
+    def histogram(self, name: str) -> Histogram:
+        """Get-or-create the named histogram."""
+        with self._lock:
+            inst = self._histograms.get(name)
+            if inst is None:
+                inst = self._histograms[name] = Histogram(self._lock)
+            return inst
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-dict value of every instrument (JSON- and pickle-safe)."""
+        with self._lock:
+            return {
+                "counters": {k: c.value for k, c in self._counters.items()},
+                "gauges": {k: g.value for k, g in self._gauges.items()},
+                "histograms": {
+                    k: {
+                        "count": h.count,
+                        "total": h.total,
+                        "min": h.min,
+                        "max": h.max,
+                        "buckets": list(h.buckets),
+                    }
+                    for k, h in self._histograms.items()
+                },
+            }
+
+    def merge(self, snap: Dict[str, Any]) -> None:
+        """Fold a snapshot (e.g. from a worker process) into this registry.
+
+        Counters and histograms add; gauges keep the incoming value (the
+        most recent writer wins, matching their last-write semantics).
+        """
+        for name, value in snap.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snap.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, data in snap.get("histograms", {}).items():
+            hist = self.histogram(name)
+            with self._lock:
+                hist.count += data["count"]
+                hist.total += data["total"]
+                for bound in ("min", "max"):
+                    val = data.get(bound)
+                    if val is not None:
+                        cur = getattr(hist, bound)
+                        pick = min if bound == "min" else max
+                        setattr(hist, bound, val if cur is None else pick(cur, val))
+                for i, n in enumerate(data.get("buckets", [])[: hist.NBUCKETS]):
+                    hist.buckets[i] += n
+
+    def reset(self) -> None:
+        """Drop every instrument (tests use this between cases)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+#: Default process-wide registry.
+REGISTRY = MetricsRegistry()

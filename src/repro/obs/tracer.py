@@ -1,0 +1,293 @@
+"""Step-level tracing spans.
+
+A :class:`Tracer` records a tree of timestamped :class:`Span` objects —
+one per router step, rank, or sweep point — carrying both host wall time
+(``time.perf_counter``) and, when a per-rank
+:class:`~repro.perfmodel.clock.LogicalClock` is bound, simulated time.
+Spans also accumulate named metrics (work-counter ops, message counts,
+bytes), which is how per-phase communication breakdowns are attributed
+without touching the routing kernels.
+
+Thread model: each thread keeps its own open-span stack (the simulated
+MPI runtime runs one thread per rank), so ranks nest their step spans
+independently; finished top-level spans are appended to the shared root
+list under a lock.  Tracing must never perturb routing — a tracer only
+*reads* clocks and counters, it consumes no randomness and mutates no
+router state, and the :class:`NullTracer` default makes every hook a
+no-op so untraced runs pay nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.perfmodel.counter import WorkCounter
+
+
+@dataclass(slots=True)
+class Span:
+    """One traced region: a name, a wall/simulated interval, tags, metrics."""
+
+    name: str
+    t0: float
+    t1: float = 0.0
+    sim_t0: Optional[float] = None
+    sim_t1: Optional[float] = None
+    tags: Dict[str, Any] = field(default_factory=dict)
+    metrics: Dict[str, float] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+
+    @property
+    def wall_s(self) -> float:
+        """Wall-clock duration in seconds."""
+        return max(0.0, self.t1 - self.t0)
+
+    @property
+    def sim_s(self) -> Optional[float]:
+        """Simulated duration in seconds (``None`` without a clock)."""
+        if self.sim_t0 is None or self.sim_t1 is None:
+            return None
+        return max(0.0, self.sim_t1 - self.sim_t0)
+
+    def add_metric(self, name: str, value: float) -> None:
+        """Accumulate ``value`` under ``name`` on this span."""
+        self.metrics[name] = self.metrics.get(name, 0.0) + value
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and all descendants, preorder."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe recursive form."""
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "wall_s": self.wall_s,
+            "t0": self.t0,
+            "t1": self.t1,
+        }
+        if self.sim_t0 is not None:
+            out["sim_t0"] = self.sim_t0
+            out["sim_t1"] = self.sim_t1
+            out["sim_s"] = self.sim_s
+        if self.tags:
+            out["tags"] = dict(self.tags)
+        if self.metrics:
+            out["metrics"] = dict(self.metrics)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+
+class _SpanContext:
+    """Context manager returned by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_name", "_tags", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, tags: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._tags = tags
+        self._span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer._open(self._name, self._tags)
+        return self._span
+
+    def __exit__(self, *exc: Any) -> None:
+        assert self._span is not None
+        self._tracer._close(self._span)
+
+
+class _TracingCounter:
+    """Forwards work charges to a sink *and* the tracer's open span."""
+
+    __slots__ = ("_sink", "_tracer")
+
+    def __init__(self, sink: WorkCounter, tracer: "Tracer") -> None:
+        self._sink = sink
+        self._tracer = tracer
+
+    def add(self, kind: str, units: float) -> None:
+        """Charge the sink and attribute the ops to the current span."""
+        self._sink.add(kind, units)
+        self._tracer.add_metric(f"ops.{kind}", units)
+
+
+class Tracer:
+    """Collects a span tree from one (serial or SPMD) run."""
+
+    def __init__(self) -> None:
+        self.roots: List[Span] = []
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+
+    # -- per-thread state ---------------------------------------------------
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def bind_clock(self, clock: Optional[Any]) -> None:
+        """Attach a per-thread simulated clock (``.time`` attribute).
+
+        The SPMD runtime binds each rank thread's
+        :class:`~repro.perfmodel.clock.LogicalClock` so spans opened on
+        that thread carry simulated timestamps.  Pass ``None`` to unbind.
+        """
+        self._tls.clock = clock
+
+    def _clock_time(self) -> Optional[float]:
+        clock = getattr(self._tls, "clock", None)
+        return clock.time if clock is not None else None
+
+    # -- recording ----------------------------------------------------------
+    def span(self, name: str, **tags: Any) -> _SpanContext:
+        """Open a named span around a ``with`` block."""
+        return _SpanContext(self, name, tags)
+
+    def event(self, name: str, **tags: Any) -> None:
+        """Record an instant (zero-duration span) at the current position."""
+        now = time.perf_counter()
+        sim = self._clock_time()
+        span = Span(name=name, t0=now, t1=now, sim_t0=sim, sim_t1=sim, tags=tags)
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self.roots.append(span)
+
+    def add_metric(self, name: str, value: float) -> None:
+        """Accumulate a metric on the innermost open span of this thread."""
+        stack = self._stack()
+        if stack:
+            stack[-1].add_metric(name, value)
+
+    def wrap_counter(self, sink: WorkCounter) -> WorkCounter:
+        """A counter that charges ``sink`` and the current span.
+
+        The null tracer returns ``sink`` unchanged, so untraced runs keep
+        the exact counter object (and hot-path cost) they had before.
+        """
+        return _TracingCounter(sink, self)
+
+    def _open(self, name: str, tags: Dict[str, Any]) -> Span:
+        span = Span(
+            name=name,
+            t0=time.perf_counter(),
+            sim_t0=self._clock_time(),
+            tags=tags,
+        )
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
+        return span
+
+    def _close(self, span: Span) -> None:
+        span.t1 = time.perf_counter()
+        sim = self._clock_time()
+        if span.sim_t0 is not None and sim is not None:
+            span.sim_t1 = sim
+        stack = self._stack()
+        # close any forgotten descendants, then the span itself
+        while stack and stack[-1] is not span:
+            stack.pop()
+        if stack:
+            stack.pop()
+        if not stack:
+            with self._lock:
+                self.roots.append(span)
+
+    # -- queries ------------------------------------------------------------
+    def walk(self) -> Iterator[Span]:
+        """Every recorded span (finished roots only), preorder."""
+        for root in list(self.roots):
+            yield from root.walk()
+
+    def find(self, name: str) -> List[Span]:
+        """All spans with the given name."""
+        return [s for s in self.walk() if s.name == name]
+
+    def step_totals(self) -> Dict[str, Dict[str, float]]:
+        """Aggregate spans by name: counts, wall/sim sums and maxima, metrics.
+
+        ``sum`` columns add every span of the name (across ranks — total
+        work); ``max`` columns keep the largest single span (the critical
+        path for per-rank parallel steps).
+        """
+        out: Dict[str, Dict[str, float]] = {}
+        for span in self.walk():
+            agg = out.setdefault(
+                span.name,
+                {"count": 0.0, "wall_sum_s": 0.0, "wall_max_s": 0.0},
+            )
+            agg["count"] += 1
+            agg["wall_sum_s"] += span.wall_s
+            agg["wall_max_s"] = max(agg["wall_max_s"], span.wall_s)
+            sim = span.sim_s
+            if sim is not None:
+                agg["sim_sum_s"] = agg.get("sim_sum_s", 0.0) + sim
+                agg["sim_max_s"] = max(agg.get("sim_max_s", 0.0), sim)
+            for mname, mval in span.metrics.items():
+                agg[mname] = agg.get(mname, 0.0) + mval
+        return out
+
+
+class _NullSpanContext:
+    """Shared no-op context manager (one instance, zero allocation)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class NullTracer:
+    """Discards everything; the off-by-default tracing hook."""
+
+    __slots__ = ()
+
+    def span(self, name: str, **tags: Any) -> _NullSpanContext:
+        """No-op span."""
+        return _NULL_SPAN_CONTEXT
+
+    def event(self, name: str, **tags: Any) -> None:
+        """No-op event."""
+        return None
+
+    def add_metric(self, name: str, value: float) -> None:
+        """No-op metric."""
+        return None
+
+    def bind_clock(self, clock: Optional[Any]) -> None:
+        """No-op binding."""
+        return None
+
+    def wrap_counter(self, sink: WorkCounter) -> WorkCounter:
+        """Identity — untraced runs keep their original counter object."""
+        return sink
+
+    def walk(self) -> Iterator[Span]:
+        """Nothing recorded."""
+        return iter(())
+
+    def step_totals(self) -> Dict[str, Dict[str, float]]:
+        """Nothing recorded."""
+        return {}
+
+
+#: Shared no-op tracer (the default everywhere).
+NULL_TRACER = NullTracer()

@@ -108,16 +108,22 @@ def serial_baseline(
     config: Optional[RouterConfig] = None,
     machine: Optional[MachineModel] = None,
     memory_stats: Optional[CircuitStats] = None,
+    tracer: Optional[object] = None,
 ) -> RoutingResult:
     """Route serially and, with a machine model, fill ``model_time``.
 
     ``model_time`` stays ``None`` when the machine's per-node memory could
     not hold the circuit (the Paragon "timeout" situation of Table 5 —
     ``memory_stats`` lets callers gate on the full-scale circuit's
-    footprint while routing a scaled-down instance).
+    footprint while routing a scaled-down instance).  ``tracer`` accepts a
+    :class:`~repro.obs.tracer.Tracer` for step-level spans.
     """
+    from repro.obs.tracer import NULL_TRACER
+
     config = config or RouterConfig()
-    result = GlobalRouter(config).route(circuit)
+    result = GlobalRouter(config).route(
+        circuit, tracer=tracer if tracer is not None else NULL_TRACER
+    )
     if machine is not None:
         footprint = estimate_circuit_bytes(memory_stats or circuit)
         if machine.fits_in_memory(footprint):
@@ -139,6 +145,7 @@ def route_parallel(
     compute_baseline: bool = True,
     memory_stats: Optional[CircuitStats] = None,
     trace: Optional[object] = None,
+    obs: Optional[object] = None,
 ) -> ParallelRun:
     """Route ``circuit`` with ``nprocs`` ranks of ``algorithm``.
 
@@ -147,7 +154,8 @@ def route_parallel(
     skips the serial run entirely (``speedup``/``scaled_tracks`` become
     unavailable).  ``trace`` accepts a
     :class:`~repro.mpi.trace.TraceRecorder` to capture the run's
-    communication events.
+    communication events; ``obs`` a :class:`~repro.obs.tracer.Tracer`
+    for per-rank step spans (simulated-clock timestamps included).
     """
     if nprocs < 1:
         raise ValueError("nprocs must be >= 1")
@@ -161,7 +169,7 @@ def route_parallel(
 
     spmd = run_spmd(
         nprocs, program, args=(circuit, config, pconfig), machine=machine,
-        trace=trace,
+        trace=trace, obs=obs,
     )
     result: RoutingResult = spmd.values[0]
     if result is None:

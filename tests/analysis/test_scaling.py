@@ -110,3 +110,41 @@ def test_fits_from_engine_records():
         }
     # serial-only record sets produce no fit instead of raising
     assert fits_from_records([r for r in records if r.algorithm == "serial"]) == {}
+
+
+def test_speedup_table_from_profiled_runs():
+    """Engine records now carry per-step profiles; the scaling tables and
+
+    the telemetry must describe the same runs consistently: step span
+    seconds can never exceed the enclosing rank/run span."""
+    from repro.analysis.scaling import speedups_from_records
+    from repro.exec import SweepPoint, run_sweep
+    from repro.twgr.config import RouterConfig
+
+    cfg = RouterConfig(seed=13)
+    points = [
+        SweepPoint(circuit="primary1", algorithm="hybrid", nprocs=p, scale=0.05,
+                   circuit_seed=1, config=cfg)
+        for p in (2, 4)
+    ]
+    records = run_sweep(points, jobs=1)
+    sweeps = speedups_from_records(records)
+    assert set(sweeps["hybrid"]) == {2, 4}
+
+    for rec in records:
+        if rec.algorithm == "serial":
+            continue
+        prof = rec.run_profile()
+        assert prof is not None
+        # speedup inputs and profile describe the same run shape
+        assert prof.algorithm == rec.algorithm
+        assert prof.nprocs == rec.nprocs
+        # per-step wall time must nest inside the run: each rank's step
+        # spans are disjoint within its thread and contained in the run
+        # extent, so their sum is bounded by nprocs * total elapsed time
+        # (plus a small tolerance for clock granularity).
+        step_sum_s = sum(
+            span["wall_sum_s"] for span in prof.steps.values()
+        )
+        assert prof.total_wall_s > 0.0
+        assert step_sum_s <= prof.nprocs * prof.total_wall_s * 1.01 + 1e-6

@@ -102,3 +102,73 @@ def test_stats_shape(tmp_path):
     assert stats["hits"] == 1
     assert stats["misses"] == 1
     assert stats["salt"] == CODE_SALT
+
+
+class TestPersistentStats:
+    def test_store_counter_tracks_puts(self, tmp_path):
+        cache = RunCache(tmp_path / "c")
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})
+        assert cache.stores == 2
+
+    def test_persist_stats_writes_sidecar(self, tmp_path):
+        cache = RunCache(tmp_path / "c")
+        cache.put("k", {"v": 1})
+        cache.get("k")
+        cache.get("absent")
+        life = cache.persist_stats()
+        assert life == {"hits": 1, "misses": 1, "stores": 1}
+        assert (cache.root / "_stats.meta").exists()
+
+    def test_persist_stats_is_delta_based(self, tmp_path):
+        cache = RunCache(tmp_path / "c")
+        cache.put("k", {"v": 1})
+        cache.get("k")
+        cache.persist_stats()
+        # flushing again with no new activity must not double-count
+        assert cache.persist_stats() == {"hits": 1, "misses": 0, "stores": 1}
+        cache.get("k")
+        assert cache.persist_stats() == {"hits": 2, "misses": 0, "stores": 1}
+
+    def test_lifetime_survives_new_instances(self, tmp_path):
+        root = tmp_path / "c"
+        c1 = RunCache(root)
+        c1.put("k", {"v": 1})
+        c1.get("missing")
+        c1.persist_stats()
+        c2 = RunCache(root)
+        c2.get("k")
+        life = c2.persist_stats()
+        assert life == {"hits": 1, "misses": 1, "stores": 1}
+        assert c2.lifetime_stats() == life
+
+    def test_sidecar_not_an_entry(self, tmp_path):
+        cache = RunCache(tmp_path / "c")
+        cache.put("k", {"v": 1})
+        cache.persist_stats()
+        assert len(cache) == 1  # _stats.meta is not a cache entry
+        assert cache.clear() == 1
+        # clearing entries keeps the lifetime ledger
+        assert (cache.root / "_stats.meta").exists()
+
+    def test_corrupt_sidecar_resets_cleanly(self, tmp_path):
+        cache = RunCache(tmp_path / "c")
+        cache.root.mkdir(parents=True, exist_ok=True)
+        (cache.root / "_stats.meta").write_text("{bad json", encoding="utf-8")
+        assert cache.lifetime_stats() == {"hits": 0, "misses": 0, "stores": 0}
+        cache.put("k", {"v": 1})
+        cache.get("k")
+        assert cache.persist_stats() == {"hits": 1, "misses": 0, "stores": 1}
+
+    def test_stats_include_rates_and_lifetime(self, tmp_path):
+        cache = RunCache(tmp_path / "c")
+        cache.put("k", {"v": 1})
+        cache.get("k")
+        cache.get("k")
+        cache.get("absent")
+        cache.persist_stats()
+        stats = cache.stats()
+        assert stats["stores"] == 1
+        assert stats["hit_rate"] == pytest.approx(2 / 3)
+        assert stats["lifetime"] == {"hits": 2, "misses": 1, "stores": 1}
+        assert stats["lifetime_hit_rate"] == pytest.approx(2 / 3)

@@ -182,3 +182,54 @@ def test_pool_failure_falls_back_to_inline(monkeypatch):
     )
     records = run_sweep([POINT], jobs=4)
     assert [r.quality for r in records] == [r.quality for r in run_sweep([POINT], jobs=1)]
+
+
+# ---------------------------------------------------------------------------
+# telemetry: every routed record carries a per-step profile
+# ---------------------------------------------------------------------------
+
+STEP_NAMES = {
+    "step1_steiner",
+    "step2_coarse",
+    "step3_feedthrough",
+    "step4_connect",
+    "step5_switch",
+}
+
+
+def test_records_carry_step_profiles(tmp_path):
+    record = execute_point(POINT, cache=RunCache(tmp_path / "c"))
+    assert record.profile is not None
+    prof = record.run_profile()
+    assert STEP_NAMES <= set(prof.steps)
+    assert prof.algorithm == "hybrid"
+    assert prof.nprocs == 3
+    # parallel runs move real traffic; the profile must see it
+    assert prof.comm["messages"] > 0
+    assert prof.comm["bytes"] > 0
+    for name in STEP_NAMES:
+        assert prof.step_seconds(name) >= 0.0
+
+
+def test_cached_replay_retains_profile(tmp_path):
+    cache = RunCache(tmp_path / "c")
+    first = execute_point(POINT, cache=cache)
+    replay = execute_point(POINT, cache=cache)
+    assert replay.cached
+    assert replay.profile == first.profile
+    assert replay.run_profile().to_dict() == first.run_profile().to_dict()
+
+
+def test_serial_points_profile_without_comm(tmp_path):
+    serial = POINT.baseline_point()
+    record = execute_point(serial, cache=RunCache(tmp_path / "c"))
+    prof = record.run_profile()
+    assert STEP_NAMES <= set(prof.steps)
+    assert prof.comm["messages"] == 0
+    assert prof.comm["collectives"] == 0
+
+
+def test_profile_model_time_matches_record(tmp_path):
+    record = execute_point(POINT, cache=RunCache(tmp_path / "c"))
+    prof = record.run_profile()
+    assert prof.model_time == pytest.approx(record.quality[3])

@@ -93,3 +93,60 @@ class TestRequest:
         out = run_spmd(4, prog)
         for rank, got in enumerate(out.values):
             assert got == sorted(set(range(4)) - {rank})
+
+
+class TestCollectiveEvents:
+    def test_collective_events_carry_op_names(self):
+        tr = TraceRecorder()
+
+        def prog(comm):
+            comm.barrier()
+            v = comm.allreduce(comm.rank)
+            comm.bcast(v, root=0)
+            return v
+
+        run_spmd(4, prog, trace=tr)
+        by_op = tr.collectives_by_op()
+        # barrier/allreduce are composed from the reduce+bcast primitives,
+        # so those are the op names that reach the recorder.
+        assert by_op.get("reduce", 0) >= 1
+        assert by_op.get("bcast", 0) >= 1
+        assert tr.total_collectives() == sum(by_op.values())
+
+    def test_collective_events_use_sentinel_peer(self):
+        tr = TraceRecorder()
+        run_spmd(3, lambda comm: comm.allreduce(1), trace=tr)
+        colls = [e for e in tr.events if e.kind == "collective"]
+        assert colls
+        assert all(e.peer == -1 for e in colls)
+
+    def test_collective_events_excluded_from_message_totals(self):
+        tr = TraceRecorder()
+        run_spmd(3, lambda comm: comm.allreduce(1), trace=tr)
+        sends = sum(1 for e in tr.events if e.kind == "send")
+        assert tr.total_messages() == sends
+        assert tr.total_collectives() > 0
+
+    def test_timeline_skips_collective_markers(self):
+        tr = TraceRecorder()
+        run_spmd(3, lambda comm: comm.barrier(), trace=tr)
+        # markers alone don't crash or pollute the lane renderer
+        timeline = tr.render_timeline(3)
+        assert "rank  0" in timeline
+
+    def test_record_is_thread_safe(self):
+        import threading
+
+        tr = TraceRecorder()
+
+        def spin(rank):
+            for i in range(500):
+                tr.record("send", float(i), rank, (rank + 1) % 4, 1, 8)
+
+        threads = [threading.Thread(target=spin, args=(r,)) for r in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(tr.events) == 2000
+        assert tr.total_messages() == 2000

@@ -1,0 +1,112 @@
+"""Tracing must be passive: bit-identical results, near-zero off cost."""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.parallel.driver import route_parallel, serial_baseline
+from repro.perfmodel.counter import NULL_COUNTER
+from repro.twgr.router import GlobalRouter
+
+
+def _fingerprint(result):
+    return (
+        result.total_tracks,
+        dict(result.channel_tracks),
+        result.num_feedthroughs,
+        result.horizontal_wirelength,
+        result.vertical_wirelength,
+        result.core_width,
+        result.area,
+        result.side_conflicts,
+        result.unplanned_crossings,
+        result.num_spans,
+        result.flips,
+        dict(result.work_units),
+        result.model_time,
+    )
+
+
+def test_serial_route_bit_identical_with_tracer(small_circuit, config):
+    plain = GlobalRouter(config).route(small_circuit)
+    tracer = Tracer()
+    traced = GlobalRouter(config).route(small_circuit, tracer=tracer)
+    assert _fingerprint(traced) == _fingerprint(plain)
+    # ... and the tracer actually saw the pipeline.
+    steps = tracer.step_totals()
+    assert set(steps) >= {
+        "step1_steiner",
+        "step2_coarse",
+        "step3_feedthrough",
+        "step4_connect",
+        "step5_switch",
+    }
+
+
+def test_serial_baseline_bit_identical_with_tracer(small_circuit, config):
+    plain = serial_baseline(small_circuit, config=config)
+    traced = serial_baseline(small_circuit, config=config, tracer=Tracer())
+    assert _fingerprint(traced) == _fingerprint(plain)
+
+
+def test_parallel_route_bit_identical_with_tracer(small_circuit, config):
+    kwargs = dict(
+        algorithm="hybrid",
+        nprocs=2,
+        config=config,
+        compute_baseline=False,
+    )
+    plain = route_parallel(small_circuit, **kwargs)
+    obs = Tracer()
+    traced = route_parallel(small_circuit, obs=obs, **kwargs)
+    assert _fingerprint(traced.result) == _fingerprint(plain.result)
+    steps = obs.step_totals()
+    assert "step1_steiner" in steps
+    assert "step5_switch" in steps
+    # one rank span per process
+    assert steps["step1_steiner"]["count"] == 2
+
+
+def test_netwise_route_bit_identical_with_tracer(small_circuit, config):
+    kwargs = dict(
+        algorithm="netwise",
+        nprocs=2,
+        config=config,
+        compute_baseline=False,
+    )
+    plain = route_parallel(small_circuit, **kwargs)
+    traced = route_parallel(small_circuit, obs=Tracer(), **kwargs)
+    assert _fingerprint(traced.result) == _fingerprint(plain.result)
+
+
+def test_null_tracer_overhead_below_five_percent(small_circuit, config):
+    """The off-switch must be free: NULL_TRACER routes within 5% of the
+
+    tracer-free call.  Min-of-N timing keeps scheduler noise out."""
+
+    def best_of(n, fn):
+        best = float("inf")
+        for _ in range(n):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    router = GlobalRouter(config)
+    # Warm caches so the first measured run is not penalised.
+    router.route(small_circuit)
+    router.route(small_circuit, tracer=NULL_TRACER)
+
+    bare = best_of(5, lambda: router.route(small_circuit))
+    nulled = best_of(5, lambda: router.route(small_circuit, tracer=NULL_TRACER))
+    # NULL_TRACER.wrap_counter is the identity, so the hot path is the
+    # same object graph; allow 5% for timing jitter either way.
+    assert nulled <= bare * 1.05 + 1e-3
+
+
+def test_null_tracer_default_keeps_counter_identity(small_circuit, config):
+    # route() with no tracer must not wrap NULL_COUNTER in anything.
+    assert NULL_TRACER.wrap_counter(NULL_COUNTER) is NULL_COUNTER
+    result = GlobalRouter(config).route(small_circuit)
+    assert result.total_tracks > 0

@@ -1,0 +1,111 @@
+"""MetricsRegistry: instruments, thread safety, snapshot/merge."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def test_counter_get_or_create_and_inc():
+    reg = MetricsRegistry()
+    reg.counter("cache.hit").inc()
+    reg.counter("cache.hit").inc(2)
+    assert reg.counter("cache.hit").value == 3.0
+
+
+def test_counter_rejects_negative():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError):
+        reg.counter("c").inc(-1)
+
+
+def test_gauge_set_and_add():
+    reg = MetricsRegistry()
+    g = reg.gauge("pool.size")
+    g.set(4)
+    g.add(-1)
+    assert g.value == 3.0
+
+
+def test_histogram_summary():
+    reg = MetricsRegistry()
+    h = reg.histogram("msg.bytes")
+    for v in (1, 2, 4, 100):
+        h.observe(v)
+    assert h.count == 4
+    assert h.total == 107.0
+    assert h.min == 1
+    assert h.max == 100
+    assert h.mean == pytest.approx(26.75)
+    assert sum(h.buckets) == 4
+
+
+def test_snapshot_is_plain_data():
+    reg = MetricsRegistry()
+    reg.counter("a").inc(5)
+    reg.gauge("b").set(7)
+    reg.histogram("c").observe(3)
+    snap = reg.snapshot()
+    assert snap["counters"] == {"a": 5.0}
+    assert snap["gauges"] == {"b": 7.0}
+    assert snap["histograms"]["c"]["count"] == 1
+    import json
+
+    json.dumps(snap)  # JSON-safe by construction
+
+
+def test_merge_folds_worker_snapshot():
+    worker = MetricsRegistry()
+    worker.counter("points").inc(3)
+    worker.gauge("depth").set(9)
+    worker.histogram("lat").observe(2)
+    worker.histogram("lat").observe(8)
+
+    parent = MetricsRegistry()
+    parent.counter("points").inc(1)
+    parent.histogram("lat").observe(100)
+    parent.merge(worker.snapshot())
+
+    assert parent.counter("points").value == 4.0
+    assert parent.gauge("depth").value == 9.0
+    lat = parent.histogram("lat")
+    assert lat.count == 3
+    assert lat.total == 110.0
+    assert lat.min == 2
+    assert lat.max == 100
+
+
+def test_merge_twice_adds_counters_again():
+    a = MetricsRegistry()
+    a.counter("n").inc(2)
+    snap = a.snapshot()
+    b = MetricsRegistry()
+    b.merge(snap)
+    b.merge(snap)
+    assert b.counter("n").value == 4.0
+
+
+def test_reset_clears_everything():
+    reg = MetricsRegistry()
+    reg.counter("x").inc()
+    reg.reset()
+    assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def test_concurrent_increments_do_not_lose_updates():
+    reg = MetricsRegistry()
+    counter = reg.counter("n")
+
+    def spin() -> None:
+        for _ in range(1000):
+            counter.inc()
+
+    threads = [threading.Thread(target=spin) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert counter.value == 4000.0

@@ -1,0 +1,99 @@
+"""Trace sinks: JSONL, Chrome trace format, text flamegraph."""
+
+from __future__ import annotations
+
+import json
+
+from repro.mpi.trace import TraceRecorder
+from repro.obs.sinks import (
+    chrome_trace,
+    render_flamegraph,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.tracer import Tracer
+
+
+def _traced_run() -> Tracer:
+    tr = Tracer()
+    with tr.span("rank", rank=0, nprocs=2):
+        with tr.span("step1_steiner", step=1):
+            tr.add_metric("ops.mst", 10)
+        with tr.span("step2_coarse", step=2):
+            pass
+    with tr.span("rank", rank=1, nprocs=2):
+        with tr.span("step1_steiner", step=1):
+            pass
+    return tr
+
+
+def test_jsonl_writes_spans_and_comm_events(tmp_path):
+    tr = _traced_run()
+    rec = TraceRecorder()
+    rec.record("send", 0.1, 0, 1, 5, 64)
+    rec.record("collective", 0.2, 0, -1, -1, 0, op="bcast")
+    path = tmp_path / "trace.jsonl"
+    n = write_jsonl(path, tr, rec)
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert len(lines) == n == 5 + 2  # 5 spans + 2 comm events
+    spans = [l for l in lines if l["type"] == "span"]
+    comm = [l for l in lines if l["type"] == "comm"]
+    assert {s["name"] for s in spans} >= {"rank", "step1_steiner", "step2_coarse"}
+    assert spans[0]["depth"] == 0 and spans[1]["depth"] == 1
+    assert comm[1]["op"] == "bcast"
+
+
+def test_chrome_trace_structure(tmp_path):
+    tr = _traced_run()
+    rec = TraceRecorder()
+    rec.record("send", 0.0, 0, 1, 5, 64)
+    payload = chrome_trace(tr, rec)
+    events = payload["traceEvents"]
+    xs = [e for e in events if e["ph"] == "X"]
+    instants = [e for e in events if e["ph"] == "i"]
+    assert len(xs) == 5
+    assert len(instants) == 1
+    # spans inherit the rank tag as their Chrome thread id
+    step_tids = {e["tid"] for e in xs if e["name"] == "step1_steiner"}
+    assert step_tids == {0, 1}
+    for e in xs:
+        assert e["dur"] >= 0.0
+        assert e["ts"] >= 0.0
+    # args carry tags and metrics
+    s1 = next(e for e in xs if e["name"] == "step1_steiner" and e["tid"] == 0)
+    assert s1["args"]["ops.mst"] == 10.0
+
+    path = tmp_path / "chrome.json"
+    count = write_chrome_trace(path, tr, rec)
+    assert count == len(events)
+    loaded = json.loads(path.read_text())
+    assert loaded["traceEvents"]
+
+
+def test_chrome_trace_uses_sim_clock_when_available():
+    tr = Tracer()
+
+    class Clock:
+        time = 0.0
+
+    clock = Clock()
+    tr.bind_clock(clock)
+    with tr.span("rank", rank=0):
+        clock.time = 0.004
+    tr.bind_clock(None)
+    payload = chrome_trace(tr)
+    assert payload["otherData"]["clock"] == "simulated"
+    assert payload["traceEvents"][0]["dur"] == 4000.0  # 4ms in us
+
+
+def test_flamegraph_renders_tree():
+    tr = _traced_run()
+    text = render_flamegraph(tr)
+    assert "flamegraph" in text
+    assert "step1_steiner" in text
+    assert "  step1_steiner" in text  # indented under its rank
+    assert "|" in text and "%" in text
+
+
+def test_flamegraph_empty():
+    assert render_flamegraph(Tracer()) == "(no spans)"

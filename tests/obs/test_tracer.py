@@ -1,0 +1,148 @@
+"""Tracer: span nesting, clocks, metrics attribution, null behavior."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+from repro.perfmodel.counter import NULL_COUNTER, TallyCounter
+
+
+def test_spans_nest_and_close():
+    tr = Tracer()
+    with tr.span("outer", step=0):
+        with tr.span("inner_a"):
+            pass
+        with tr.span("inner_b"):
+            pass
+    assert [r.name for r in tr.roots] == ["outer"]
+    outer = tr.roots[0]
+    assert [c.name for c in outer.children] == ["inner_a", "inner_b"]
+    assert outer.tags == {"step": 0}
+    assert outer.wall_s >= 0.0
+    assert outer.t1 >= outer.t0
+
+
+def test_span_closes_on_exception():
+    tr = Tracer()
+    try:
+        with tr.span("outer"):
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert len(tr.roots) == 1
+    assert tr.roots[0].t1 >= tr.roots[0].t0
+
+
+def test_metrics_attach_to_innermost_open_span():
+    tr = Tracer()
+    with tr.span("outer"):
+        tr.add_metric("msg.sent", 1)
+        with tr.span("inner"):
+            tr.add_metric("msg.sent", 2)
+        tr.add_metric("msg.sent", 3)
+    outer = tr.roots[0]
+    assert outer.metrics["msg.sent"] == 4
+    assert outer.children[0].metrics["msg.sent"] == 2
+
+
+def test_metric_outside_any_span_is_dropped():
+    tr = Tracer()
+    tr.add_metric("msg.sent", 5)  # no open span: silently ignored
+    assert tr.roots == []
+
+
+def test_wrap_counter_charges_sink_and_span():
+    tr = Tracer()
+    tally = TallyCounter()
+    cnt = tr.wrap_counter(tally)
+    with tr.span("step1_steiner", step=1):
+        cnt.add("mst", 10)
+        cnt.add("mst", 5)
+        cnt.add("refine", 2)
+    assert tally.units == {"mst": 15.0, "refine": 2.0}
+    span = tr.roots[0]
+    assert span.metrics == {"ops.mst": 15.0, "ops.refine": 2.0}
+
+
+class _FakeClock:
+    def __init__(self) -> None:
+        self.time = 0.0
+
+
+def test_bound_clock_gives_simulated_interval():
+    tr = Tracer()
+    clock = _FakeClock()
+    tr.bind_clock(clock)
+    with tr.span("work"):
+        clock.time = 2.5
+    tr.bind_clock(None)
+    span = tr.roots[0]
+    assert span.sim_t0 == 0.0
+    assert span.sim_t1 == 2.5
+    assert span.sim_s == 2.5
+
+
+def test_unbound_clock_means_no_sim_time():
+    tr = Tracer()
+    with tr.span("work"):
+        pass
+    assert tr.roots[0].sim_s is None
+
+
+def test_threads_keep_independent_stacks():
+    tr = Tracer()
+    barrier = threading.Barrier(2)
+
+    def worker(rank: int) -> None:
+        with tr.span("rank", rank=rank):
+            barrier.wait()  # both spans open concurrently
+            with tr.span("step"):
+                pass
+
+    threads = [threading.Thread(target=worker, args=(r,)) for r in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(tr.roots) == 2
+    assert {r.tags["rank"] for r in tr.roots} == {0, 1}
+    for root in tr.roots:
+        assert [c.name for c in root.children] == ["step"]
+
+
+def test_step_totals_aggregates_across_spans():
+    tr = Tracer()
+    for _ in range(3):
+        with tr.span("step1_steiner", step=1):
+            tr.add_metric("ops.mst", 10)
+    totals = tr.step_totals()
+    agg = totals["step1_steiner"]
+    assert agg["count"] == 3
+    assert agg["ops.mst"] == 30.0
+    assert agg["wall_max_s"] <= agg["wall_sum_s"]
+
+
+def test_event_records_instant():
+    tr = Tracer()
+    with tr.span("outer"):
+        tr.event("sync", round=2)
+    ev = tr.roots[0].children[0]
+    assert ev.name == "sync"
+    assert ev.wall_s == 0.0
+    assert ev.tags == {"round": 2}
+
+
+def test_null_tracer_is_inert_and_identity():
+    nt = NULL_TRACER
+    assert isinstance(nt, NullTracer)
+    with nt.span("x", a=1) as span:
+        assert span is None
+    nt.add_metric("m", 1)
+    nt.event("e")
+    nt.bind_clock(_FakeClock())
+    assert list(nt.walk()) == []
+    assert nt.step_totals() == {}
+    # wrap_counter must be the identity: untraced hot paths keep their
+    # original counter object.
+    assert nt.wrap_counter(NULL_COUNTER) is NULL_COUNTER
