@@ -253,6 +253,53 @@ def bench_sweep(scale: float, seed: int, jobs: int | None) -> Dict:
     }
 
 
+#: version of the per-commit trajectory record layout
+TRAJECTORY_SCHEMA = 1
+
+
+def append_trajectory(report: Dict, path: Path) -> Dict:
+    """Fold one bench report into the cumulative ``BENCH_trajectory.json``.
+
+    The trajectory file is the repo's long-term perf memory: one compact
+    record per commit (re-running on the same commit replaces its record
+    rather than appending a duplicate), ordered oldest-first, so plotting
+    mean route time against commit history is a single ``json.load``.
+    Records carry only headline numbers — kernel means and end-to-end
+    route stats — not the full sample distributions of the main report.
+    """
+    record = {
+        "schema": TRAJECTORY_SCHEMA,
+        "commit": report["commit"],
+        "unix_time": report["unix_time"],
+        "python": report["python"],
+        "seed": report["seed"],
+        "scale": report["scale"],
+        "rounds": report["rounds"],
+        "kernels_mean_s": {
+            name: k["mean_s"] for name, k in report["kernels"].items()
+        },
+        "circuits": {
+            name: {
+                "route_mean_s": c["route"]["mean_s"],
+                "route_min_s": c["route"]["min_s"],
+                "total_tracks": c["total_tracks"],
+                "area": c["area"],
+                "num_feedthroughs": c["num_feedthroughs"],
+            }
+            for name, c in report["circuits"].items()
+        },
+    }
+    if path.exists():
+        trajectory = json.loads(path.read_text())
+        records = [r for r in trajectory.get("records", ()) if r.get("commit") != record["commit"]]
+    else:
+        records = []
+    records.append(record)
+    trajectory = {"schema": TRAJECTORY_SCHEMA, "records": records}
+    path.write_text(json.dumps(trajectory, indent=2) + "\n")
+    return record
+
+
 def git_commit() -> str:
     try:
         return subprocess.run(
@@ -287,6 +334,11 @@ def main(argv: List[str] | None = None) -> int:
         "--no-sweep", action="store_true",
         help="skip the execution-engine sweep benchmark",
     )
+    ap.add_argument(
+        "--trajectory",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_trajectory.json"),
+        help="cumulative per-commit trajectory file (empty string to skip)",
+    )
     args = ap.parse_args(argv)
     if args.rounds < 1:
         ap.error("--rounds must be >= 1")
@@ -309,6 +361,8 @@ def main(argv: List[str] | None = None) -> int:
         "harness_wall_s": round(time.perf_counter() - t0, 3),
     }
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    if args.trajectory:
+        append_trajectory(report, Path(args.trajectory))
 
     width = max(len(k) for k in list(kernels) + list(circuits))
     print(f"commit {report['commit'][:12]}  (rounds={args.rounds}, scale={args.scale})")
@@ -325,6 +379,8 @@ def main(argv: List[str] | None = None) -> int:
             f"  (route: {c['nets']} nets, {c['total_tracks']} tracks)"
         )
     print(f"wrote {args.out}")
+    if args.trajectory:
+        print(f"appended commit record to {args.trajectory}")
 
     if not args.no_sweep:
         sweep = bench_sweep(args.sweep_scale, args.seed, args.jobs)

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-from repro.geometry import Interval, IntervalSet
+from repro.geometry import IntervalSet
 from repro.grid.channels import ChannelSpan
 
 #: heat-map glyphs from empty to saturated
@@ -42,7 +42,9 @@ def analyze_channel(channel: int, spans: Sequence[ChannelSpan]) -> ChannelConges
     live = [s for s in spans if s.channel == channel and s.length > 0]
     if not live:
         return ChannelCongestion(channel, 0, 0, 0, 0, 0.0)
-    iset = IntervalSet(Interval(s.lo, s.hi) for s in live)
+    iset = IntervalSet()
+    for s in live:  # add_range: no per-span Interval objects
+        iset.add_range(s.lo, s.hi)
     profile = iset.profile()
     tracks = iset.density()
     hotspot = next((col for col, d in profile if d == tracks), 0)
@@ -100,7 +102,9 @@ def density_surface(
     for ch, group in by_channel.items():
         if not 0 <= ch < num_channels:
             continue
-        iset = IntervalSet(Interval(s.lo, s.hi) for s in group)
+        iset = IntervalSet()
+        for s in group:
+            iset.add_range(s.lo, s.hi)
         # piecewise-constant density: value of segment i holds over
         # [steps[i].col, steps[i+1].col)
         steps = iset.profile()

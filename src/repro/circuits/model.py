@@ -21,6 +21,7 @@ Net segments whose two endpoint pins are both equivalent are the
 from __future__ import annotations
 
 import enum
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence
 
@@ -295,22 +296,20 @@ class Circuit:
             return []
         pos = sorted(positions)
         # Amount each existing x coordinate shifts: FEED_WIDTH per
-        # insertion point at or left of it.
-        pos_arr = np.asarray(pos, dtype=np.int64)
-
-        def shift_of(x: int) -> int:
-            return FEED_WIDTH * int(np.searchsorted(pos_arr, x, side="right"))
-
+        # insertion point at or left of it.  Plain bisect beats a NumPy
+        # searchsorted here — the arrays are a few dozen entries and the
+        # query runs once per cell.
+        pins = self.pins
         for cid in self.rows[row].cells:
             cell = self.cells[cid]
-            s = shift_of(cell.x)
+            s = FEED_WIDTH * bisect_right(pos, cell.x)
             if s:
                 cell.x += s
                 for pid in cell.pins:
-                    self.pins[pid].x += s
+                    pins[pid].x += s
         for pid in self._fake_pins_by_row.get(row, ()):
-            pin = self.pins[pid]
-            pin.x += shift_of(pin.x)
+            pin = pins[pid]
+            pin.x += FEED_WIDTH * bisect_right(pos, pin.x)
         created: List[Cell] = []
         for k, x in enumerate(pos):
             # Each feed lands at its original position plus the shift

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
+from itertools import accumulate
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 
@@ -95,7 +96,9 @@ class IntervalSet:
     few dozen breakpoints, well below ufunc-dispatch break-even.
     """
 
-    __slots__ = ("_diff", "_count", "_cols", "_depths", "_prefix", "_suffix")
+    __slots__ = (
+        "_diff", "_count", "_cols", "_depths", "_prefix", "_suffix", "_density"
+    )
 
     def __init__(self, intervals: Iterable[Interval] = ()) -> None:
         self._diff: Dict[int, int] = {}
@@ -104,6 +107,7 @@ class IntervalSet:
         self._depths: Optional[List[int]] = None
         self._prefix: Optional[List[int]] = None
         self._suffix: Optional[List[int]] = None
+        self._density = 0
         for iv in intervals:
             self.add(iv)
 
@@ -112,12 +116,7 @@ class IntervalSet:
 
     def add(self, iv: Interval) -> None:
         """Insert one span (duplicates allowed)."""
-        self._count += 1
-        if iv.empty:
-            return
-        self._bump(iv.lo, 1)
-        self._bump(iv.hi, -1)
-        self._cols = None
+        self.add_range(iv.lo, iv.hi)
 
     def remove(self, iv: Interval) -> None:
         """Remove one previously-added span.
@@ -125,13 +124,26 @@ class IntervalSet:
         The profile is a multiset difference: removing a span that was never
         added corrupts the density, so callers must pair add/remove exactly.
         """
+        self.remove_range(iv.lo, iv.hi)
+
+    def add_range(self, lo: int, hi: int) -> None:
+        """:meth:`add` from bare bounds — no :class:`Interval` allocation."""
+        self._count += 1
+        if lo == hi:
+            return
+        self._bump(lo, 1)
+        self._bump(hi, -1)
+        self._cols = None
+
+    def remove_range(self, lo: int, hi: int) -> None:
+        """:meth:`remove` from bare bounds."""
         if self._count == 0:
             raise KeyError("remove from empty IntervalSet")
         self._count -= 1
-        if iv.empty:
+        if lo == hi:
             return
-        self._bump(iv.lo, -1)
-        self._bump(iv.hi, 1)
+        self._bump(lo, -1)
+        self._bump(hi, 1)
         self._cols = None
 
     def _bump(self, col: int, delta: int) -> None:
@@ -142,26 +154,23 @@ class IntervalSet:
             self._diff.pop(col, None)
 
     def _rebuild(self) -> None:
-        """Recompute the sorted profile lists from the difference dict."""
-        cols = sorted(self._diff)
-        depths: List[int] = []
-        prefix: List[int] = []
-        depth = 0
-        best = None
-        for c in cols:
-            depth += self._diff[c]
-            depths.append(depth)
-            if best is None or depth > best:
-                best = depth
-            prefix.append(best)
-        suffix = depths[:]
-        for i in range(len(suffix) - 2, -1, -1):
-            if suffix[i + 1] > suffix[i]:
-                suffix[i] = suffix[i + 1]
+        """Recompute the sorted profile lists from the difference dict.
+
+        All four lists come out of C-level :func:`itertools.accumulate`
+        runs — the rebuild is the price of every post-mutation query, so
+        no Python-level loop is allowed here.
+        """
+        diff = self._diff
+        cols = sorted(diff)
+        depths = list(accumulate(diff[c] for c in cols))
+        prefix = list(accumulate(depths, max))
+        suffix = list(accumulate(reversed(depths), max))
+        suffix.reverse()
         self._cols = cols
         self._depths = depths
         self._prefix = prefix
         self._suffix = suffix
+        self._density = prefix[-1] if prefix and prefix[-1] > 0 else 0
 
     def _arrays(self) -> Tuple[List[int], List[int]]:
         if self._cols is None:
@@ -170,10 +179,9 @@ class IntervalSet:
 
     def density(self) -> int:
         """Current maximum overlap (track requirement)."""
-        cols, _ = self._arrays()
-        if not cols:
-            return 0
-        return max(self._prefix[-1], 0)
+        if self._cols is None:
+            self._rebuild()
+        return self._density
 
     def density_at(self, col: int) -> int:
         """Overlap count at a single column."""
@@ -216,20 +224,53 @@ class IntervalSet:
         right = self._suffix[max(ah, 0)]
         return max(left, right, 0)
 
+    def whatif_density(self, lo: int, hi: int, delta: int) -> int:
+        """Density after one hypothetical ``[lo, hi)`` mutation (no state
+        change): ``delta=+1`` models an add, ``delta=-1`` a remove.
+
+        Fuses :meth:`max_depth_in` and :meth:`max_depth_outside` — the
+        step-5 flip kernel's whole query — into one pass over the cached
+        profile: four bisections total, no intermediate objects.
+        """
+        if lo >= hi:  # empty span: no density effect either way
+            return self.density()
+        if self._cols is None:
+            self._rebuild()
+        cols = self._cols
+        if not cols:
+            return delta if delta > 0 else 0
+        depths = self._depths
+        b = bisect_left(cols, hi) - 1
+        if b < 0:
+            inside = 0
+        else:
+            a = bisect_right(cols, lo) - 1
+            if a < 0:
+                inside = max(depths[: b + 1])
+                if inside < 0:
+                    inside = 0
+            else:
+                inside = max(depths[a : b + 1])
+        al = bisect_left(cols, lo)
+        left = self._prefix[al - 1] if al > 0 else 0
+        ah = bisect_right(cols, hi) - 1
+        right = self._suffix[ah if ah > 0 else 0]
+        outside = left if left > right else right
+        if outside < 0:
+            outside = 0
+        inside += delta
+        return inside if inside > outside else outside
+
     def density_with_add(self, iv: Interval) -> int:
         """Density the set *would* have after ``add(iv)`` (no mutation)."""
-        if iv.empty:
-            return self.density()
-        return max(self.max_depth_outside(iv.lo, iv.hi), self.max_depth_in(iv.lo, iv.hi) + 1)
+        return self.whatif_density(iv.lo, iv.hi, 1)
 
     def density_with_remove(self, iv: Interval) -> int:
         """Density the set *would* have after ``remove(iv)`` (no mutation).
 
         ``iv`` must currently be in the multiset, as with :meth:`remove`.
         """
-        if iv.empty:
-            return self.density()
-        return max(self.max_depth_outside(iv.lo, iv.hi), self.max_depth_in(iv.lo, iv.hi) - 1)
+        return self.whatif_density(iv.lo, iv.hi, -1)
 
     def profile(self) -> List[Tuple[int, int]]:
         """Piecewise-constant density profile as ``(start_col, depth)`` steps."""

@@ -23,7 +23,9 @@ class Segment:
     @classmethod
     def make(cls, a: Point, b: Point) -> "Segment":
         """Create a segment with endpoints sorted by ``(row, x)``."""
-        if (a.row, a.x) <= (b.row, b.x):
+        ar = a.row
+        br = b.row
+        if ar < br or (ar == br and a.x <= b.x):
             return cls(a, b)
         return cls(b, a)
 

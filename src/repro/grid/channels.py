@@ -13,7 +13,7 @@ or below its home row, and step 5 flips such spans to balance densities.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.geometry import Interval, IntervalSet
 from repro.perfmodel.counter import WorkCounter, NULL_COUNTER
@@ -35,9 +35,12 @@ class ChannelSpan:
     switchable: bool = False
     row: int = -1
     # lo/hi are immutable after normalization (only ``channel`` ever
-    # changes), so the column interval is built once — flip evaluation
-    # queries it on the hot path.
-    _interval: Interval = field(init=False, repr=False, compare=False)
+    # changes), so the column interval is built at most once — lazily,
+    # since the flip kernels work from the bare bounds and most spans
+    # never need the object form.
+    _interval: Optional[Interval] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.lo > self.hi:
@@ -48,12 +51,14 @@ class ChannelSpan:
             raise ValueError(
                 f"switchable span channel {self.channel} not adjacent to row {self.row}"
             )
-        self._interval = Interval(self.lo, self.hi)
 
     @property
     def interval(self) -> Interval:
         """The span's column interval."""
-        return self._interval
+        iv = self._interval
+        if iv is None:
+            iv = self._interval = Interval(self.lo, self.hi)
+        return iv
 
     @property
     def length(self) -> int:
@@ -107,11 +112,11 @@ class ChannelState:
 
     def add_span(self, span: ChannelSpan) -> None:
         """Insert a span into its channel's interval set."""
-        self._set(span.channel).add(span.interval)
+        self._set(span.channel).add_range(span.lo, span.hi)
 
     def remove_span(self, span: ChannelSpan) -> None:
         """Remove a previously-added span."""
-        self._set(span.channel).remove(span.interval)
+        self._set(span.channel).remove_range(span.lo, span.hi)
 
     def add_external(self, channel: int, intervals: Iterable[Tuple[int, int]]) -> None:
         """Fold in spans owned by another rank (boundary-channel sync)."""
@@ -166,23 +171,26 @@ class ChannelState:
         if not span.switchable:
             return 0
         src = span.channel
-        dst = span.other_channel()
-        if not (self.owns(src) and self.owns(dst)):
+        row = span.row
+        dst = row if src == row + 1 else row + 1
+        sets = self._sets
+        s_src = sets.get(src)
+        s_dst = sets.get(dst)
+        if s_src is None or s_dst is None:  # outside the window
             return 0
-        s_src, s_dst = self._set(src), self._set(dst)
         counter.add("switch", len(s_src) + len(s_dst) + 1 + self.eval_surcharge)
         # The flip delta follows directly from the two channels' cached
         # density profiles — no remove/add/recompute/restore round trip.
-        iv = span.interval
+        lo, hi = span.lo, span.hi
         before = s_src.density() + s_dst.density()
-        after = s_src.density_with_remove(iv) + s_dst.density_with_add(iv)
+        after = s_src.whatif_density(lo, hi, -1) + s_dst.whatif_density(lo, hi, 1)
         return before - after
 
     def flip(self, span: ChannelSpan) -> None:
         """Move a switchable span to its alternative channel."""
         dst = span.other_channel()
-        self._set(span.channel).remove(span.interval)
-        self._set(dst).add(span.interval)
+        self._set(span.channel).remove_range(span.lo, span.hi)
+        self._set(dst).add_range(span.lo, span.hi)
         span.channel = dst
 
 

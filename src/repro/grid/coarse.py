@@ -14,6 +14,20 @@ and which channel columns absorb the horizontal run (congestion).  The
 grid keeps per-net usage multisets so marginal cost — "the needed
 feedthrough number and the channel density change when the side ... is
 switched" — is exact under sharing.
+
+Congestion state is array-native: the aggregate feed/husage maps live in
+flat integer buffers (column-major for feeds so a vertical run is one
+contiguous range, row-major for channel usage so a horizontal run is
+one contiguous range), and the fast cost kernel evaluates a range's
+congestion term as ``count * w + w_c * range_sum`` with exact integer
+range sums instead of walking cells one at a time.  External congestion
+snapshots (net-wise algorithm) are immutable between synchronizations,
+so their range sums come from maintained prefix-sum tables in O(1) per
+interval.  The pre-rewrite per-cell accumulation survives behind
+``strict=True`` as the reference oracle; because both cost forms use
+exact integer gathers, the fast kernel resolves every orientation
+decision identically (near-ties fall back to the oracle comparison, see
+:meth:`CoarseGrid.eval_both`).
 """
 
 from __future__ import annotations
@@ -26,6 +40,15 @@ import numpy as np
 
 from repro.geometry import Segment
 from repro.perfmodel.counter import WorkCounter, NULL_COUNTER
+
+#: Cost gap below which the fast kernel defers an orientation decision to
+#: the strict per-cell oracle.  Real cost differences are sums of weight
+#: multiples (≥ 0.05 with the default weights); floating-point noise in
+#: either cost form is bounded far below 1e-9, so any gap inside this band
+#: means the two orientations are tied in real arithmetic and only the
+#: oracle's accumulation order can break the tie the way the pre-rewrite
+#: implementation did.
+_TIE_EPS = 1e-7
 
 
 def _uncovered(lo: int, hi: int, ivs: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
@@ -63,6 +86,175 @@ def _uncovered(lo: int, hi: int, ivs: List[Tuple[int, int]]) -> List[Tuple[int, 
     if cur <= hi:
         out.append((cur, hi))
     return out
+
+
+def _merged(ivs: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Sorted disjoint merge of an inclusive-interval multiset."""
+    if len(ivs) == 1:
+        return ivs
+    out: List[Tuple[int, int]] = []
+    for a, b in sorted(ivs):
+        if out and a <= out[-1][1] + 1:
+            if b > out[-1][1]:
+                out[-1] = (out[-1][0], b)
+        else:
+            out.append((a, b))
+    return out
+
+
+def _bump_range(
+    buf: List[int],
+    base: int,
+    lo: int,
+    hi: int,
+    ivs: List[Tuple[int, int]],
+    delta: int,
+) -> None:
+    """Add ``delta`` to ``buf[base + x]`` for the cells of ``[lo, hi]``
+    not covered by ``ivs``.  The 0/1-interval cases are inlined — they
+    cover nearly every call — so the hot path allocates nothing."""
+    if lo == hi:  # single cell — the typical vertical run of an L
+        if ivs:
+            for a, b in ivs:
+                if a <= lo <= b:
+                    return
+        buf[base + lo] += delta
+        return
+    if not ivs:
+        for i in range(base + lo, base + hi + 1):
+            buf[i] += delta
+        return
+    if len(ivs) == 1:
+        a, b = ivs[0]
+        if a > hi or b < lo:
+            for i in range(base + lo, base + hi + 1):
+                buf[i] += delta
+            return
+        if a > lo:
+            for i in range(base + lo, base + a):
+                buf[i] += delta
+        if b < hi:
+            for i in range(base + b + 1, base + hi + 1):
+                buf[i] += delta
+        return
+    for a, b in _uncovered(lo, hi, ivs):
+        for i in range(base + a, base + b + 1):
+            buf[i] += delta
+
+
+def _strict_eval(
+    feed: List[int],
+    fb: int,
+    lo: int,
+    hi: int,
+    ivs: Optional[List[Tuple[int, int]]],
+    extf: Optional[List[int]],
+    wf: float,
+    wfc: float,
+    hus: List[int],
+    hb: int,
+    g_lo: int,
+    g_hi: int,
+    ivsh: Optional[List[Tuple[int, int]]],
+    exth: Optional[List[int]],
+    wcc: float,
+    use_v: bool,
+    use_h: bool,
+    sub_v: int = 0,
+    sub_h: int = 0,
+) -> float:
+    """Per-cell cost accumulation from pre-clipped ranges — the tie-break
+    core of :meth:`CoarseGrid.flip_step`, kept in exact agreement with
+    :meth:`CoarseGrid._eval_cost_strict`.  External mirrors share the flat
+    layout of the own maps, so one base serves both.
+
+    ``sub_v``/``sub_h`` subtract a constant from every visited cell: the
+    mutation-free flip kernel leaves the ripped-up route's own ``+1`` in
+    the usage buffers, and that contribution sits on exactly the cells
+    this walk visits, so subtracting it per cell reproduces the ripped-up
+    per-cell values (and hence the legacy accumulation) bit-for-bit."""
+    cost = 0.0
+    if use_v:
+        for a, b in _uncovered(lo, hi, ivs) if ivs else ((lo, hi),):
+            if extf is None:
+                for i in range(fb + a, fb + b + 1):
+                    cost += wf + wfc * (feed[i] - sub_v)
+            else:
+                for r in range(a, b + 1):
+                    cost += wf + wfc * (feed[fb + r] + extf[fb + r] - sub_v)
+    if use_h:
+        for a, b in _uncovered(g_lo, g_hi, ivsh) if ivsh else ((g_lo, g_hi),):
+            if exth is None:
+                for i in range(hb + a, hb + b + 1):
+                    cost += 1.0 + wcc * (hus[i] - sub_h)
+            else:
+                for c in range(a, b + 1):
+                    cost += 1.0 + wcc * (hus[hb + c] + exth[hb + c] - sub_h)
+    return cost
+
+
+def _gather(
+    buf: List[int],
+    base: int,
+    lo: int,
+    hi: int,
+    ivs: Optional[List[Tuple[int, int]]],
+    ep: Optional[List[int]],
+    pb: int,
+) -> Tuple[int, int]:
+    """``(cells, congestion_sum)`` over the uncovered cells of ``[lo, hi]``.
+
+    ``buf[base + x]`` is the aggregate congestion of cell ``x``; ``ep`` is
+    the external snapshot's prefix-sum table (``ep[pb + x]`` = sum of the
+    external values strictly below cell ``x``), making each external
+    interval an O(1) difference.  The own-map term is a C-level slice
+    reduction — exact integer arithmetic either way, so the caller's
+    ``count * w + w_c * sum`` cost is deterministic regardless of how the
+    cells would have been walked.
+    """
+    if lo == hi:  # single cell
+        if ivs:
+            for a, b in ivs:
+                if a <= lo <= b:
+                    return 0, 0
+        s = buf[base + lo]
+        if ep is not None:
+            i = pb + lo
+            s += ep[i + 1] - ep[i]
+        return 1, s
+    if not ivs:
+        s = sum(buf[base + lo : base + hi + 1])
+        if ep is not None:
+            s += ep[pb + hi + 1] - ep[pb + lo]
+        return hi - lo + 1, s
+    if len(ivs) == 1:
+        a, b = ivs[0]
+        if a > hi or b < lo:
+            s = sum(buf[base + lo : base + hi + 1])
+            if ep is not None:
+                s += ep[pb + hi + 1] - ep[pb + lo]
+            return hi - lo + 1, s
+        n = 0
+        s = 0
+        if a > lo:
+            s = sum(buf[base + lo : base + a])
+            if ep is not None:
+                s += ep[pb + a] - ep[pb + lo]
+            n = a - lo
+        if b < hi:
+            s += sum(buf[base + b + 1 : base + hi + 1])
+            if ep is not None:
+                s += ep[pb + hi + 1] - ep[pb + b + 1]
+            n += hi - b
+        return n, s
+    n = 0
+    s = 0
+    for a, b in _uncovered(lo, hi, ivs):
+        s += sum(buf[base + a : base + b + 1])
+        if ep is not None:
+            s += ep[pb + b + 1] - ep[pb + a]
+        n += b - a + 1
+    return n, s
 
 
 class Orientation(enum.IntEnum):
@@ -112,6 +304,12 @@ class CoarseGrid:
     The grid may describe a row *window* (``row_lo .. row_lo+nrows-1``) so
     the row-wise parallel algorithm can hold only its own block; all row
     and channel indices remain global.
+
+    ``strict=True`` selects the reference per-cell cost accumulation (the
+    pre-rewrite semantics, cell by cell in ascending order); the default
+    fast mode computes each part as ``count * w + w_c * range_sum`` from
+    exact integer gathers and defers only real-arithmetic ties to the
+    strict walk, so both modes commit identical routes.
     """
 
     def __init__(
@@ -121,6 +319,7 @@ class CoarseGrid:
         col_width: int,
         row_lo: int = 0,
         weights: CostWeights = CostWeights(),
+        strict: bool = False,
     ) -> None:
         if ncols <= 0 or nrows <= 0 or col_width <= 0:
             raise ValueError("grid dimensions must be positive")
@@ -129,53 +328,105 @@ class CoarseGrid:
         self.col_width = col_width
         self.row_lo = row_lo
         self.weights = weights
-        # Aggregate congestion maps live as plain Python lists — the
-        # add/remove/eval hot path touches a handful of cells per route,
-        # far below NumPy's per-slice dispatch break-even; the array views
-        # the public API exposes are materialized on demand.
-        # distinct nets demanding a feedthrough, indexed [gcol][row_idx]
-        self._feed: List[List[int]] = [[0] * nrows for _ in range(ncols)]
-        # distinct-net horizontal usage, indexed [channel_idx][gcol];
-        # channel c is below row c, so the window spans channels
-        # row_lo..row_lo+nrows.
-        self._hus: List[List[int]] = [[0] * ncols for _ in range(nrows + 1)]
+        self.strict = strict
+        # Aggregate congestion maps in flat integer buffers.  Feeds are
+        # column-major (column g owns the contiguous block
+        # ``[g*nrows, (g+1)*nrows)``) so a vertical run is one range;
+        # horizontal usage is row-major (channel index ci owns
+        # ``[ci*ncols, (ci+1)*ncols)``) so a horizontal run is one range.
+        # Plain Python ints keep the per-cell updates exact and below
+        # NumPy's per-slice dispatch break-even; the public array views
+        # are cached and rebuilt only after mutations.
+        self._feed: List[int] = [0] * (ncols * nrows)
+        self._hus: List[int] = [0] * ((nrows + 1) * ncols)
+        self._feed_view: Optional[np.ndarray] = None
+        self._hus_view: Optional[np.ndarray] = None
+        #: lazily-built ``row_idx -> sorted [(gcol, net), ...]`` crossing
+        #: index serving the feedthrough stage without per-query scans
+        self._row_index: Optional[List[List[Tuple[int, int]]]] = None
         # Per-net sharing structure: instead of one multiplicity entry per
         # crossed cell, each (net, gcol) / (net, channel) keeps the compact
         # multiset of inclusive row/column intervals its committed routes
-        # cover.  A cell is owned by the net iff some interval covers it,
-        # which makes sharing checks and the aggregate-map updates interval
-        # arithmetic (a handful of slice operations) rather than per-cell
-        # dictionary walks.
+        # cover.  A cell is owned by the net iff some interval covers it.
+        # Emptied lists are kept in the dicts so hot paths may hold stable
+        # references to them across rip-up/recommit cycles.
         self._net_vert: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
         self._net_horiz: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
         # congestion contributed by other ranks' nets (net-wise algorithm);
         # folded into costs but never into this rank's own maps.  The
-        # arrays stay the public face; the list mirrors feed the hot path.
+        # snapshot is immutable between syncs: per-cell mirrors feed the
+        # strict oracle, prefix-sum tables feed the fast gathers.
         self.ext_feed: Optional[np.ndarray] = None
         self.ext_husage: Optional[np.ndarray] = None
-        self._ext_feed_cols: Optional[List[List[int]]] = None
-        self._ext_hus_rows: Optional[List[List[int]]] = None
+        self._ext_feed_cells: Optional[List[int]] = None
+        self._ext_hus_cells: Optional[List[int]] = None
+        self._ext_feed_prefix: Optional[List[int]] = None
+        self._ext_hus_prefix: Optional[List[int]] = None
 
     @property
     def feed_demand(self) -> np.ndarray:
-        """Distinct nets demanding a feedthrough per ``(row, gcol)``."""
-        return np.array(self._feed, dtype=np.int32).T
+        """Distinct nets demanding a feedthrough per ``(row, gcol)``.
+
+        A cached read-only view; rebuilt only after mutations.
+        """
+        v = self._feed_view
+        if v is None:
+            v = (
+                np.array(self._feed, dtype=np.int32)
+                .reshape(self.ncols, self.nrows)
+                .T
+            )
+            v.flags.writeable = False
+            self._feed_view = v
+        return v
 
     @property
     def husage(self) -> np.ndarray:
-        """Distinct-net horizontal usage per ``(channel, gcol)``."""
-        return np.array(self._hus, dtype=np.int32)
+        """Distinct-net horizontal usage per ``(channel, gcol)``.
+
+        A cached read-only view; rebuilt only after mutations.
+        """
+        v = self._hus_view
+        if v is None:
+            v = np.array(self._hus, dtype=np.int32).reshape(
+                self.nrows + 1, self.ncols
+            )
+            v.flags.writeable = False
+            self._hus_view = v
+        return v
 
     def set_external(self, feed: Optional[np.ndarray], husage: Optional[np.ndarray]) -> None:
-        """Replace the external congestion snapshot (None clears it)."""
+        """Replace the external congestion snapshot (None clears it).
+
+        The snapshot is read-only until the next synchronization, so its
+        range sums are precomputed here once: per-column (feed) and
+        per-channel (husage) prefix tables make every external interval
+        sum an O(1) difference in the cost kernels.
+        """
         if feed is not None and feed.shape != (self.nrows, self.ncols):
             raise ValueError("external feed shape mismatch")
         if husage is not None and husage.shape != (self.nrows + 1, self.ncols):
             raise ValueError("external husage shape mismatch")
         self.ext_feed = feed
         self.ext_husage = husage
-        self._ext_feed_cols = feed.T.tolist() if feed is not None else None
-        self._ext_hus_rows = husage.tolist() if husage is not None else None
+        if feed is not None:
+            cols = np.asarray(feed, dtype=np.int64).T  # (ncols, nrows)
+            self._ext_feed_cells = cols.ravel().tolist()
+            pf = np.zeros((self.ncols, self.nrows + 1), dtype=np.int64)
+            np.cumsum(cols, axis=1, out=pf[:, 1:])
+            self._ext_feed_prefix = pf.ravel().tolist()
+        else:
+            self._ext_feed_cells = None
+            self._ext_feed_prefix = None
+        if husage is not None:
+            rows = np.asarray(husage, dtype=np.int64)
+            self._ext_hus_cells = rows.ravel().tolist()
+            ph = np.zeros((self.nrows + 1, self.ncols + 1), dtype=np.int64)
+            np.cumsum(rows, axis=1, out=ph[:, 1:])
+            self._ext_hus_prefix = ph.ravel().tolist()
+        else:
+            self._ext_hus_cells = None
+            self._ext_hus_prefix = None
 
     # -- index helpers ----------------------------------------------------
 
@@ -266,28 +517,48 @@ class CoarseGrid:
 
     # -- mutation ----------------------------------------------------------
 
+    def _invalidate(self) -> None:
+        self._feed_view = None
+        self._hus_view = None
+        self._row_index = None
+
     def add_route(self, route: RoutedSegment) -> None:
         """Commit a route, updating shared usage maps."""
         net = route.net
-        vr = self._vert_range(route)
-        if vr is not None:
-            g, lo, hi = vr
-            ivs = self._net_vert.setdefault((net, g), [])
-            col = self._feed[g]
-            base = self.row_lo
-            for a, b in _uncovered(lo, hi, ivs):
-                for r in range(a - base, b - base + 1):
-                    col[r] += 1
-            ivs.append((lo, hi))
-        hr = self._horiz_range(route)
-        if hr is not None:
-            ch, g_lo, g_hi = hr
-            ivs = self._net_horiz.setdefault((net, ch), [])
-            row = self._hus[self._ci(ch)]
-            for a, b in _uncovered(g_lo, g_hi, ivs):
-                for c in range(a, b + 1):
-                    row[c] += 1
-            ivs.append((g_lo, g_hi))
+        rl = self.row_lo
+        nr = self.nrows
+        vert = route.vert
+        if vert is not None:  # clip inline (== _vert_range, sans the tuple)
+            g, r_lo, r_hi = vert
+            lo = r_lo + 1
+            if lo < rl:
+                lo = rl
+            hi = r_hi - 1
+            rh = rl + nr - 1
+            if hi > rh:
+                hi = rh
+            if lo <= hi:
+                nv = self._net_vert
+                key = (net, g)
+                ivs = nv.get(key)
+                if ivs is None:
+                    ivs = nv[key] = []
+                _bump_range(self._feed, g * nr - rl, lo, hi, ivs, 1)
+                ivs.append((lo, hi))
+                self._feed_view = None
+                self._row_index = None
+        horiz = route.horiz
+        if horiz is not None:
+            ch, g_lo, g_hi = horiz
+            if rl <= ch <= rl + nr:
+                nh = self._net_horiz
+                key = (net, ch)
+                ivs = nh.get(key)
+                if ivs is None:
+                    ivs = nh[key] = []
+                _bump_range(self._hus, (ch - rl) * self.ncols, g_lo, g_hi, ivs, 1)
+                ivs.append((g_lo, g_hi))
+                self._hus_view = None
 
     def remove_route(self, route: RoutedSegment) -> None:
         """Undo a previously-committed route."""
@@ -299,13 +570,9 @@ class CoarseGrid:
             if not ivs or (lo, hi) not in ivs:
                 raise KeyError(f"vertical usage underflow at {(net, lo, g)}")
             ivs.remove((lo, hi))
-            col = self._feed[g]
-            base = self.row_lo
-            for a, b in _uncovered(lo, hi, ivs):
-                for r in range(a - base, b - base + 1):
-                    col[r] -= 1
-            if not ivs:
-                del self._net_vert[(net, g)]
+            _bump_range(self._feed, g * self.nrows - self.row_lo, lo, hi, ivs, -1)
+            self._feed_view = None
+            self._row_index = None
         hr = self._horiz_range(route)
         if hr is not None:
             ch, g_lo, g_hi = hr
@@ -313,12 +580,8 @@ class CoarseGrid:
             if not ivs or (g_lo, g_hi) not in ivs:
                 raise KeyError(f"horizontal usage underflow at {(net, ch, g_lo)}")
             ivs.remove((g_lo, g_hi))
-            row = self._hus[self._ci(ch)]
-            for a, b in _uncovered(g_lo, g_hi, ivs):
-                for c in range(a, b + 1):
-                    row[c] -= 1
-            if not ivs:
-                del self._net_horiz[(net, ch)]
+            _bump_range(self._hus, (ch - self.row_lo) * self.ncols, g_lo, g_hi, ivs, -1)
+            self._hus_view = None
 
     # -- cost --------------------------------------------------------------
 
@@ -329,12 +592,63 @@ class CoarseGrid:
 
         New feedthroughs cost ``weights.feed`` each plus a congestion term;
         horizontal columns cost 1 each plus a congestion term; resources
-        the net already owns are free (sharing).  The sharing check and the
-        congestion gather run as interval arithmetic and slice operations;
-        the final accumulation walks the (short) per-cell value lists in
-        the same order as the straightforward per-cell implementation, so
-        costs are bit-identical to it — near-ties in the orientation
-        comparison resolve the same way.
+        the net already owns are free (sharing).  Fast mode evaluates each
+        uncovered interval as ``count * w + w_c * range_sum`` with exact
+        integer range sums (own map: slice reduction; external snapshot:
+        prefix-sum difference); strict mode walks the cells one by one in
+        the pre-rewrite accumulation order.
+        """
+        if self.strict:
+            return self._eval_cost_strict(route, counter)
+        w = self.weights
+        cost = 0.0
+        ops = 0
+        net = route.net
+        v = route.vert
+        rl = self.row_lo
+        if v is not None:
+            g, r_lo, r_hi = v
+            lo = r_lo + 1
+            if lo < rl:
+                lo = rl
+            hi = r_hi - 1
+            rh = rl + self.nrows - 1
+            if hi > rh:
+                hi = rh
+            if lo <= hi:
+                ops = hi - lo + 1
+                nr = self.nrows
+                n, s = _gather(
+                    self._feed, g * nr - rl, lo, hi,
+                    self._net_vert.get((net, g)),
+                    self._ext_feed_prefix, g * (nr + 1) - rl,
+                )
+                cost = n * w.feed + w.feed_congestion * s
+        h = route.horiz
+        if h is not None:
+            ch, g_lo, g_hi = h
+            ci = ch - rl
+            if 0 <= ci <= self.nrows:
+                ops += g_hi - g_lo + 1
+                nc = self.ncols
+                n, s = _gather(
+                    self._hus, ci * nc, g_lo, g_hi,
+                    self._net_horiz.get((net, ch)),
+                    self._ext_hus_prefix, ci * (nc + 1),
+                )
+                cost += n * 1.0 + w.channel_congestion * s
+        counter.add("coarse", ops if ops > 0 else 1)
+        return cost
+
+    def _eval_cost_strict(
+        self, route: RoutedSegment, counter: WorkCounter = NULL_COUNTER
+    ) -> float:
+        """Reference per-cell cost walk (the pre-rewrite accumulation).
+
+        Visits uncovered cells one at a time in ascending order, so the
+        float accumulation history — and therefore every near-tie in the
+        orientation comparison — matches the original implementation bit
+        for bit.
         """
         w = self.weights
         cost = 0.0
@@ -345,67 +659,679 @@ class CoarseGrid:
             g, lo, hi = vr
             ops += hi - lo + 1
             ivs = self._net_vert.get((net, g))
-            col = self._feed[g]
-            ext = self._ext_feed_cols[g] if self._ext_feed_cols is not None else None
-            base = self.row_lo
+            feed = self._feed
+            base = g * self.nrows - self.row_lo
+            ext = self._ext_feed_cells
+            ebase = g * self.nrows - self.row_lo
             wf = w.feed
             wfc = w.feed_congestion
             for a, b in _uncovered(lo, hi, ivs) if ivs else ((lo, hi),):
                 if ext is None:
-                    for r in range(a - base, b - base + 1):
-                        cost += wf + wfc * col[r]
+                    for r in range(base + a, base + b + 1):
+                        cost += wf + wfc * feed[r]
                 else:
-                    for r in range(a - base, b - base + 1):
-                        cost += wf + wfc * (col[r] + ext[r])
+                    for r in range(a, b + 1):
+                        cost += wf + wfc * (feed[base + r] + ext[ebase + r])
         hr = self._horiz_range(route)
         if hr is not None:
             ch, g_lo, g_hi = hr
             ops += g_hi - g_lo + 1
             ivs = self._net_horiz.get((net, ch))
-            ci = self._ci(ch)
-            row = self._hus[ci]
-            ext = self._ext_hus_rows[ci] if self._ext_hus_rows is not None else None
+            hus = self._hus
+            base = (ch - self.row_lo) * self.ncols
+            ext = self._ext_hus_cells
             wcc = w.channel_congestion
             for a, b in _uncovered(g_lo, g_hi, ivs) if ivs else ((g_lo, g_hi),):
                 if ext is None:
-                    for c in range(a, b + 1):
-                        cost += 1.0 + wcc * row[c]
+                    for c in range(base + a, base + b + 1):
+                        cost += 1.0 + wcc * hus[c]
                 else:
                     for c in range(a, b + 1):
-                        cost += 1.0 + wcc * (row[c] + ext[c])
+                        cost += 1.0 + wcc * (hus[base + c] + ext[base + c])
         counter.add("coarse", max(ops, 1))
         return cost
+
+    def eval_both(
+        self,
+        low: RoutedSegment,
+        high: RoutedSegment,
+        counter: WorkCounter = NULL_COUNTER,
+    ) -> Tuple[float, float, bool]:
+        """Fused evaluation of a segment's two orientations.
+
+        Returns ``(cost_low, cost_high, pick_high)``.  ``pick_high``
+        reproduces the pre-rewrite comparison exactly: when the fast costs
+        differ by less than :data:`_TIE_EPS` — which only happens when the
+        real-arithmetic costs are tied — the decision defers to the strict
+        per-cell oracle, whose accumulation order is the original one.
+        """
+        if self.strict:
+            c_low = self._eval_cost_strict(low, counter)
+            c_high = self._eval_cost_strict(high, counter)
+            return c_low, c_high, c_high < c_low
+        c_low = self.eval_cost(low, counter)
+        c_high = self.eval_cost(high, counter)
+        d = c_low - c_high
+        if -_TIE_EPS < d < _TIE_EPS:
+            return c_low, c_high, (
+                self._eval_cost_strict(high) < self._eval_cost_strict(low)
+            )
+        return c_low, c_high, d > 0
+
+    def flip_step(
+        self,
+        low: RoutedSegment,
+        high: RoutedSegment,
+        current: RoutedSegment,
+        counter: WorkCounter = NULL_COUNTER,
+    ) -> bool:
+        """One rip-up/re-commit step of the coarse improvement pass.
+
+        Removes ``current`` (which must be ``low`` or ``high``), evaluates
+        both orientations on the remaining state, commits the cheaper one
+        and returns ``True`` when ``high`` won.  Semantically identical to
+        ``remove_route + eval_cost×2 + add_route`` — including the work
+        charged to ``counter`` — but fused into one call so the pass pays
+        the clipping, key lookups and call overhead once.
+        """
+        if self.strict:
+            self.remove_route(current)
+            c_low = self._eval_cost_strict(low, counter)
+            c_high = self._eval_cost_strict(high, counter)
+            pick_high = c_high < c_low
+            self.add_route(high if pick_high else low)
+            return pick_high
+
+        net = low.net
+        nr = self.nrows
+        nc = self.ncols
+        rl = self.row_lo
+        feed = self._feed
+        hus = self._hus
+        net_vert = self._net_vert
+        net_horiz = self._net_horiz
+
+        # Clip the shared row range once (both orientations cross the same
+        # rows; only the column carrying the vertical run differs).
+        ivs_vl = ivs_vh = None
+        v_lo = 1
+        v_hi = 0
+        gl = gh = 0
+        vl = low.vert
+        if vl is not None:
+            gl, r_lo, r_hi = vl
+            gh = high.vert[0]
+            v_lo = r_lo + 1
+            if v_lo < rl:
+                v_lo = rl
+            v_hi = r_hi - 1
+            rh = rl + nr - 1
+            if v_hi > rh:
+                v_hi = rh
+            if v_lo <= v_hi:
+                key = (net, gl)
+                ivs_vl = net_vert.get(key)
+                if ivs_vl is None:
+                    ivs_vl = net_vert[key] = []
+                key = (net, gh)
+                ivs_vh = net_vert.get(key)
+                if ivs_vh is None:
+                    ivs_vh = net_vert[key] = []
+
+        # Horizontal parts share the column range; the channels differ and
+        # are window-checked independently.
+        ivs_hl = ivs_hh = None
+        h_lo = h_hi = 0
+        ci_l = ci_h = -1
+        hl = low.horiz
+        if hl is not None:
+            ch_l, h_lo, h_hi = hl
+            ch_h = high.horiz[0]
+            ci_l = ch_l - rl
+            if not 0 <= ci_l <= nr:
+                ci_l = -1
+            else:
+                key = (net, ch_l)
+                ivs_hl = net_horiz.get(key)
+                if ivs_hl is None:
+                    ivs_hl = net_horiz[key] = []
+            ci_h = ch_h - rl
+            if not 0 <= ci_h <= nr:
+                ci_h = -1
+            else:
+                key = (net, ch_h)
+                ivs_hh = net_horiz.get(key)
+                if ivs_hh is None:
+                    ivs_hh = net_horiz[key] = []
+
+        # 1. Rip up the current orientation.
+        cur_is_high = current is high
+        if ivs_vl is not None:
+            ivs_cur = ivs_vh if cur_is_high else ivs_vl
+            ivs_cur.remove((v_lo, v_hi))
+            _bump_range(
+                feed, (gh if cur_is_high else gl) * nr - rl,
+                v_lo, v_hi, ivs_cur, -1,
+            )
+        ci_cur = ci_h if cur_is_high else ci_l
+        if ci_cur >= 0:
+            ivs_cur = ivs_hh if cur_is_high else ivs_hl
+            ivs_cur.remove((h_lo, h_hi))
+            _bump_range(hus, ci_cur * nc, h_lo, h_hi, ivs_cur, -1)
+
+        # 2. Evaluate both orientations on the remaining state.
+        w = self.weights
+        wf = w.feed
+        wfc = w.feed_congestion
+        wcc = w.channel_congestion
+        efp = self._ext_feed_prefix
+        ehp = self._ext_hus_prefix
+        c_low = c_high = 0.0
+        ops_low = ops_high = 0
+        n_vl = s_vl = n_vh = s_vh = 0
+        n_hl = s_hl = n_hh = s_hh = 0
+        if ivs_vl is not None:
+            ops_low = ops_high = v_hi - v_lo + 1
+            n_vl, s_vl = _gather(feed, gl * nr - rl, v_lo, v_hi, ivs_vl,
+                                 efp, gl * (nr + 1) - rl)
+            c_low = n_vl * wf + wfc * s_vl
+            n_vh, s_vh = _gather(feed, gh * nr - rl, v_lo, v_hi, ivs_vh,
+                                 efp, gh * (nr + 1) - rl)
+            c_high = n_vh * wf + wfc * s_vh
+        if ci_l >= 0:
+            ops_low += h_hi - h_lo + 1
+            n_hl, s_hl = _gather(hus, ci_l * nc, h_lo, h_hi, ivs_hl,
+                                 ehp, ci_l * (nc + 1))
+            c_low += n_hl * 1.0 + wcc * s_hl
+        if ci_h >= 0:
+            ops_high += h_hi - h_lo + 1
+            n_hh, s_hh = _gather(hus, ci_h * nc, h_lo, h_hi, ivs_hh,
+                                 ehp, ci_h * (nc + 1))
+            c_high += n_hh * 1.0 + wcc * s_hh
+        counter.add("coarse", ops_low if ops_low > 0 else 1)
+        counter.add("coarse", ops_high if ops_high > 0 else 1)
+
+        d = c_low - c_high
+        if not -_TIE_EPS < d < _TIE_EPS:
+            pick_high = d > 0
+        elif (s_vl == 0 and s_vh == 0 and s_hl == 0 and s_hh == 0
+              and n_vl == n_vh and n_hl == n_hh):
+            # Both orientations cross only congestion-free cells (the sums
+            # are exact, so zero sum means every cell value is zero) and
+            # the same number of them: the strict walks would accumulate
+            # identical summand sequences, giving bit-equal costs — and a
+            # bit-equal tie keeps the low orientation.
+            pick_high = False
+        else:
+            extf = self._ext_feed_cells
+            exth = self._ext_hus_cells
+            c_low_s = _strict_eval(
+                feed, gl * nr - rl, v_lo, v_hi, ivs_vl, extf, wf, wfc,
+                hus, ci_l * nc, h_lo, h_hi, ivs_hl, exth, wcc,
+                ivs_vl is not None, ci_l >= 0,
+            )
+            c_high_s = _strict_eval(
+                feed, gh * nr - rl, v_lo, v_hi, ivs_vh, extf, wf, wfc,
+                hus, ci_h * nc, h_lo, h_hi, ivs_hh, exth, wcc,
+                ivs_vh is not None, ci_h >= 0,
+            )
+            pick_high = c_high_s < c_low_s
+
+        # 3. Commit the winner.
+        if ivs_vl is not None:
+            ivs_new = ivs_vh if pick_high else ivs_vl
+            _bump_range(
+                feed, (gh if pick_high else gl) * nr - rl,
+                v_lo, v_hi, ivs_new, 1,
+            )
+            ivs_new.append((v_lo, v_hi))
+            self._feed_view = None
+            self._row_index = None
+        ci_new = ci_h if pick_high else ci_l
+        if ci_new >= 0:
+            ivs_new = ivs_hh if pick_high else ivs_hl
+            _bump_range(hus, ci_new * nc, h_lo, h_hi, ivs_new, 1)
+            ivs_new.append((h_lo, h_hi))
+            self._hus_view = None
+        return pick_high
+
+    def make_flip_rec(
+        self, low: RoutedSegment, high: RoutedSegment
+    ) -> Optional[tuple]:
+        """Precompute the flip kernel's per-diagonal invariants.
+
+        A diagonal's two candidate routes are pure geometry, so their
+        clipped ranges, flat-buffer bases, prefix-table offsets, interval
+        multiset references (stable — emptied lists are retained) and work
+        charges never change across improvement passes.  The returned
+        opaque record feeds :meth:`flip_step_rec`; ``None`` in strict mode
+        (the oracle path takes no shortcuts).
+        """
+        if self.strict:
+            return None
+        net = low.net
+        nr = self.nrows
+        nc = self.ncols
+        rl = self.row_lo
+        net_vert = self._net_vert
+        net_horiz = self._net_horiz
+
+        has_v = False
+        v_lo = 1
+        v_hi = 0
+        fb_l = fb_h = efpb_l = efpb_h = 0
+        ivs_vl = ivs_vh = None
+        vl = low.vert
+        if vl is not None:
+            gl, r_lo, r_hi = vl
+            gh = high.vert[0]
+            v_lo = max(r_lo + 1, rl)
+            v_hi = min(r_hi - 1, rl + nr - 1)
+            if v_lo <= v_hi:
+                has_v = True
+                fb_l = gl * nr - rl
+                fb_h = gh * nr - rl
+                efpb_l = gl * (nr + 1) - rl
+                efpb_h = gh * (nr + 1) - rl
+                key = (net, gl)
+                ivs_vl = net_vert.get(key)
+                if ivs_vl is None:
+                    ivs_vl = net_vert[key] = []
+                key = (net, gh)
+                ivs_vh = net_vert.get(key)
+                if ivs_vh is None:
+                    ivs_vh = net_vert[key] = []
+
+        h_lo = h_hi = 0
+        ci_l = ci_h = -1
+        hb_l = hb_h = ehpb_l = ehpb_h = 0
+        ivs_hl = ivs_hh = None
+        hl = low.horiz
+        if hl is not None:
+            ch_l, h_lo, h_hi = hl
+            ch_h = high.horiz[0]
+            if rl <= ch_l <= rl + nr:
+                ci_l = ch_l - rl
+                hb_l = ci_l * nc
+                ehpb_l = ci_l * (nc + 1)
+                key = (net, ch_l)
+                ivs_hl = net_horiz.get(key)
+                if ivs_hl is None:
+                    ivs_hl = net_horiz[key] = []
+            if rl <= ch_h <= rl + nr:
+                ci_h = ch_h - rl
+                hb_h = ci_h * nc
+                ehpb_h = ci_h * (nc + 1)
+                key = (net, ch_h)
+                ivs_hh = net_horiz.get(key)
+                if ivs_hh is None:
+                    ivs_hh = net_horiz[key] = []
+
+        n_v = v_hi - v_lo + 1 if has_v else 0
+        n_h = h_hi - h_lo + 1
+        ops_low = n_v + (n_h if ci_l >= 0 else 0)
+        ops_high = n_v + (n_h if ci_h >= 0 else 0)
+        ops_lh = (ops_low if ops_low > 0 else 1) + (ops_high if ops_high > 0 else 1)
+        return (
+            has_v, fb_l, fb_h, v_lo, v_hi, (v_lo, v_hi), ivs_vl, ivs_vh,
+            efpb_l, efpb_h,
+            ci_l, ci_h, hb_l, hb_h, h_lo, h_hi, (h_lo, h_hi), ivs_hl, ivs_hh,
+            ehpb_l, ehpb_h,
+            ops_lh,
+        )
+
+    def commit_segment(
+        self, net: int, seg: Segment, want_rec: bool
+    ) -> Tuple[RoutedSegment, Optional[RoutedSegment], Optional[tuple]]:
+        """Fused initial commit of one pool segment.
+
+        Equivalent to ``route_for(net, seg, VERT_AT_LOW)`` + ``add_route``
+        and — for an unlocked diagonal (``want_rec``) —
+        ``route_for(net, seg, VERT_AT_HIGH)`` + :meth:`make_flip_rec`, but
+        the geometry (column clamps, range clips, multiset keys) is
+        computed once instead of re-derived by each call.  Returns
+        ``(route_low, route_high, rec)``; the latter two are ``None`` for
+        flat or locked segments, and ``rec`` is ``None`` in strict mode.
+        """
+        ax, ar = seg.a
+        bx, br = seg.b
+        cw = self.col_width
+        nc1 = self.ncols - 1
+        rl = self.row_lo
+        nr = self.nrows
+        if ax == bx:  # vertical (or degenerate point)
+            if ar == br:
+                return RoutedSegment(net=net), None, None
+            g = ax // cw
+            g = 0 if g < 0 else (nc1 if g > nc1 else g)
+            lo, hi = (ar, br) if ar <= br else (br, ar)
+            route = RoutedSegment(net=net, vert=(g, lo, hi))
+            clo = lo + 1
+            if clo < rl:
+                clo = rl
+            chi = hi - 1
+            rh = rl + nr - 1
+            if chi > rh:
+                chi = rh
+            if clo <= chi:
+                nv = self._net_vert
+                key = (net, g)
+                ivs = nv.get(key)
+                if ivs is None:
+                    ivs = nv[key] = []
+                _bump_range(self._feed, g * nr - rl, clo, chi, ivs, 1)
+                ivs.append((clo, chi))
+                self._feed_view = None
+                self._row_index = None
+            return route, None, None
+        if ar == br:  # horizontal: span defaults to the channel above
+            x_lo, x_hi = (ax, bx) if ax <= bx else (bx, ax)
+            g_lo = x_lo // cw
+            g_lo = 0 if g_lo < 0 else (nc1 if g_lo > nc1 else g_lo)
+            g_hi = x_hi // cw
+            g_hi = 0 if g_hi < 0 else (nc1 if g_hi > nc1 else g_hi)
+            ch = ar + 1
+            route = RoutedSegment(net=net, horiz=(ch, g_lo, g_hi))
+            if rl <= ch <= rl + nr:
+                nh = self._net_horiz
+                key = (net, ch)
+                ivs = nh.get(key)
+                if ivs is None:
+                    ivs = nh[key] = []
+                _bump_range(self._hus, (ch - rl) * self.ncols, g_lo, g_hi, ivs, 1)
+                ivs.append((g_lo, g_hi))
+                self._hus_view = None
+            return route, None, None
+        # diagonal
+        (lx, lr), (hx, hr) = ((ax, ar), (bx, br)) if ar < br else ((bx, br), (ax, ar))
+        gl = lx // cw
+        gl = 0 if gl < 0 else (nc1 if gl > nc1 else gl)
+        gh = hx // cw
+        gh = 0 if gh < 0 else (nc1 if gh > nc1 else gh)
+        g_lo, g_hi = (gl, gh) if gl <= gh else (gh, gl)
+        ch_l = hr
+        ch_h = lr + 1
+        route_low = RoutedSegment(net=net, vert=(gl, lr, hr), horiz=(ch_l, g_lo, g_hi))
+        v_lo = lr + 1
+        if v_lo < rl:
+            v_lo = rl
+        v_hi = hr - 1
+        rh = rl + nr - 1
+        if v_hi > rh:
+            v_hi = rh
+        has_v = v_lo <= v_hi
+        ivs_vl = None
+        nv = self._net_vert
+        if has_v:
+            key = (net, gl)
+            ivs_vl = nv.get(key)
+            if ivs_vl is None:
+                ivs_vl = nv[key] = []
+            _bump_range(self._feed, gl * nr - rl, v_lo, v_hi, ivs_vl, 1)
+            ivs_vl.append((v_lo, v_hi))
+            self._feed_view = None
+            self._row_index = None
+        in_l = rl <= ch_l <= rl + nr
+        ivs_hl = None
+        nh = self._net_horiz
+        if in_l:
+            key = (net, ch_l)
+            ivs_hl = nh.get(key)
+            if ivs_hl is None:
+                ivs_hl = nh[key] = []
+            _bump_range(self._hus, (ch_l - rl) * self.ncols, g_lo, g_hi, ivs_hl, 1)
+            ivs_hl.append((g_lo, g_hi))
+            self._hus_view = None
+        if not want_rec:
+            return route_low, None, None
+        route_high = RoutedSegment(net=net, vert=(gh, lr, hr), horiz=(ch_h, g_lo, g_hi))
+        if self.strict:
+            return route_low, route_high, None
+        nc = self.ncols
+        if has_v:
+            fb_l = gl * nr - rl
+            fb_h = gh * nr - rl
+            efpb_l = gl * (nr + 1) - rl
+            efpb_h = gh * (nr + 1) - rl
+            key = (net, gh)
+            ivs_vh = nv.get(key)
+            if ivs_vh is None:
+                ivs_vh = nv[key] = []
+        else:
+            v_lo = 1
+            v_hi = 0
+            fb_l = fb_h = efpb_l = efpb_h = 0
+            ivs_vl = ivs_vh = None
+        if in_l:
+            ci_l = ch_l - rl
+            hb_l = ci_l * nc
+            ehpb_l = ci_l * (nc + 1)
+        else:
+            ci_l = -1
+            hb_l = ehpb_l = 0
+        if rl <= ch_h <= rl + nr:
+            ci_h = ch_h - rl
+            hb_h = ci_h * nc
+            ehpb_h = ci_h * (nc + 1)
+            key = (net, ch_h)
+            ivs_hh = nh.get(key)
+            if ivs_hh is None:
+                ivs_hh = nh[key] = []
+        else:
+            ci_h = -1
+            hb_h = ehpb_h = 0
+            ivs_hh = None
+        n_v = v_hi - v_lo + 1 if has_v else 0
+        n_h = g_hi - g_lo + 1
+        ops_low = n_v + (n_h if ci_l >= 0 else 0)
+        ops_high = n_v + (n_h if ci_h >= 0 else 0)
+        ops_lh = (ops_low if ops_low > 0 else 1) + (ops_high if ops_high > 0 else 1)
+        rec = (
+            has_v, fb_l, fb_h, v_lo, v_hi, (v_lo, v_hi), ivs_vl, ivs_vh,
+            efpb_l, efpb_h,
+            ci_l, ci_h, hb_l, hb_h, g_lo, g_hi, (g_lo, g_hi), ivs_hl, ivs_hh,
+            ehpb_l, ehpb_h,
+            ops_lh,
+        )
+        return route_low, route_high, rec
+
+    def flip_step_rec(
+        self, rec: tuple, cur_is_high: bool, counter: WorkCounter = NULL_COUNTER
+    ) -> bool:
+        """:meth:`flip_step` driven by a :meth:`make_flip_rec` record.
+
+        Same rip-up / evaluate / re-commit semantics and identical work
+        charges, with every per-pass-invariant lookup (clipping, key
+        resolution, buffer bases) read from the record.
+        """
+        (has_v, fb_l, fb_h, v_lo, v_hi, vt, ivs_vl, ivs_vh,
+         efpb_l, efpb_h,
+         ci_l, ci_h, hb_l, hb_h, h_lo, h_hi, ht, ivs_hl, ivs_hh,
+         ehpb_l, ehpb_h,
+         ops_lh) = rec
+        feed = self._feed
+        hus = self._hus
+
+        # 1. Virtual rip-up: drop the committed interval from its multiset
+        # only.  The usage buffers keep the route's +1 — it sits on exactly
+        # the uncovered cells the gathers below visit, so subtracting the
+        # cell count from those sums reproduces the ripped-up values, and
+        # the buffers never have to be touched unless the orientation
+        # actually changes.
+        if cur_is_high:
+            if has_v:
+                ivs_vh.remove(vt)
+            if ci_h >= 0:
+                ivs_hh.remove(ht)
+        else:
+            if has_v:
+                ivs_vl.remove(vt)
+            if ci_l >= 0:
+                ivs_hl.remove(ht)
+        # own +1 lingers in any structure the current orientation shares
+        # with an evaluation (always its own side; both sides when the
+        # clamped columns or channels coincide)
+        if cur_is_high:
+            sub_vh = 1
+            sub_vl = 1 if fb_l == fb_h else 0
+            sub_hh = 1
+            sub_hl = 1 if ci_l == ci_h else 0
+        else:
+            sub_vl = 1
+            sub_vh = 1 if fb_l == fb_h else 0
+            sub_hl = 1
+            sub_hh = 1 if ci_l == ci_h else 0
+
+        # 2. Evaluate both orientations on the (virtually) remaining state.
+        w = self.weights
+        wf = w.feed
+        wfc = w.feed_congestion
+        wcc = w.channel_congestion
+        efp = self._ext_feed_prefix
+        ehp = self._ext_hus_prefix
+        c_low = c_high = 0.0
+        n_vl = s_vl = n_vh = s_vh = 0
+        n_hl = s_hl = n_hh = s_hh = 0
+        if has_v:
+            n_vl, s_vl = _gather(feed, fb_l, v_lo, v_hi, ivs_vl, efp, efpb_l)
+            if sub_vl:
+                s_vl -= n_vl
+            c_low = n_vl * wf + wfc * s_vl
+            n_vh, s_vh = _gather(feed, fb_h, v_lo, v_hi, ivs_vh, efp, efpb_h)
+            if sub_vh:
+                s_vh -= n_vh
+            c_high = n_vh * wf + wfc * s_vh
+        if ci_l >= 0:
+            n_hl, s_hl = _gather(hus, hb_l, h_lo, h_hi, ivs_hl, ehp, ehpb_l)
+            if sub_hl:
+                s_hl -= n_hl
+            c_low += n_hl * 1.0 + wcc * s_hl
+        if ci_h >= 0:
+            n_hh, s_hh = _gather(hus, hb_h, h_lo, h_hi, ivs_hh, ehp, ehpb_h)
+            if sub_hh:
+                s_hh -= n_hh
+            c_high += n_hh * 1.0 + wcc * s_hh
+        # single bulk charge == the two historical per-eval charges
+        counter.add("coarse", ops_lh)
+
+        d = c_low - c_high
+        if not -_TIE_EPS < d < _TIE_EPS:
+            pick_high = d > 0
+        elif (s_vl == 0 and s_vh == 0 and s_hl == 0 and s_hh == 0
+              and n_vl == n_vh and n_hl == n_hh):
+            pick_high = False  # bit-equal strict walks would keep low
+        else:
+            extf = self._ext_feed_cells
+            exth = self._ext_hus_cells
+            c_low_s = _strict_eval(
+                feed, fb_l, v_lo, v_hi, ivs_vl, extf, wf, wfc,
+                hus, hb_l, h_lo, h_hi, ivs_hl, exth, wcc,
+                has_v, ci_l >= 0, sub_vl, sub_hl,
+            )
+            c_high_s = _strict_eval(
+                feed, fb_h, v_lo, v_hi, ivs_vh, extf, wf, wfc,
+                hus, hb_h, h_lo, h_hi, ivs_hh, exth, wcc,
+                has_v, ci_h >= 0, sub_vh, sub_hh,
+            )
+            pick_high = c_high_s < c_low_s
+
+        # 3. Commit the winner.
+        if pick_high == cur_is_high:
+            # kept: restore the multiset entries — buffers were never touched
+            if pick_high:
+                if has_v:
+                    ivs_vh.append(vt)
+                if ci_h >= 0:
+                    ivs_hh.append(ht)
+            else:
+                if has_v:
+                    ivs_vl.append(vt)
+                if ci_l >= 0:
+                    ivs_hl.append(ht)
+            return pick_high
+        # orientation changed: apply the real rip-up of the old side, then
+        # the commit of the new one (same operation order as remove_route
+        # followed by add_route)
+        if cur_is_high:
+            if has_v:
+                _bump_range(feed, fb_h, v_lo, v_hi, ivs_vh, -1)
+                _bump_range(feed, fb_l, v_lo, v_hi, ivs_vl, 1)
+                ivs_vl.append(vt)
+                self._feed_view = None
+                self._row_index = None
+            if ci_h >= 0:
+                _bump_range(hus, hb_h, h_lo, h_hi, ivs_hh, -1)
+                self._hus_view = None
+            if ci_l >= 0:
+                _bump_range(hus, hb_l, h_lo, h_hi, ivs_hl, 1)
+                ivs_hl.append(ht)
+                self._hus_view = None
+        else:
+            if has_v:
+                _bump_range(feed, fb_l, v_lo, v_hi, ivs_vl, -1)
+                _bump_range(feed, fb_h, v_lo, v_hi, ivs_vh, 1)
+                ivs_vh.append(vt)
+                self._feed_view = None
+                self._row_index = None
+            if ci_l >= 0:
+                _bump_range(hus, hb_l, h_lo, h_hi, ivs_hl, -1)
+                self._hus_view = None
+            if ci_h >= 0:
+                _bump_range(hus, hb_h, h_lo, h_hi, ivs_hh, 1)
+                ivs_hh.append(ht)
+                self._hus_view = None
+        return pick_high
 
     # -- aggregate views ----------------------------------------------------
 
     def total_feed_demand(self) -> int:
         """Total feedthroughs currently demanded across the window."""
-        return sum(sum(col) for col in self._feed)
+        return sum(self._feed)
 
     def demand_for_row(self, row: int) -> np.ndarray:
         """Copy of the feed demand across one row's grid columns."""
         ri = self._ri(row)
-        return np.array([col[ri] for col in self._feed], dtype=np.int32)
+        return self.feed_demand[ri].copy()
+
+    def _crossing_index(self) -> List[List[Tuple[int, int]]]:
+        """``row_idx -> sorted [(gcol, net), ...]`` over the window.
+
+        Built in one pass over the per-net interval multisets (merged so a
+        net crossing a row through several committed runs counts once) and
+        cached until the next mutation.
+        """
+        idx = self._row_index
+        if idx is None:
+            rl = self.row_lo
+            nr = self.nrows
+            idx = [[] for _ in range(nr)]
+            for (net, g), ivs in self._net_vert.items():
+                if not ivs:
+                    continue
+                for a, b in _merged(ivs):
+                    for r in range(a - rl, b - rl + 1):
+                        idx[r].append((g, net))
+            for entries in idx:
+                entries.sort()
+            self._row_index = idx
+        return idx
 
     def crossings_for_row(self, row: int) -> List[Tuple[int, int]]:
         """Sorted ``(gcol, net)`` crossings through ``row`` (one per
         demanded feed)."""
-        out = [
-            (g, net)
-            for (net, g), ivs in self._net_vert.items()
-            if any(a <= row <= b for a, b in ivs)
-        ]
-        out.sort()
-        return out
+        ri = row - self.row_lo
+        if not 0 <= ri < self.nrows:
+            return []
+        return list(self._crossing_index()[ri])
 
     def all_crossings(self) -> List[Tuple[int, int, int]]:
         """Sorted ``(row, gcol, net)`` for every demanded feedthrough."""
         out: List[Tuple[int, int, int]] = []
         for (net, g), ivs in self._net_vert.items():
-            covered = set()
-            for a, b in ivs:
-                covered.update(range(a, b + 1))
-            out.extend((r, g, net) for r in covered)
+            if not ivs:
+                continue
+            for a, b in _merged(ivs):
+                out.extend((r, g, net) for r in range(a, b + 1))
         out.sort()
         return out
 

@@ -10,6 +10,7 @@ config/seed so quality ratios ("scaled tracks") are apples-to-apples.
 
 from __future__ import annotations
 
+import gc
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -167,10 +168,19 @@ def route_parallel(
     pconfig = pconfig or ParallelConfig()
     program = _program_for(algorithm)
 
-    spmd = run_spmd(
-        nprocs, program, args=(circuit, config, pconfig), machine=machine,
-        trace=trace, obs=obs,
-    )
+    # Same rationale as GlobalRouter.route_with_artifacts: the SPMD ranks'
+    # working sets are cycle-free, so collector passes mid-run reclaim
+    # nothing — suspend collection for the bounded routing phase.
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        spmd = run_spmd(
+            nprocs, program, args=(circuit, config, pconfig), machine=machine,
+            trace=trace, obs=obs,
+        )
+    finally:
+        if was_enabled:
+            gc.enable()
     result: RoutingResult = spmd.values[0]
     if result is None:
         raise RuntimeError("rank 0 returned no result")

@@ -31,31 +31,50 @@ def _prim_small(
 ) -> List[Edge]:
     """Pure-Python Prim for small nets; tie-break identical to argmin."""
     n = len(x)
-    in_tree = [False] * n
-    best_dist = [None] * n  # None = +inf
+    if n == 2:
+        counter.add("steiner", 2)
+        return [(0, 1)]
+    if n == 3:
+        # closed form of the two Prim rounds (same lowest-index-wins
+        # tie-breaks, same n*(n-1) charge)
+        counter.add("steiner", 6)
+        x0, x1, x2 = x
+        y0, y1, y2 = y
+        d1 = abs(x1 - x0) + abs(y1 - y0)
+        d2 = abs(x2 - x0) + abs(y2 - y0)
+        d12 = abs(x2 - x1) + abs(y2 - y1)
+        if d1 <= d2:
+            return [(0, 1), (1, 2) if d12 < d2 else (0, 2)]
+        return [(0, 2), (2, 1) if d12 < d1 else (0, 1)]
+    INF = 1 << 60  # beyond any real distance; replaces a None sentinel
+    best_dist = [INF] * n
     best_parent = [-1] * n
+    # out-of-tree indices, ascending — ascending scan + strict < keeps the
+    # lowest-index-wins tie-break of the full-array version
+    rest = list(range(1, n))
     edges: List[Edge] = []
     current = 0
-    in_tree[0] = True
+    # n units per relaxation round, charged in bulk up front (identical
+    # total; nothing samples the counter mid-MST)
+    counter.add("steiner", n * (n - 1))
     for _ in range(n - 1):
         xc = x[current]
         yc = y[current]
-        counter.add("steiner", n)
         nxt = -1
-        nd = None
-        for i in range(n):
-            if in_tree[i]:
-                continue
+        nk = -1
+        nd = INF
+        for k, i in enumerate(rest):
             d = abs(x[i] - xc) + abs(y[i] - yc)
             bi = best_dist[i]
-            if bi is None or d < bi:
+            if d < bi:
                 best_dist[i] = bi = d
                 best_parent[i] = current
-            if nd is None or bi < nd:  # strict <: lowest index wins ties
+            if bi < nd:
                 nd = bi
                 nxt = i
+                nk = k
         edges.append((best_parent[nxt], nxt))
-        in_tree[nxt] = True
+        del rest[nk]
         current = nxt
     return edges
 

@@ -93,14 +93,91 @@ def build_net_tree(
     Duplicate terminal positions are kept (they become zero-length edges),
     so terminal indices always map 1:1 onto the caller's pin list.
     """
-    points = [Point(int(p[0]), int(p[1])) for p in terminals]
-    if len(points) < 2:
-        return NetTree(net=net_id, points=list(points), edges=[], num_terminals=len(points))
+    if terminals and type(terminals[0]) is Point:
+        points = list(terminals)  # already canonical — skip the re-wrap
+    else:
+        points = [Point(int(p[0]), int(p[1])) for p in terminals]
+    n = len(points)
+    if n < 2:
+        return NetTree(net=net_id, points=points, edges=[], num_terminals=n)
+    if n == 2:
+        # two-terminal net: the MST is the single edge; charge what the
+        # one Prim relaxation round would have (2 units) and skip it
+        counter.add("steiner", 2)
+        return NetTree(net=net_id, points=points, edges=[(0, 1)], num_terminals=2)
+    if n == 3:
+        return _three_terminal_tree(net_id, points, row_pitch, refine, counter)
+    # prim_mst returns a fresh list and ``points`` is owned here, so the
+    # tree can take both without defensive copies
     edges = prim_mst(points, row_pitch=row_pitch, counter=counter)
-    tree = NetTree(net=net_id, points=list(points), edges=list(edges), num_terminals=len(points))
-    if refine and len(points) >= 3:
+    tree = NetTree(net=net_id, points=points, edges=edges, num_terminals=n)
+    if refine and n >= 3:
         steinerize(tree, row_pitch=row_pitch, counter=counter)
     return tree
+
+
+def _three_terminal_tree(
+    net_id: int,
+    points: List[Point],
+    row_pitch: int,
+    refine: bool,
+    counter: WorkCounter,
+) -> NetTree:
+    """Closed form of ``prim_mst`` + ``steinerize`` for three terminals.
+
+    Reproduces the generic pipeline exactly — same edges in the same
+    order (Prim's lowest-index-wins tie-breaks decide which terminal is
+    the tree center and the center's neighbour order decides the refined
+    edge order), same Steiner point, same work-charge totals.  The
+    refinement is single-shot because the component-wise median ``m`` of
+    three points lies inside every pair's bounding box, so no pair at the
+    inserted center can improve further.
+    """
+    (x0, r0), (x1, r1), (x2, r2) = points
+    d1 = abs(x1 - x0) + row_pitch * abs(r1 - r0)
+    d2 = abs(x2 - x0) + row_pitch * abs(r2 - r0)
+    d12 = abs(x2 - x1) + row_pitch * abs(r2 - r1)
+    if d1 <= d2:
+        if d12 < d2:
+            edges = [(0, 1), (1, 2)]
+            c, a, b = 1, 0, 2
+        else:
+            edges = [(0, 1), (0, 2)]
+            c, a, b = 0, 1, 2
+    else:
+        if d12 < d1:
+            edges = [(0, 2), (2, 1)]
+            c, a, b = 2, 0, 1
+        else:
+            edges = [(0, 2), (0, 1)]
+            c, a, b = 0, 2, 1
+    if not refine:
+        counter.add("steiner", 6)  # the two Prim relaxation rounds
+        return NetTree(net=net_id, points=points, edges=edges, num_terminals=3)
+    cx, cr = points[c]
+    ax, ar = points[a]
+    bx, br = points[b]
+    # component-wise median of (center, a, b) — the optimal meeting point
+    if cx < ax:
+        mx = ax if ax < bx else (bx if cx < bx else cx)
+    else:
+        mx = cx if cx < bx else (bx if ax < bx else ax)
+    if cr < ar:
+        mr = ar if ar < br else (br if cr < br else cr)
+    else:
+        mr = cr if cr < br else (br if ar < br else ar)
+    if mx == cx and mr == cr:
+        # no gain anywhere: Prim (6) + steinerize visits (1 + 1 + [2+1])
+        counter.add("steiner", 11)
+        return NetTree(net=net_id, points=points, edges=edges, num_terminals=3)
+    # Prim (6) + visits incl. the center's re-visit and the new point's
+    # gainless 3-pair scan (1 + 1 + [2+1] + 1 + [3+3])
+    counter.add("steiner", 18)
+    points.append(Point(mx, mr))
+    return NetTree(
+        net=net_id, points=points,
+        edges=[(c, 3), (3, a), (3, b)], num_terminals=3,
+    )
 
 
 def steinerize(tree: NetTree, row_pitch: int = 1, counter: WorkCounter = NULL_COUNTER) -> int:
@@ -113,66 +190,99 @@ def steinerize(tree: NetTree, row_pitch: int = 1, counter: WorkCounter = NULL_CO
     vertex order; pairs re-evaluated greedily.
     """
     saved_total = 0
+    points = tree.points
+    edges = tree.edges
     # Adjacency lists mirror edge-scan order, so ``adj[v]`` is always
     # exactly ``tree.neighbors(v)`` — maintained in tandem with the edge
     # list below instead of rescanning all edges per vertex visit.
     adj: Dict[int, List[int]] = {}
-    for i, j in tree.edges:
+    for i, j in edges:
         adj.setdefault(i, []).append(j)
         if j != i:
             adj.setdefault(j, []).append(i)
+    counter_add = counter.add
     v = 0
-    while v < len(tree.points):
+    while v < len(points):
         improved = True
         while improved:
             improved = False
             nbrs = adj.get(v, [])
-            counter.add("steiner", len(nbrs))
-            if len(nbrs) < 2:
+            deg = len(nbrs)
+            if deg < 2:
+                counter_add("steiner", deg)
                 break
-            pv = tree.points[v]
-            vx, vr = pv
+            # one fused charge for the visit (deg) plus the pair scan
+            # below (deg choose 2) — exact: all charges are multiples of
+            # 0.5 far below float precision, so the total is identical
+            counter_add("steiner", deg + deg * (deg - 1) / 2)
+            vx, vr = points[v]
             best_gain = 0
             best: Tuple[int, int, Point] | None = None
-            for ai in range(len(nbrs)):
-                a = nbrs[ai]
-                ax, ar = tree.points[a]
-                dva = abs(vx - ax) + row_pitch * abs(vr - ar)
-                for bi in range(ai + 1, len(nbrs)):
-                    b = nbrs[bi]
-                    bx, br = tree.points[b]
-                    # median of three via branches (hot inner loop)
-                    if vx < ax:
-                        mx = ax if ax < bx else (bx if vx < bx else vx)
-                    else:
-                        mx = vx if vx < bx else (bx if ax < bx else ax)
-                    if vr < ar:
-                        mr = ar if ar < br else (br if vr < br else vr)
-                    else:
-                        mr = vr if vr < br else (br if ar < br else ar)
-                    old = dva + abs(vx - bx) + row_pitch * abs(vr - br)
-                    new = (
-                        abs(vx - mx)
-                        + abs(mx - ax)
-                        + abs(mx - bx)
-                        + row_pitch * (abs(vr - mr) + abs(mr - ar) + abs(mr - br))
-                    )
-                    gain = old - new
-                    if gain > best_gain:
-                        best_gain = gain
-                        best = (a, b, Point(mx, mr))
-            counter.add("steiner", len(nbrs) * (len(nbrs) - 1) / 2)
+            if deg == 2:  # the dominant case: one pair, no loop machinery
+                a, b = nbrs
+                ax, ar = points[a]
+                bx, br = points[b]
+                if vx < ax:
+                    mx = ax if ax < bx else (bx if vx < bx else vx)
+                else:
+                    mx = vx if vx < bx else (bx if ax < bx else ax)
+                if vr < ar:
+                    mr = ar if ar < br else (br if vr < br else vr)
+                else:
+                    mr = vr if vr < br else (br if ar < br else ar)
+                old = (
+                    abs(vx - ax) + abs(vx - bx)
+                    + row_pitch * (abs(vr - ar) + abs(vr - br))
+                )
+                new = (
+                    abs(vx - mx)
+                    + abs(mx - ax)
+                    + abs(mx - bx)
+                    + row_pitch * (abs(vr - mr) + abs(mr - ar) + abs(mr - br))
+                )
+                if old > new:
+                    best_gain = old - new
+                    best = (a, b, Point(mx, mr))
+            else:
+                for ai in range(deg):
+                    a = nbrs[ai]
+                    ax, ar = points[a]
+                    dva = abs(vx - ax) + row_pitch * abs(vr - ar)
+                    for bi in range(ai + 1, deg):
+                        b = nbrs[bi]
+                        bx, br = points[b]
+                        # median of three via branches (hot inner loop)
+                        if vx < ax:
+                            mx = ax if ax < bx else (bx if vx < bx else vx)
+                        else:
+                            mx = vx if vx < bx else (bx if ax < bx else ax)
+                        if vr < ar:
+                            mr = ar if ar < br else (br if vr < br else vr)
+                        else:
+                            mr = vr if vr < br else (br if ar < br else ar)
+                        old = dva + abs(vx - bx) + row_pitch * abs(vr - br)
+                        new = (
+                            abs(vx - mx)
+                            + abs(mx - ax)
+                            + abs(mx - bx)
+                            + row_pitch * (abs(vr - mr) + abs(mr - ar) + abs(mr - br))
+                        )
+                        gain = old - new
+                        if gain > best_gain:
+                            best_gain = gain
+                            best = (a, b, Point(mx, mr))
             if best is None:
                 break
             a, b, m = best
-            m_idx = len(tree.points)
-            tree.points.append(m)
-            tree.edges = [
-                e for e in tree.edges if e not in ((v, a), (a, v), (v, b), (b, v))
-            ]
-            tree.edges.append((v, m_idx))
-            tree.edges.append((m_idx, a))
-            tree.edges.append((m_idx, b))
+            m_idx = len(points)
+            points.append(m)
+            for idx in range(len(edges) - 1, -1, -1):
+                e = edges[idx]
+                if e == (v, a) or e == (a, v) or e == (v, b) or e == (b, v):
+                    del edges[idx]
+            edges.append((v, m_idx))
+            edges.append((m_idx, a))
+            edges.append((m_idx, b))
             adj[v] = [w for w in adj[v] if w != a and w != b] + [m_idx]
             adj[a] = [w for w in adj[a] if w != v] + [m_idx]
             adj[b] = [w for w in adj[b] if w != v] + [m_idx]

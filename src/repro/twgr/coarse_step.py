@@ -43,6 +43,10 @@ class PooledSegment:
     route: RoutedSegment
     route_low: Optional[RoutedSegment] = None
     route_high: Optional[RoutedSegment] = None
+    #: precomputed flip-kernel record (clipped ranges, buffer bases,
+    #: interval-multiset references) — ``None`` for flat/locked segments
+    #: and in strict mode
+    rec: Optional[tuple] = None
 
 
 def collect_segments(trees: Mapping[int, NetTree]) -> List[Tuple[int, Segment, bool]]:
@@ -87,20 +91,29 @@ def coarse_route(
     """
     committed: List[PooledSegment] = []
     diagonal_idx: List[int] = []
+    commit = grid.commit_segment
+    LOW = Orientation.VERT_AT_LOW
+    HIGH = Orientation.VERT_AT_HIGH
     for entry in pool:
         net, seg = entry[0], entry[1]
-        locked = bool(entry[2]) if len(entry) > 2 else False
-        route = grid.route_for(net, seg, Orientation.VERT_AT_LOW)
-        grid.add_route(route)
-        ps = PooledSegment(net, seg, Orientation.VERT_AT_LOW, route)
+        locked = len(entry) > 2 and bool(entry[2])
+        a = seg.a
+        b = seg.b
+        diagonal = a.x != b.x and a.row != b.row and not locked
+        # fused route_for + add_route (+ both-orientation precompute and
+        # flip record for unlocked diagonals — the passes below only
+        # choose between the two frozen routes)
+        route, route_high, rec = commit(net, seg, diagonal)
+        ps = PooledSegment(net, seg, LOW, route)
         committed.append(ps)
-        if not seg.is_flat and not locked:
-            # precompute both orientations once; the passes below only
-            # choose between these two frozen routes
+        if diagonal:
             ps.route_low = route
-            ps.route_high = grid.route_for(net, seg, Orientation.VERT_AT_HIGH)
+            ps.route_high = route_high
+            ps.rec = rec
             diagonal_idx.append(len(committed) - 1)
-        counter.add("coarse", 1)
+    # one unit per committed entry, charged in bulk (same total as the
+    # historical per-entry charge; no sync point can fall inside the loop)
+    counter.add("coarse", len(committed))
 
     synced = sync is not None and syncs_per_pass > 0
     if sync is not None:
@@ -108,23 +121,28 @@ def coarse_route(
         # sync-once mode (syncs_per_pass == 0) it is also the only one
         sync()
 
+    flip_rec = grid.flip_step_rec
+    flip = grid.flip_step
     for _ in range(passes):
         changed = 0
         order = rng.permutation(len(diagonal_idx)) if diagonal_idx else np.empty(0, dtype=np.int64)
         for chunk in split_chunks(order, syncs_per_pass if synced else 1):
-            for k in chunk:
-                ps = committed[diagonal_idx[int(k)]]
-                grid.remove_route(ps.route)
-                c_low = grid.eval_cost(ps.route_low, counter)
-                c_high = grid.eval_cost(ps.route_high, counter)
-                if c_high < c_low:
-                    new_orient, new_route = Orientation.VERT_AT_HIGH, ps.route_high
+            for k in chunk.tolist():
+                ps = committed[diagonal_idx[k]]
+                # fused rip-up / evaluate-both / re-commit kernel; the
+                # decision is identical to comparing two eval_cost calls
+                rec = ps.rec
+                if rec is not None:
+                    pick_high = flip_rec(rec, ps.orient is HIGH, counter)
                 else:
-                    new_orient, new_route = Orientation.VERT_AT_LOW, ps.route_low
-                if new_orient != ps.orient:
+                    pick_high = flip(ps.route_low, ps.route_high, ps.route, counter)
+                if pick_high:
+                    new_orient, new_route = HIGH, ps.route_high
+                else:
+                    new_orient, new_route = LOW, ps.route_low
+                if new_orient is not ps.orient:
                     changed += 1
                 ps.orient, ps.route = new_orient, new_route
-                grid.add_route(new_route)
             if synced:
                 sync()
         if changed == 0 and not synced:

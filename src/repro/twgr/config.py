@@ -40,6 +40,10 @@ class RouterConfig:
     #: penalty weight for connection edges skipping rows (should never be
     #: needed when feedthrough assignment worked; kept huge)
     skip_row_penalty: int = 10_000
+    #: route with the reference per-cell congestion kernels instead of the
+    #: range-sum fast path (same routes either way; keep ``False`` outside
+    #: of equivalence testing)
+    strict_kernels: bool = False
 
     def rng(self, *stream: int) -> np.random.Generator:
         """A deterministic RNG for a named sub-stream.

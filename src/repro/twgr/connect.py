@@ -23,7 +23,7 @@ MST edges map to channel spans:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -55,21 +55,51 @@ def _connection_mst_small(
 ) -> List[Tuple[int, int]]:
     """Pure-Python Prim for small nets; tie-break identical to argmin."""
     n = len(xs)
-    in_tree = [False] * n
-    best = [None] * n  # None = +inf
+    if n == 3:
+        # closed form of the two Prim rounds (same lowest-index-wins
+        # tie-breaks, same n*(n-1) work charge)
+        counter.add("connect", 6)
+        x0, x1, x2 = xs
+        r0, r1, r2 = rows
+        dr = r1 - r0
+        if dr < 0:
+            dr = -dr
+        d1 = abs(x1 - x0) + row_pitch * dr
+        if dr > 1:
+            d1 += skip_row_penalty * (dr - 1)
+        dr = r2 - r0
+        if dr < 0:
+            dr = -dr
+        d2 = abs(x2 - x0) + row_pitch * dr
+        if dr > 1:
+            d2 += skip_row_penalty * (dr - 1)
+        dr = r2 - r1
+        if dr < 0:
+            dr = -dr
+        d12 = abs(x2 - x1) + row_pitch * dr
+        if dr > 1:
+            d12 += skip_row_penalty * (dr - 1)
+        if d1 <= d2:
+            return [(0, 1), (1, 2) if d12 < d2 else (0, 2)]
+        return [(0, 2), (2, 1) if d12 < d1 else (0, 1)]
+    INF = 1 << 60  # beyond any real distance; replaces a None sentinel
+    best = [INF] * n
     parent = [-1] * n
+    # out-of-tree indices, ascending — ascending scan + strict < keeps the
+    # lowest-index-wins tie-break of the full-array version
+    rest = list(range(1, n))
     edges: List[Tuple[int, int]] = []
     current = 0
-    in_tree[0] = True
+    # n units per relaxation round, charged in bulk up front (identical
+    # total; nothing samples the counter mid-MST)
+    counter.add("connect", n * (n - 1))
     for _ in range(n - 1):
         xc = xs[current]
         rc = rows[current]
-        counter.add("connect", n)
         nxt = -1
-        nd = None
-        for i in range(n):
-            if in_tree[i]:
-                continue
+        nk = -1
+        nd = INF
+        for k, i in enumerate(rest):
             dr = rows[i] - rc
             if dr < 0:
                 dr = -dr
@@ -77,14 +107,15 @@ def _connection_mst_small(
             if dr > 1:
                 d += skip_row_penalty * (dr - 1)
             bi = best[i]
-            if bi is None or d < bi:
+            if d < bi:
                 best[i] = bi = d
                 parent[i] = current
-            if nd is None or bi < nd:  # strict <: lowest index wins ties
+            if bi < nd:
                 nd = bi
                 nxt = i
+                nk = k
         edges.append((parent[nxt], nxt))
-        in_tree[nxt] = True
+        del rest[nk]
         current = nxt
     return edges
 
@@ -105,12 +136,18 @@ def connection_mst(
     n = len(xs)
     if n <= 1:
         return []
+    if n == 2:
+        # the single possible edge; charge the one relaxation round (2
+        # units — identical to what Prim would have charged)
+        counter.add("connect", 2)
+        return [(0, 1)]
     if n <= SMALL_TERMINAL_COUNT:
         if isinstance(xs, np.ndarray):
             xs, rows = xs.tolist(), rows.tolist()
-        return _connection_mst_small(
-            list(xs), list(rows), row_pitch, skip_row_penalty, counter
-        )
+        elif not isinstance(xs, list):
+            xs, rows = list(xs), list(rows)
+        # no defensive copies: the small Prim never mutates xs/rows
+        return _connection_mst_small(xs, rows, row_pitch, skip_row_penalty, counter)
     xs = np.asarray(xs, dtype=np.int64)
     rows = np.asarray(rows, dtype=np.int64)
     INF = np.iinfo(np.int64).max
@@ -139,13 +176,25 @@ def connection_mst(
     return edges
 
 
-def spans_for_edge(a: Pin, b: Pin, stats: ConnectStats, row_pitch: int) -> List[ChannelSpan]:
-    """Channel spans realizing the connection between two terminals."""
-    out: List[ChannelSpan] = []
+def spans_for_edge(
+    a: Pin,
+    b: Pin,
+    stats: ConnectStats,
+    row_pitch: int,
+    out: Optional[List[ChannelSpan]] = None,
+) -> List[ChannelSpan]:
+    """Channel spans realizing the connection between two terminals.
+
+    With ``out``, spans are appended to that list (and it is returned) —
+    the batch callers pass their accumulator to skip a per-edge list.
+    """
+    if out is None:
+        out = []
     dr = abs(a.row - b.row)
     stats.vertical_wirelength += row_pitch * dr
     if dr == 0:
-        lo, hi = sorted((a.x, b.x))
+        ax, bx = a.x, b.x
+        lo, hi = (ax, bx) if ax <= bx else (bx, ax)
         if lo == hi:
             return out
         switchable = a.has_equiv and b.has_equiv
@@ -159,7 +208,8 @@ def spans_for_edge(a: Pin, b: Pin, stats: ConnectStats, row_pitch: int) -> List[
         return out
     lo_pin, hi_pin = (a, b) if a.row < b.row else (b, a)
     if dr == 1:
-        lo, hi = sorted((a.x, b.x))
+        ax, bx = a.x, b.x
+        lo, hi = (ax, bx) if ax <= bx else (bx, ax)
         if lo != hi:
             out.append(ChannelSpan(net=a.net, channel=hi_pin.row, lo=lo, hi=hi))
         return out
@@ -167,7 +217,8 @@ def spans_for_edge(a: Pin, b: Pin, stats: ConnectStats, row_pitch: int) -> List[
     # strictly between the terminals (plus the attachment channels' share)
     # and record the defect.
     stats.unplanned_crossings += dr - 1
-    lo, hi = sorted((a.x, b.x))
+    ax, bx = a.x, b.x
+    lo, hi = (ax, bx) if ax <= bx else (bx, ax)
     for ch in range(lo_pin.row + 1, hi_pin.row + 1):
         out.append(ChannelSpan(net=a.net, channel=ch, lo=lo, hi=max(lo + 1, hi)))
     return out
@@ -234,7 +285,7 @@ def connect_nets(
             rows = [p.row for p in reals]
             edges = connection_mst(xs, rows, row_pitch, skip_row_penalty, counter)
             for i, j in edges:
-                spans.extend(spans_for_edge(reals[i], reals[j], stats, row_pitch))
+                spans_for_edge(reals[i], reals[j], stats, row_pitch, spans)
         if fakes and reals:
             for f in fakes:
                 counter.add("connect", len(reals))
@@ -244,12 +295,12 @@ def connect_nets(
                     + row_pitch * abs(p.row - f.row)
                     + skip_row_penalty * max(abs(p.row - f.row) - 1, 0),
                 )
-                spans.extend(spans_for_edge(f, best, stats, row_pitch))
+                spans_for_edge(f, best, stats, row_pitch, spans)
         elif fakes and not reals:
             # Pass-through fragment: chain the fake pins so the local
             # piece of the net stays connected.
             chain = sorted(fakes, key=lambda p: (p.row, p.x))
             counter.add("connect", len(chain))
             for a, b in zip(chain, chain[1:]):
-                spans.extend(spans_for_edge(a, b, stats, row_pitch))
+                spans_for_edge(a, b, stats, row_pitch, spans)
     return spans, stats

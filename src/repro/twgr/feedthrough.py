@@ -74,14 +74,35 @@ def insert_feedthroughs(
     if rows is None:
         rows = range(grid.row_lo, grid.row_lo + grid.nrows)
     feeds_by_row: Dict[int, List[int]] = {}
+    cells = circuit.cells
+    cw = grid.col_width
+    half = cw // 2
     for row in rows:
         crossings = grid.crossings_for_row(row)
         if not crossings:
             feeds_by_row[row] = []
             continue
-        positions = [
-            snap_to_boundary(circuit, row, grid.gcol_center(g)) for g, _net in crossings
-        ]
+        # The row is static while positions are computed (insertion comes
+        # after), so the snap profile — snap_to_boundary's per-call x list
+        # — is hoisted out of the crossing loop.
+        ids = circuit.rows[row].cells
+        xs = [cells[c].x for c in ids]
+        positions = []
+        for g, _net in crossings:
+            x = g * cw + half
+            if not ids:
+                positions.append(x if x > 0 else 0)
+                continue
+            i = bisect.bisect_right(xs, x) - 1
+            if i < 0:
+                positions.append(x if x > 0 else 0)
+                continue
+            cell = cells[ids[i]]
+            right = cell.x + cell.width
+            if x >= right:
+                positions.append(x)  # in a gap (or right of the row)
+            else:  # inside the cell: snap to the nearer edge
+                positions.append(cell.x if (x - cell.x) <= (right - x) else right)
         created = circuit.insert_feedthroughs(row, positions)
         counter.add("feeds", len(created) + len(circuit.rows[row].cells))
         feeds_by_row[row] = sorted((c.id for c in created), key=lambda cid: circuit.cells[cid].x)

@@ -16,6 +16,7 @@ so traced and untraced runs are bit-identical.
 
 from __future__ import annotations
 
+import gc
 from typing import Optional, Tuple
 
 from repro.circuits.model import Circuit
@@ -57,6 +58,26 @@ class GlobalRouter:
         tracer: Tracer = NULL_TRACER,
     ) -> Tuple[RoutingResult, StepArtifacts]:
         """Route ``circuit``, also returning every intermediate product."""
+        # The routing working set is cycle-free (trees, pools, flip records
+        # and span sets hold no back references), so every cyclic-GC pass
+        # taken mid-route scans tens of thousands of live objects and
+        # reclaims nothing.  Suspend collection for the bounded routing
+        # phase and restore the collector state afterwards; reference
+        # counting still frees all transients immediately.
+        was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            return self._route_with_artifacts(circuit, counter, tracer)
+        finally:
+            if was_enabled:
+                gc.enable()
+
+    def _route_with_artifacts(
+        self,
+        circuit: Circuit,
+        counter: WorkCounter,
+        tracer: Tracer,
+    ) -> Tuple[RoutingResult, StepArtifacts]:
         cfg = self.config
         fan = FanoutCounter(counter)
         tally = fan.tally
@@ -83,7 +104,7 @@ class GlobalRouter:
                 ncols = max(1, -(-max(work.max_row_width(), 1) // cfg.col_width))
                 grid = CoarseGrid(
                     ncols=ncols, nrows=work.num_rows, col_width=cfg.col_width,
-                    weights=cfg.weights,
+                    weights=cfg.weights, strict=cfg.strict_kernels,
                 )
                 pool = collect_segments(art.trees)
                 art.pool_size = len(pool)

@@ -56,17 +56,18 @@ def optimize_switchable(
     if not candidates and not synced:
         return 0
     flips = 0
+    flip_gain = state.flip_gain
+    flip = state.flip
     for _ in range(max(passes, 0)):
         changed = 0
         order = rng.permutation(len(candidates)) if candidates else np.empty(0, dtype=np.int64)
         for chunk in split_chunks(order, syncs_per_pass if synced else 1):
             if synced:
                 sync()
-            for k in chunk:
-                span = candidates[int(k)]
-                gain = state.flip_gain(span, counter)
-                if gain > 0:
-                    state.flip(span)
+            for k in chunk.tolist():
+                span = candidates[k]
+                if flip_gain(span, counter) > 0:
+                    flip(span)
                     changed += 1
         flips += changed
         if changed == 0 and sync is None:

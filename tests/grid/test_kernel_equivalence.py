@@ -138,12 +138,24 @@ def _random_route(rng: np.random.Generator, ncols: int, nrows: int,
     return RoutedSegment(net=net, vert=vert, horiz=horiz)
 
 
+def _costs_agree(grid: CoarseGrid, ref: ReferenceGrid,
+                 candidate: RoutedSegment) -> bool:
+    """Strict mode must match the reference bit for bit; the fast
+    range-sum kernel may differ by float-summation-order ulps."""
+    got, want = grid.eval_cost(candidate), ref.eval_cost(candidate)
+    if grid.strict:
+        return got == want
+    return got == pytest.approx(want, rel=1e-12, abs=1e-12)
+
+
+@pytest.mark.parametrize("strict", [False, True], ids=["fast", "strict"])
 @pytest.mark.parametrize("seed,row_lo", [(0, 0), (1, 0), (2, 3), (3, 5)])
-def test_grid_matches_per_cell_reference(seed, row_lo):
-    """add/remove/eval/crossings agree with the per-cell reference, bit for bit."""
+def test_grid_matches_per_cell_reference(seed, row_lo, strict):
+    """add/remove/eval/crossings agree with the per-cell reference."""
     rng = np.random.default_rng(seed)
     ncols, nrows = 12, 8
-    grid = CoarseGrid(ncols=ncols, nrows=nrows, col_width=10, row_lo=row_lo)
+    grid = CoarseGrid(ncols=ncols, nrows=nrows, col_width=10, row_lo=row_lo,
+                      strict=strict)
     ref = ReferenceGrid(ncols=ncols, nrows=nrows, row_lo=row_lo)
     added: List[RoutedSegment] = []
     for step in range(300):
@@ -157,7 +169,14 @@ def test_grid_matches_per_cell_reference(seed, row_lo):
             ref.add_route(route)
             added.append(route)
         candidate = _random_route(rng, ncols, nrows, row_lo)
-        assert grid.eval_cost(candidate) == ref.eval_cost(candidate)
+        assert _costs_agree(grid, ref, candidate)
+        # the fused pair evaluation must decide exactly like two
+        # reference evaluations compared with `<` — ties included
+        other = _random_route(rng, ncols, nrows, row_lo)
+        other = RoutedSegment(net=candidate.net, vert=other.vert,
+                              horiz=other.horiz)
+        _cl, _ch, pick_high = grid.eval_both(candidate, other)
+        assert pick_high == (ref.eval_cost(other) < ref.eval_cost(candidate))
         if step % 25 == 0:
             np.testing.assert_array_equal(grid.feed_demand, ref.feed_demand())
             np.testing.assert_array_equal(grid.husage, ref.husage())
@@ -169,12 +188,13 @@ def test_grid_matches_per_cell_reference(seed, row_lo):
     assert grid.total_feed_demand() == int(ref.feed_demand().sum())
 
 
+@pytest.mark.parametrize("strict", [False, True], ids=["fast", "strict"])
 @pytest.mark.parametrize("seed", [0, 1])
-def test_grid_external_congestion_matches_reference(seed):
+def test_grid_external_congestion_matches_reference(seed, strict):
     """eval_cost folds the external snapshot exactly like the reference."""
     rng = np.random.default_rng(seed)
     ncols, nrows = 10, 6
-    grid = CoarseGrid(ncols=ncols, nrows=nrows, col_width=10)
+    grid = CoarseGrid(ncols=ncols, nrows=nrows, col_width=10, strict=strict)
     ref = ReferenceGrid(ncols=ncols, nrows=nrows)
     for _ in range(60):
         route = _random_route(rng, ncols, nrows, 0)
@@ -186,11 +206,11 @@ def test_grid_external_congestion_matches_reference(seed):
     ref.ext_feed, ref.ext_husage = ext_feed, ext_hus
     for _ in range(100):
         candidate = _random_route(rng, ncols, nrows, 0)
-        assert grid.eval_cost(candidate) == ref.eval_cost(candidate)
+        assert _costs_agree(grid, ref, candidate)
     grid.set_external(None, None)
     ref.ext_feed = ref.ext_husage = None
     candidate = _random_route(rng, ncols, nrows, 0)
-    assert grid.eval_cost(candidate) == ref.eval_cost(candidate)
+    assert _costs_agree(grid, ref, candidate)
 
 
 @pytest.mark.parametrize("seed", [0, 1, 2])
