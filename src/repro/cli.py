@@ -222,6 +222,29 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_st)
     p_st.add_argument("--top", type=int, default=5, help="hotspot channels to list")
 
+    from repro.faults.named import NAMED_PLANS
+
+    p_chaos = sub.add_parser(
+        "chaos", help="route under an injected fault plan; print the containment report"
+    )
+    _add_common(p_chaos)
+    p_chaos.add_argument(
+        "--algorithm", default="hybrid", choices=("rowwise", "netwise", "hybrid")
+    )
+    p_chaos.add_argument("--nprocs", type=int, default=4)
+    p_chaos.add_argument(
+        "--plan", default="crash-step3", choices=sorted(NAMED_PLANS),
+        help="named fault plan (default crash-step3)",
+    )
+    p_chaos.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed of the fault plan (same seed = bit-identical schedule)",
+    )
+    p_chaos.add_argument(
+        "--smoke", action="store_true",
+        help="run the CI containment mini-suite (crash, delay replay, salvage)",
+    )
+
     return parser
 
 
@@ -497,6 +520,169 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fired_summary(plan) -> str:
+    """One line per injection stream: ``rank0: 3 event(s) [first...]``."""
+    fired = plan.fired()
+    if not fired:
+        return "injected events: none"
+    lines = ["injected events:"]
+    for who in sorted(fired):
+        events = fired[who]
+        head = ", ".join(events[:4]) + (", ..." if len(events) > 4 else "")
+        lines.append(f"  {who}: {len(events)} event(s)  [{head}]")
+    return "\n".join(lines)
+
+
+def _chaos_spmd(args: argparse.Namespace, plan) -> int:
+    """Route one circuit under ``plan``; print result or containment report."""
+    from repro.exec.engine import DEGRADED_EXIT
+    from repro.mpi.runtime import RankError
+    from repro.parallel.driver import route_parallel
+
+    circuit = mcnc.generate(args.circuit, scale=args.scale, seed=args.seed)
+    machine = MACHINES[args.machine]
+    log.info("circuit: %s", circuit)
+    log.info("plan   : %s (fault seed %d)", args.plan, args.fault_seed)
+    try:
+        run = route_parallel(
+            circuit, algorithm=args.algorithm, nprocs=args.nprocs,
+            machine=machine, config=RouterConfig(seed=args.seed),
+            compute_baseline=False, faults=plan,
+        )
+    except RankError as exc:
+        report = exc.report
+        if report is None:
+            raise
+        print(report.render())
+        print(_fired_summary(plan))
+        return DEGRADED_EXIT
+    print(f"run survived the fault plan: {run.result.summary()}")
+    print(f"modeled time: {run.timing.elapsed:.3f}s")
+    print(_fired_summary(plan))
+    return 0
+
+
+def _chaos_sweep(args: argparse.Namespace, plan) -> int:
+    """Run a two-point salvage sweep under an engine-level fault plan."""
+    import tempfile
+
+    from repro.exec import RunCache, SweepPoint, run_sweep_salvage
+    from repro.faults.plan import CacheIOFault
+
+    config = RouterConfig(seed=args.seed)
+    points = [
+        SweepPoint(
+            circuit=args.circuit, algorithm="serial", scale=args.scale,
+            circuit_seed=args.seed, machine=args.machine, config=config,
+        ),
+        SweepPoint(
+            circuit=args.circuit, algorithm=args.algorithm, nprocs=args.nprocs,
+            scale=args.scale, circuit_seed=args.seed, machine=args.machine,
+            config=config,
+        ),
+    ]
+    with tempfile.TemporaryDirectory(prefix="repro_chaos_") as tmp:
+        cache = None
+        if any(isinstance(f, CacheIOFault) for f in plan.faults):
+            cache = RunCache(tmp, faults=plan)
+        outcome = run_sweep_salvage(
+            points, jobs=1, cache=cache, faults=plan, backoff_s=0.01
+        )
+    print(f"salvage sweep: {outcome.summary()}")
+    for rec in outcome.records:
+        print(
+            f"  ok   : {rec.circuit} {rec.algorithm} p={rec.nprocs} "
+            f"(attempt(s)={rec.attempts})"
+        )
+    for failure in outcome.failures:
+        print(f"  lost : {failure.describe()}")
+    print(_fired_summary(plan))
+    return outcome.exit_code
+
+
+def _chaos_smoke(args: argparse.Namespace) -> int:
+    """CI mini-suite: crash containment, delay replay, retry salvage."""
+    from repro.exec import SweepPoint, run_sweep_salvage
+    from repro.faults import FaultPlan, PointFault, make_plan
+    from repro.mpi.runtime import RankError
+    from repro.parallel.driver import route_parallel
+
+    machine = MACHINES[args.machine]
+    config = RouterConfig(seed=args.seed)
+    circuit = mcnc.generate(args.circuit, scale=args.scale, seed=args.seed)
+
+    def spmd(plan):
+        return route_parallel(
+            circuit, algorithm=args.algorithm, nprocs=args.nprocs,
+            machine=machine, config=config, compute_baseline=False, faults=plan,
+        )
+
+    # 1. a mid-step crash is contained and fully attributed
+    plan = make_plan("crash-step3", args.nprocs, args.fault_seed)
+    try:
+        spmd(plan)
+    except RankError as exc:
+        report = exc.report
+        if report is None or not report.injected:
+            print("FAIL: crash report missing or not marked injected")
+            return 1
+        if len(report.ranks) != args.nprocs:
+            print("FAIL: containment report does not cover every rank")
+            return 1
+    else:
+        print("FAIL: injected crash did not surface as RankError")
+        return 1
+    print(f"ok: crash contained (origin rank {report.failed_rank}, {report.step})")
+
+    # 2. the same seeded delay plan replays bit-identically
+    runs = []
+    for _ in range(2):
+        plan = make_plan("message-delay", args.nprocs, args.fault_seed)
+        run = spmd(plan)
+        runs.append((plan.fired(), run.result.total_tracks, run.timing.elapsed))
+    if runs[0] != runs[1]:
+        print("FAIL: seeded delay plan did not replay identically")
+        return 1
+    print(f"ok: delay plan replayed bit-identically ({runs[0][1]} tracks)")
+
+    # 3. a transiently failing point is retried and salvaged
+    plan = FaultPlan(args.fault_seed, (PointFault(match="", fail_times=1),))
+    point = SweepPoint(
+        circuit=args.circuit, algorithm="serial", scale=args.scale,
+        circuit_seed=args.seed, machine=args.machine, config=config,
+    )
+    outcome = run_sweep_salvage([point], jobs=1, faults=plan, backoff_s=0.01)
+    if not outcome.ok or outcome.retries < 1:
+        print(f"FAIL: salvage did not retry/recover ({outcome.summary()})")
+        return 1
+    if outcome.records[0].attempts != 2:
+        print("FAIL: salvaged record does not carry its attempt count")
+        return 1
+    print(f"ok: transient point retried and salvaged ({outcome.summary()})")
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Route under a named fault plan and print the containment report.
+
+    Exit codes: 0 when the run survived, ``DEGRADED_EXIT`` (3) when a
+    failure was contained, 1 only for harness-level errors.
+    """
+    from repro.faults import make_plan
+    from repro.faults.plan import CacheIOFault, PointFault
+
+    if args.smoke:
+        return _chaos_smoke(args)
+    plan = make_plan(args.plan, args.nprocs, args.fault_seed)
+    engine_level = any(
+        isinstance(f, (CacheIOFault, PointFault))
+        for f in getattr(plan, "faults", ())
+    )
+    if engine_level:
+        return _chaos_sweep(args, plan)
+    return _chaos_spmd(args, plan)
+
+
 COMMANDS = {
     "circuits": cmd_circuits,
     "route": cmd_route,
@@ -506,6 +692,7 @@ COMMANDS = {
     "trace": cmd_trace,
     "profile": cmd_profile,
     "stats": cmd_stats,
+    "chaos": cmd_chaos,
 }
 
 

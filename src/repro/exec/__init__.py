@@ -25,16 +25,29 @@ produce bit-identical quality metrics and modeled times —
 """
 
 from repro.exec.cache import CODE_SALT, RunCache, cache_key
-from repro.exec.engine import SweepPoint, execute_point, resolve_jobs, run_sweep
+from repro.exec.engine import (
+    DEGRADED_EXIT,
+    PointFailure,
+    SweepOutcome,
+    SweepPoint,
+    execute_point,
+    resolve_jobs,
+    run_sweep,
+    run_sweep_salvage,
+)
 from repro.exec.record import RunRecord
 
 __all__ = [
     "CODE_SALT",
+    "DEGRADED_EXIT",
+    "PointFailure",
     "RunCache",
     "RunRecord",
+    "SweepOutcome",
     "SweepPoint",
     "cache_key",
     "execute_point",
     "resolve_jobs",
     "run_sweep",
+    "run_sweep_salvage",
 ]

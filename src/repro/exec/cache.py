@@ -56,15 +56,30 @@ def cache_key(spec: Dict[str, Any], salt: str = CODE_SALT) -> str:
 
 
 class RunCache:
-    """A directory of ``<key>.json`` run records with hit/miss counters."""
+    """A directory of ``<key>.json`` run records with hit/miss counters.
 
-    def __init__(self, root: Union[str, Path, None] = None) -> None:
+    ``faults`` accepts a :class:`~repro.faults.plan.FaultPlan`; its
+    ``on_cache`` hook runs inside :meth:`get` (an injected ``OSError``
+    is indistinguishable from a corrupt file: a miss) and at the top of
+    :meth:`put` (the error propagates, as a real full-disk write would).
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path, None] = None,
+        faults: Optional[Any] = None,
+    ) -> None:
         if root is None:
             root = os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        if faults is None:
+            from repro.faults.plan import NULL_FAULT_PLAN
+
+            faults = NULL_FAULT_PLAN
+        self._faults = faults
         # what persist_stats() has already folded into the sidecar, so
         # repeated persists never double-count this instance's tallies
         self._flushed = (0, 0, 0)
@@ -79,6 +94,7 @@ class RunCache:
 
         path = self.path_for(key)
         try:
+            self._faults.on_cache("get")
             payload = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, ValueError):
             self.misses += 1
@@ -96,6 +112,7 @@ class RunCache:
         """
         from repro.obs.metrics import REGISTRY
 
+        self._faults.on_cache("put")
         self.root.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:

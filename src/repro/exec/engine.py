@@ -23,6 +23,7 @@ results never depend on how they were scheduled.
 from __future__ import annotations
 
 import dataclasses
+import logging
 import os
 import time
 from dataclasses import dataclass, field, replace
@@ -39,6 +40,13 @@ from repro.twgr.result import RoutingResult
 
 #: environment override for the default worker count
 JOBS_ENV = "REPRO_JOBS"
+
+#: process exit status for a sweep that completed but lost points —
+#: distinct from success (0) and from hard failure (1) so callers can
+#: script around partial results
+DEGRADED_EXIT = 3
+
+log = logging.getLogger("repro.exec")
 
 
 @dataclass(frozen=True, slots=True)
@@ -219,23 +227,44 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
 
 
 def _map_tasks(
-    tasks: Sequence[Tuple[SweepPoint, Optional[Dict[str, Any]]]], jobs: int
-) -> List[Dict[str, Any]]:
+    tasks: Sequence[Tuple[SweepPoint, Optional[Dict[str, Any]]]],
+    jobs: int,
+    worker: Any = None,
+) -> List[Any]:
     """Run tasks across the pool (or inline), preserving order.
 
-    Falls back to in-process execution when the pool cannot be created
-    or dies — the worker is a pure function, so rerunning inline yields
-    the identical records.
+    Falls back to in-process execution only for *pool* failures — the
+    pool cannot be created (sandboxed host, fork limits) or dies mid-map
+    (``BrokenProcessPool``, ``OSError``).  The worker is a pure function,
+    so rerunning inline yields the identical records.  A deterministic
+    exception raised *by the worker* is a result, not a pool failure: it
+    propagates to the caller instead of silently rerunning the whole
+    batch inline (which used to mask the error until the inline rerun hit
+    it again — or worse, hid genuine nondeterminism).
     """
+    worker = worker or _worker
     if jobs <= 1 or len(tasks) <= 1:
-        return [_worker(t) for t in tasks]
+        return [worker(t) for t in tasks]
     try:
         from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
 
-        with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
-            return list(pool.map(_worker, tasks))
-    except Exception:
-        return [_worker(t) for t in tasks]
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(tasks)))
+    except (ImportError, OSError, PermissionError, RuntimeError, ValueError) as exc:
+        log.warning(
+            "process pool unavailable (%s: %s); running %d task(s) inline",
+            type(exc).__name__, exc, len(tasks),
+        )
+        return [worker(t) for t in tasks]
+    try:
+        with pool:
+            return list(pool.map(worker, tasks))
+    except (BrokenProcessPool, OSError) as exc:
+        log.warning(
+            "process pool died (%s: %s); rerunning %d task(s) inline",
+            type(exc).__name__, exc, len(tasks),
+        )
+        return [worker(t) for t in tasks]
 
 
 def execute_point(
@@ -341,3 +370,272 @@ def run_sweep(
     if cache is not None:
         cache.persist_stats()
     return [r for r in records if r is not None]
+
+
+# -- failure-containing execution ---------------------------------------
+
+
+def _safe_worker(
+    task: Tuple[SweepPoint, Optional[Dict[str, Any]]],
+) -> Tuple[str, Any, str]:
+    """Pool entry point that converts exceptions into values.
+
+    Returns ``("ok", record_dict, "")`` or ``("err", error_type_name,
+    message)`` — so one failing point never tears down the batch, and
+    the parent can decide per point whether to retry or salvage.
+    """
+    try:
+        return ("ok", _worker(task), "")
+    except BaseException as exc:  # contained: reported per point
+        return ("err", type(exc).__name__, str(exc))
+
+
+@dataclass(slots=True)
+class PointFailure:
+    """One sweep point that still failed after every allowed retry."""
+
+    point: SweepPoint
+    error_type: str
+    message: str
+    attempts: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.point.describe()}: {self.error_type}: {self.message} "
+            f"(after {self.attempts} attempt{'s' if self.attempts != 1 else ''})"
+        )
+
+
+@dataclass(slots=True)
+class SweepOutcome:
+    """What :func:`run_sweep_salvage` produced: survivors plus a ledger.
+
+    ``records`` holds every point that succeeded (in input order);
+    ``failures`` every point that exhausted its retries.  ``exit_code``
+    maps that to a process status: 0 when clean, :data:`DEGRADED_EXIT`
+    when results were salvaged around failures.
+    """
+
+    records: List[RunRecord]
+    failures: List[PointFailure]
+    retries: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if not self.failures else DEGRADED_EXIT
+
+    def summary(self) -> str:
+        parts = [
+            f"{len(self.records)} point(s) completed",
+            f"{len(self.failures)} failed",
+        ]
+        if self.retries:
+            parts.append(f"{self.retries} retr{'ies' if self.retries != 1 else 'y'}")
+        return ", ".join(parts)
+
+
+def _salvage_attempt(
+    point: SweepPoint,
+    baseline_dict: Optional[Dict[str, Any]],
+    attempt: int,
+    faults: Any,
+) -> Tuple[str, Any, str]:
+    """One inline attempt at one point, behind the parent-side fault gate.
+
+    ``faults.on_point`` runs in the parent (process-pool workers never
+    see the plan object), so injected point failures are deterministic
+    regardless of how the work is scheduled.
+    """
+    from repro.faults.plan import InjectedFault
+
+    try:
+        faults.on_point(point.describe(), attempt)
+    except InjectedFault as exc:
+        return ("err", "InjectedFault", str(exc))
+    return _safe_worker((point, baseline_dict))
+
+
+def run_sweep_salvage(
+    points: Sequence[SweepPoint],
+    jobs: Optional[int] = None,
+    cache: Optional[RunCache] = None,
+    faults: Optional[Any] = None,
+    max_retries: int = 2,
+    backoff_s: float = 0.05,
+) -> SweepOutcome:
+    """Execute a batch of points, containing per-point failures.
+
+    Unlike :func:`run_sweep` — which lets the first worker exception
+    abort the whole batch — this variant retries each failed point up to
+    ``max_retries`` more times (exponential backoff starting at
+    ``backoff_s`` host-seconds) and then salvages everything else: the
+    returned :class:`SweepOutcome` carries all surviving records plus a
+    :class:`PointFailure` ledger, and ``outcome.exit_code`` is
+    :data:`DEGRADED_EXIT` when anything was lost.
+
+    ``faults`` accepts a :class:`~repro.faults.plan.FaultPlan` whose
+    ``on_point``/``on_cache`` hooks inject deterministic transient
+    failures (consulted parent-side, so determinism survives process
+    pools).  Cache write errors are contained and counted
+    (``cache.put_errors``), never fatal — a record that could not be
+    cached is still a record.
+    """
+    from repro.faults.plan import NULL_FAULT_PLAN
+    from repro.obs.metrics import REGISTRY
+
+    if faults is None:
+        faults = NULL_FAULT_PLAN
+    if max_retries < 0:
+        raise ValueError("max_retries must be >= 0")
+    points = list(points)
+    for p in points:
+        p.validate()
+    njobs = resolve_jobs(jobs)
+    keys = [p.key() for p in points]
+    records: List[Optional[RunRecord]] = [None] * len(points)
+    failures: Dict[int, PointFailure] = {}
+    retries = 0
+
+    def _contained_put(key: str, payload: Dict[str, Any]) -> None:
+        if cache is None:
+            return
+        try:
+            cache.put(key, payload)
+        except OSError as exc:
+            REGISTRY.counter("cache.put_errors").inc()
+            log.warning("cache write failed for %s (%s); continuing", key, exc)
+
+    def _run_with_retries(
+        i: int, point: SweepPoint, baseline_dict: Optional[Dict[str, Any]],
+        first: Optional[Tuple[str, Any, str]] = None,
+    ) -> Optional[Dict[str, Any]]:
+        """Drive one point to success or a PointFailure; returns its dict."""
+        nonlocal retries
+        attempt = 1
+        out = first if first is not None else _salvage_attempt(
+            point, baseline_dict, attempt, faults
+        )
+        while out[0] == "err" and attempt <= max_retries:
+            attempt += 1
+            retries += 1
+            REGISTRY.counter("engine.retries").inc()
+            time.sleep(backoff_s * (2 ** (attempt - 2)))
+            out = _salvage_attempt(point, baseline_dict, attempt, faults)
+        if out[0] == "err":
+            failures[i] = PointFailure(
+                point=point, error_type=out[1], message=out[2], attempts=attempt
+            )
+            REGISTRY.counter("engine.failed_points").inc()
+            log.warning("point lost: %s", failures[i].describe())
+            return None
+        payload = out[1]
+        if attempt > 1:
+            payload = dict(payload)
+            payload["attempts"] = attempt
+        return payload
+
+    if cache is not None:
+        for i, key in enumerate(keys):
+            payload = cache.get(key)
+            if payload is not None:
+                records[i] = RunRecord.from_dict(payload, cached=True)
+    todo = [i for i, r in enumerate(records) if r is None]
+
+    # -- phase 1: distinct serial baselines (shared, so a lost baseline
+    #    fails every point that scales against it) ----------------------
+    base_points: Dict[str, SweepPoint] = {}
+    for i in todo:
+        p = points[i]
+        bp = p if p.algorithm == "serial" else p.baseline_point()
+        base_points.setdefault(bp.key(), bp)
+    base_records: Dict[str, RunRecord] = {}
+    base_failed: Dict[str, str] = {}
+    missing: List[Tuple[str, SweepPoint]] = []
+    for bkey, bp in base_points.items():
+        payload = cache.get(bkey) if cache is not None else None
+        if payload is not None:
+            base_records[bkey] = RunRecord.from_dict(payload, cached=True)
+        else:
+            missing.append((bkey, bp))
+    for bkey, bp in missing:
+        payload = _run_with_retries(-1, bp, None)
+        if payload is None:
+            lost = failures.pop(-1)
+            base_failed[bkey] = (
+                f"serial baseline failed: {lost.error_type}: {lost.message}"
+            )
+            continue
+        base_records[bkey] = RunRecord.from_dict(payload)
+        _contained_put(bkey, payload)
+
+    # -- phase 2: the remaining points ----------------------------------
+    tasks: List[Tuple[SweepPoint, Optional[Dict[str, Any]]]] = []
+    task_slots: List[int] = []
+    for i in todo:
+        p = points[i]
+        bkey = p.key() if p.algorithm == "serial" else p.baseline_point().key()
+        if p.algorithm == "serial":
+            if bkey in base_records:
+                records[i] = base_records[bkey]
+            else:
+                failures[i] = PointFailure(
+                    point=p, error_type="BaselineFailure",
+                    message=base_failed.get(bkey, "serial baseline failed"),
+                    attempts=max_retries + 1,
+                )
+                REGISTRY.counter("engine.failed_points").inc()
+            continue
+        if bkey not in base_records:
+            failures[i] = PointFailure(
+                point=p, error_type="BaselineFailure",
+                message=base_failed.get(bkey, "serial baseline failed"),
+                attempts=max_retries + 1,
+            )
+            REGISTRY.counter("engine.failed_points").inc()
+            continue
+        tasks.append((p, base_records[bkey].result))
+        task_slots.append(i)
+
+    if tasks:
+        # first attempts fan out across the pool; the parent-side fault
+        # gate pulls injected failures out of the batch beforehand
+        gated: List[Optional[Tuple[str, Any, str]]] = [None] * len(tasks)
+        pooled: List[Tuple[SweepPoint, Optional[Dict[str, Any]]]] = []
+        pooled_slots: List[int] = []
+        from repro.faults.plan import InjectedFault
+
+        for j, (p, bdict) in enumerate(tasks):
+            try:
+                faults.on_point(p.describe(), 1)
+            except InjectedFault as exc:
+                gated[j] = ("err", "InjectedFault", str(exc))
+                continue
+            pooled.append((p, bdict))
+            pooled_slots.append(j)
+        if pooled:
+            outputs = _map_tasks(pooled, njobs, worker=_safe_worker)
+            for j, out in zip(pooled_slots, outputs):
+                gated[j] = out
+        for j, first in enumerate(gated):
+            i = task_slots[j]
+            p, bdict = tasks[j]
+            payload = _run_with_retries(i, p, bdict, first=first)
+            if payload is None:
+                continue
+            records[i] = RunRecord.from_dict(payload)
+            _contained_put(keys[i], payload)
+
+    if cache is not None:
+        cache.persist_stats()
+    survivors = [r for r in records if r is not None]
+    if failures:
+        REGISTRY.counter("engine.degraded_sweeps").inc()
+    return SweepOutcome(
+        records=survivors,
+        failures=[failures[i] for i in sorted(failures)],
+        retries=retries,
+    )

@@ -56,6 +56,10 @@ class RunRecord:
     cached: bool = False
     #: host wall seconds spent computing (0.0 for cache hits)
     host_seconds: float = 0.0
+    #: how many execution attempts this record took (salvage runs retry
+    #: transiently failing points; 1 everywhere else, including records
+    #: predating the field)
+    attempts: int = 1
 
     # -- reconstruction -------------------------------------------------
     def routing_result(self) -> RoutingResult:
@@ -123,6 +127,7 @@ class RunRecord:
             "profile": self.profile,
             "key": self.key,
             "host_seconds": self.host_seconds,
+            "attempts": self.attempts,
         }
 
     @classmethod
@@ -144,6 +149,7 @@ class RunRecord:
             key=data.get("key", ""),
             cached=cached,
             host_seconds=0.0 if cached else data.get("host_seconds", 0.0),
+            attempts=int(data.get("attempts", 1)),
         )
 
 

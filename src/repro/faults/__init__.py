@@ -1,0 +1,56 @@
+"""Fault injection and failure containment.
+
+The paper's Table 5 contains literal "timeout" cells — parallel runs
+that died on the Paragon.  This package gives the reproduction the
+discipline to study such failures on purpose:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`, a seeded, fully
+  deterministic schedule of injected faults (rank crashes at step
+  boundaries, message delay/reorder within tag-legal bounds, slow-rank
+  clock perturbation, transient cache I/O errors, transiently failing
+  sweep points).  :data:`NULL_FAULT_PLAN` is the identity off-switch.
+* :mod:`repro.faults.report` — :class:`RunFailure`, the structured
+  post-mortem :func:`~repro.mpi.runtime.run_spmd` attaches to the
+  :class:`~repro.mpi.runtime.RankError` it raises.
+* :mod:`repro.faults.named` — the named plans behind ``repro chaos``.
+
+Containment contract: with :data:`NULL_FAULT_PLAN` every hook is a
+no-op and all routed metrics are bit-identical to a build without this
+package; with a seeded plan, two runs produce identical fault
+schedules, identical reports, and identical surviving results
+(``tests/faults/`` enforces both).
+"""
+
+from repro.faults.named import NAMED_PLANS, make_plan
+from repro.faults.plan import (
+    ALL_RANKS,
+    CacheIOFault,
+    CrashFault,
+    FaultPlan,
+    InjectedFault,
+    MessageDelayFault,
+    NULL_FAULT_PLAN,
+    NullFaultPlan,
+    PointFault,
+    ReorderFault,
+    SlowRankFault,
+)
+from repro.faults.report import RankFailure, RunFailure
+
+__all__ = [
+    "ALL_RANKS",
+    "CacheIOFault",
+    "CrashFault",
+    "FaultPlan",
+    "InjectedFault",
+    "MessageDelayFault",
+    "NAMED_PLANS",
+    "NULL_FAULT_PLAN",
+    "NullFaultPlan",
+    "PointFault",
+    "RankFailure",
+    "ReorderFault",
+    "RunFailure",
+    "SlowRankFault",
+    "make_plan",
+]

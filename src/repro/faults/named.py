@@ -1,0 +1,100 @@
+"""Named fault plans for the ``repro chaos`` CLI.
+
+Each entry is a factory ``(nprocs, seed) -> FaultPlan`` so the same
+plan name scales to any rank count while staying fully seeded: which
+rank crashes (or runs slow) is ``seed % nprocs``, delay magnitudes come
+from the plan's seeded streams, and two invocations with the same seed
+replay bit-identically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.faults.plan import (
+    CacheIOFault,
+    CrashFault,
+    FaultPlan,
+    MessageDelayFault,
+    NullFaultPlan,
+    PointFault,
+    ReorderFault,
+    SlowRankFault,
+)
+
+PlanFactory = Callable[[int, int], object]
+
+
+def _none(nprocs: int, seed: int) -> NullFaultPlan:
+    return NullFaultPlan()
+
+
+def _crash_startup(nprocs: int, seed: int) -> FaultPlan:
+    # the runtime's own "rank" span opens before the program body runs
+    return FaultPlan(seed, (CrashFault(rank=seed % nprocs, step="rank"),))
+
+
+def _crash_step(step: str) -> PlanFactory:
+    def make(nprocs: int, seed: int) -> FaultPlan:
+        return FaultPlan(seed, (CrashFault(rank=seed % nprocs, step=step),))
+
+    return make
+
+
+def _message_delay(nprocs: int, seed: int) -> FaultPlan:
+    return FaultPlan(seed, (MessageDelayFault(every=4, max_delay_s=0.005),))
+
+
+def _reorder(nprocs: int, seed: int) -> FaultPlan:
+    return FaultPlan(seed, (ReorderFault(every=5, hold=3),))
+
+
+def _slow_rank(nprocs: int, seed: int) -> FaultPlan:
+    return FaultPlan(seed, (SlowRankFault(rank=seed % nprocs, factor=4.0),))
+
+
+def _flaky_cache(nprocs: int, seed: int) -> FaultPlan:
+    return FaultPlan(seed, (CacheIOFault(op="both", fail_times=3),))
+
+
+def _flaky_point(nprocs: int, seed: int) -> FaultPlan:
+    # matches every point label; engine retries make it transient
+    return FaultPlan(seed, (PointFault(match="", fail_times=1),))
+
+
+def _mixed(nprocs: int, seed: int) -> FaultPlan:
+    return FaultPlan(
+        seed,
+        (
+            MessageDelayFault(every=6, max_delay_s=0.003),
+            ReorderFault(every=9, hold=2),
+            SlowRankFault(rank=seed % nprocs, factor=2.0),
+        ),
+    )
+
+
+#: name -> factory(nprocs, seed); ``repro chaos --plan <name>``
+NAMED_PLANS: Dict[str, PlanFactory] = {
+    "none": _none,
+    "crash-startup": _crash_startup,
+    "crash-step1": _crash_step("step1_steiner"),
+    "crash-step3": _crash_step("step3_feedthrough"),
+    "crash-step5": _crash_step("step5_switch"),
+    "message-delay": _message_delay,
+    "reorder": _reorder,
+    "slow-rank": _slow_rank,
+    "flaky-cache": _flaky_cache,
+    "flaky-point": _flaky_point,
+    "mixed": _mixed,
+}
+
+
+def make_plan(name: str, nprocs: int, seed: int):
+    """Instantiate the named plan for a run of ``nprocs`` ranks."""
+    try:
+        factory = NAMED_PLANS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault plan {name!r}; choose from {sorted(NAMED_PLANS)}"
+        ) from None
+    return factory(nprocs, seed)

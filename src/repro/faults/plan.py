@@ -1,0 +1,349 @@
+"""Seeded, deterministic fault plans.
+
+A :class:`FaultPlan` is the single source of injected failure in this
+repository: the SPMD runtime, the communicator, the run cache, and the
+sweep engine all consult it through narrow hooks, and the default
+:class:`NullFaultPlan` makes every hook an identity so fault-free runs
+pay (and change) nothing — the same off-switch discipline as
+:class:`~repro.obs.tracer.NullTracer`.
+
+Determinism contract: every injection decision for rank *r* is a pure
+function of ``(seed, r, r's own event index)``.  Each rank consumes its
+own seeded RNG stream in program order, so two runs of the same plan
+produce identical per-rank fault schedules regardless of thread
+scheduling.  Decisions keyed on cross-rank arrival order (which *is*
+scheduling-dependent) are deliberately avoided — message holds, for
+example, are chosen from the sender's stream, not the receiver's.
+
+Fault kinds
+-----------
+* :class:`CrashFault` — a rank raises :class:`InjectedFault` on entering
+  a named step span (the Paragon "timeout" rows of Table 5 died exactly
+  like this: one node, mid-step).
+* :class:`MessageDelayFault` — every Nth send from a rank charges extra
+  modeled seconds, so the matching receive completes later on the
+  logical clock (a slow link).
+* :class:`ReorderFault` — every Nth message from a rank is held in the
+  mailbox and released late, within tag-legal bounds: per-``(src, tag)``
+  FIFO order is never violated, matching MPI's non-overtaking rule.
+* :class:`SlowRankFault` — one rank's logical clock runs slow (compute
+  charges are multiplied), modeling a straggler node.
+* :class:`CacheIOFault` — the first N run-cache reads/writes raise
+  ``OSError``, modeling a flaky filesystem.
+* :class:`PointFault` — a sweep point fails its first N attempts with
+  :class:`InjectedFault`, exercising the engine's retry/salvage path.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+class InjectedFault(RuntimeError):
+    """A failure raised on purpose by a :class:`FaultPlan`."""
+
+    def __init__(self, message: str, rank: Optional[int] = None,
+                 step: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.rank = rank
+        self.step = step
+
+
+#: sentinel meaning "applies to every rank"
+ALL_RANKS = -1
+
+
+@dataclass(frozen=True, slots=True)
+class CrashFault:
+    """Rank ``rank`` raises on entering the span named ``step``.
+
+    ``step`` is any span name the rank program opens (``step1_steiner``
+    … ``step5_switch``); the runtime's own ``"rank"`` span crashes the
+    rank before it executes anything.
+    """
+
+    rank: int
+    step: str = "step3_feedthrough"
+
+
+@dataclass(frozen=True, slots=True)
+class MessageDelayFault:
+    """Every ``every``-th send from ``rank`` is delayed on the clock.
+
+    The delay is drawn uniformly from ``(0, max_delay_s]`` using the
+    sender's seeded stream, charged as communication time before the
+    message is stamped — receivers idle correspondingly longer.
+    """
+
+    rank: int = ALL_RANKS
+    every: int = 5
+    max_delay_s: float = 0.002
+
+
+@dataclass(frozen=True, slots=True)
+class ReorderFault:
+    """Every ``every``-th message from ``rank`` is held back.
+
+    A held message is released after ``hold`` further deliveries to its
+    destination, when a later message with the same ``(src, tag)``
+    arrives (non-overtaking), or when its receiver asks for it —
+    reordering can therefore never manufacture a deadlock.
+    """
+
+    rank: int = ALL_RANKS
+    every: int = 7
+    hold: int = 2
+
+
+@dataclass(frozen=True, slots=True)
+class SlowRankFault:
+    """Rank ``rank``'s compute charges run ``factor``× slower."""
+
+    rank: int
+    factor: float = 4.0
+
+
+@dataclass(frozen=True, slots=True)
+class CacheIOFault:
+    """The first ``fail_times`` cache ``op``s raise ``OSError``.
+
+    ``op`` is ``"get"``, ``"put"``, or ``"both"``.  Transient by
+    construction: once the budget is spent the cache behaves normally.
+    """
+
+    op: str = "both"
+    fail_times: int = 2
+
+
+@dataclass(frozen=True, slots=True)
+class PointFault:
+    """A sweep point whose label contains ``match`` fails its first
+    ``fail_times`` attempts."""
+
+    match: str
+    fail_times: int = 1
+
+
+_FAULT_KINDS = (
+    CrashFault, MessageDelayFault, ReorderFault, SlowRankFault,
+    CacheIOFault, PointFault,
+)
+
+
+class _RankStream:
+    """One rank's deterministic injection state (single-writer)."""
+
+    __slots__ = ("rng", "send_seq", "fired")
+
+    def __init__(self, seed: int, rank: int) -> None:
+        self.rng = random.Random(f"{seed}:{rank}:faults")
+        self.send_seq = 0
+        self.fired: List[str] = []
+
+
+class FaultPlan:
+    """A seeded schedule of injected faults.
+
+    One plan drives one run at a time: :meth:`begin_run` (called by
+    :func:`~repro.mpi.runtime.run_spmd` and the chaos CLI) resets the
+    per-run streams, so replaying the same plan object is bit-identical
+    to a fresh plan with the same seed and faults.
+    """
+
+    def __init__(self, seed: int = 0, faults: Sequence[Any] = ()) -> None:
+        for f in faults:
+            if not isinstance(f, _FAULT_KINDS):
+                raise TypeError(f"not a fault spec: {f!r}")
+        self.seed = seed
+        self.faults: Tuple[Any, ...] = tuple(faults)
+        self._crash = [f for f in self.faults if isinstance(f, CrashFault)]
+        self._delay = [f for f in self.faults if isinstance(f, MessageDelayFault)]
+        self._reorder = [f for f in self.faults if isinstance(f, ReorderFault)]
+        self._slow = [f for f in self.faults if isinstance(f, SlowRankFault)]
+        self._cache = [f for f in self.faults if isinstance(f, CacheIOFault)]
+        self._point = [f for f in self.faults if isinstance(f, PointFault)]
+        self._streams: List[_RankStream] = []
+        self._cache_lock = threading.Lock()
+        self._cache_seq: Dict[str, int] = {"get": 0, "put": 0}
+        self._cache_fired: List[str] = []
+        self._point_fired: List[str] = []
+        self.begin_run(0)
+
+    # -- lifecycle -----------------------------------------------------
+    def begin_run(self, nprocs: int) -> None:
+        """Reset per-run state for a run of ``nprocs`` ranks."""
+        self._streams = [_RankStream(self.seed, r) for r in range(nprocs)]
+        self._cache_seq = {"get": 0, "put": 0}
+        self._cache_fired = []
+        self._point_fired = []
+
+    def _stream(self, rank: int) -> _RankStream:
+        # ranks outside the declared run (e.g. cache-only use) get
+        # streams lazily so hooks never fail on size mismatches
+        while rank >= len(self._streams):
+            self._streams.append(_RankStream(self.seed, len(self._streams)))
+        return self._streams[rank]
+
+    @staticmethod
+    def _counter(name: str):
+        from repro.obs.metrics import REGISTRY
+
+        return REGISTRY.counter(name)
+
+    # -- runtime hooks -------------------------------------------------
+    def on_step(self, rank: int, step: str) -> None:
+        """Called by the runtime when ``rank`` enters span ``step``."""
+        for f in self._crash:
+            if f.rank == rank and f.step == step:
+                self._stream(rank).fired.append(f"crash@{step}")
+                self._counter("faults.crash").inc()
+                raise InjectedFault(
+                    f"injected crash: rank {rank} at {step}", rank=rank, step=step
+                )
+
+    def send_delay(self, rank: int, dest: int, tag: int, nbytes: int) -> float:
+        """Extra modeled seconds charged to ``rank`` for this send."""
+        stream = self._stream(rank)
+        stream.send_seq += 1
+        extra = 0.0
+        for f in self._delay:
+            if f.rank in (rank, ALL_RANKS) and stream.send_seq % f.every == 0:
+                delay = stream.rng.uniform(0.0, f.max_delay_s)
+                stream.fired.append(f"delay#{stream.send_seq}={delay:.6f}")
+                self._counter("faults.delay").inc()
+                extra += delay
+        return extra
+
+    def deliver_hold(self, src: int, dest: int, tag: int) -> int:
+        """Deliveries to hold this message for (0 = deliver normally).
+
+        Keyed on the *sender's* event stream (``send_delay`` advanced it
+        just before delivery), so the schedule is scheduling-independent.
+        """
+        stream = self._stream(src)
+        for f in self._reorder:
+            if f.rank in (src, ALL_RANKS) and stream.send_seq % f.every == 0:
+                stream.fired.append(f"hold#{stream.send_seq}x{f.hold}")
+                self._counter("faults.reorder").inc()
+                return f.hold
+        return 0
+
+    def compute_factor(self, rank: int) -> float:
+        """Slowdown multiplier for ``rank``'s logical clock (1.0 = none)."""
+        factor = 1.0
+        for f in self._slow:
+            if f.rank in (rank, ALL_RANKS):
+                factor *= f.factor
+        if factor != 1.0:
+            self._stream(rank).fired.append(f"slow x{factor:g}")
+            self._counter("faults.slow_rank").inc()
+        return factor
+
+    # -- cache / engine hooks -------------------------------------------
+    def on_cache(self, op: str) -> None:
+        """Called by :class:`~repro.exec.cache.RunCache` before I/O."""
+        if not self._cache:
+            return
+        with self._cache_lock:
+            self._cache_seq[op] = self._cache_seq.get(op, 0) + 1
+            for f in self._cache:
+                if f.op not in (op, "both"):
+                    continue
+                spent = sum(
+                    1 for e in self._cache_fired
+                    if f.op == "both" or e.startswith(op)
+                )
+                if spent < f.fail_times:
+                    self._cache_fired.append(f"{op}#{self._cache_seq[op]}")
+                    self._counter("faults.cache_io").inc()
+                    raise OSError(f"injected cache {op} error ({spent + 1}/{f.fail_times})")
+
+    def on_point(self, label: str, attempt: int) -> None:
+        """Called by the sweep engine before attempt ``attempt`` (1-based)."""
+        for f in self._point:
+            if f.match in label and attempt <= f.fail_times:
+                self._point_fired.append(f"{label}@attempt{attempt}")
+                self._counter("faults.point").inc()
+                raise InjectedFault(
+                    f"injected point failure: {label} "
+                    f"(attempt {attempt}/{f.fail_times})"
+                )
+
+    # -- introspection --------------------------------------------------
+    def fired(self) -> Dict[str, List[str]]:
+        """Per-rank (plus ``"cache"``) injection logs.
+
+        Each rank's list is in that rank's program order, so two runs of
+        the same seeded plan produce equal dicts — the replay test's
+        definition of "identical fault schedules".
+        """
+        out: Dict[str, List[str]] = {
+            f"rank{r}": list(s.fired)
+            for r, s in enumerate(self._streams) if s.fired
+        }
+        if self._cache_fired:
+            out["cache"] = list(self._cache_fired)
+        if self._point_fired:
+            out["engine"] = list(self._point_fired)
+        return out
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-safe description of the plan (seed + fault specs)."""
+        return {
+            "seed": self.seed,
+            "faults": [
+                {"kind": type(f).__name__, **asdict(f)} for f in self.faults
+            ],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kinds = ", ".join(type(f).__name__ for f in self.faults) or "empty"
+        return f"FaultPlan(seed={self.seed}, {kinds})"
+
+
+class NullFaultPlan:
+    """Injects nothing; the identity off-switch (cf. ``NullTracer``)."""
+
+    __slots__ = ()
+
+    seed = None
+    faults: Tuple[Any, ...] = ()
+
+    def begin_run(self, nprocs: int) -> None:
+        """No-op."""
+
+    def on_step(self, rank: int, step: str) -> None:
+        """No-op."""
+
+    def send_delay(self, rank: int, dest: int, tag: int, nbytes: int) -> float:
+        """No delay."""
+        return 0.0
+
+    def deliver_hold(self, src: int, dest: int, tag: int) -> int:
+        """Never hold."""
+        return 0
+
+    def compute_factor(self, rank: int) -> float:
+        """No slowdown."""
+        return 1.0
+
+    def on_cache(self, op: str) -> None:
+        """No-op."""
+
+    def on_point(self, label: str, attempt: int) -> None:
+        """No-op."""
+
+    def fired(self) -> Dict[str, List[str]]:
+        """Nothing ever fires."""
+        return {}
+
+    def describe(self) -> Dict[str, Any]:
+        """The empty plan."""
+        return {"seed": None, "faults": []}
+
+
+#: Shared no-op plan (the default everywhere).
+NULL_FAULT_PLAN = NullFaultPlan()

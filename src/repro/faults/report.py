@@ -1,0 +1,113 @@
+"""Structured failure-containment reports for SPMD runs.
+
+When a rank program raises, :func:`~repro.mpi.runtime.run_spmd` no
+longer surfaces only a wrapped exception: the :class:`RankError` it
+raises carries a :class:`RunFailure` — which rank originated the abort,
+inside which step span, how every other rank went down, and which
+user-tag messages were sitting undelivered in the mailboxes when the run
+died.  That is the difference between the paper's bare "timeout" cells
+(Table 5) and a diagnosable post-mortem.
+
+Determinism note: originating-rank fields (rank, step, error) and
+per-rank outcome kinds are scheduling-independent for deterministic
+programs.  Step attribution for *propagated* aborts is not — the abort
+can catch a sibling rank anywhere between two blocking calls — so
+propagated entries deliberately record ``step=None`` rather than a
+racy value, keeping seeded replays bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass(slots=True)
+class RankFailure:
+    """How one rank ended: ``crashed`` (originated), ``aborted``
+    (released by another rank's failure), or ``ok``."""
+
+    rank: int
+    kind: str
+    step: Optional[str] = None
+    error_type: Optional[str] = None
+    message: Optional[str] = None
+    injected: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form."""
+        return {
+            "rank": self.rank,
+            "kind": self.kind,
+            "step": self.step,
+            "error_type": self.error_type,
+            "message": self.message,
+            "injected": self.injected,
+        }
+
+
+@dataclass(slots=True)
+class RunFailure:
+    """Post-mortem of one aborted SPMD run."""
+
+    nprocs: int
+    failed_rank: int
+    step: Optional[str]
+    error_type: str
+    message: str
+    injected: bool
+    ranks: List[RankFailure] = field(default_factory=list)
+    #: rank -> undelivered user-tag ``(src, tag)`` pairs at abort time
+    pending: Dict[int, List[Tuple[int, int]]] = field(default_factory=dict)
+
+    @property
+    def crashed_ranks(self) -> List[int]:
+        """Ranks that originated a failure (usually exactly one)."""
+        return [r.rank for r in self.ranks if r.kind == "crashed"]
+
+    @property
+    def aborted_ranks(self) -> List[int]:
+        """Ranks released from blocking calls by the abort."""
+        return [r.rank for r in self.ranks if r.kind == "aborted"]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form (scheduling-independent fields only)."""
+        return {
+            "nprocs": self.nprocs,
+            "failed_rank": self.failed_rank,
+            "step": self.step,
+            "error_type": self.error_type,
+            "message": self.message,
+            "injected": self.injected,
+            "ranks": [r.to_dict() for r in self.ranks],
+            "pending": {
+                str(rank): [list(p) for p in pairs]
+                for rank, pairs in sorted(self.pending.items())
+            },
+        }
+
+    def render(self) -> str:
+        """Human-readable containment report."""
+        origin = "injected fault" if self.injected else "rank failure"
+        lines = [
+            f"SPMD run failed: {origin} on rank {self.failed_rank}"
+            + (f" in {self.step}" if self.step else ""),
+            f"  error     : {self.error_type}: {self.message}",
+            f"  ranks     : {self.nprocs} total, "
+            f"{len(self.crashed_ranks)} crashed, "
+            f"{len(self.aborted_ranks)} released with RankError",
+        ]
+        for r in self.ranks:
+            if r.kind == "ok":
+                continue
+            where = f" in {r.step}" if r.step else ""
+            err = f" ({r.error_type}: {r.message})" if r.kind == "crashed" else ""
+            lines.append(f"    rank {r.rank}: {r.kind}{where}{err}")
+        if self.pending:
+            lines.append("  undelivered user messages at abort:")
+            for rank, pairs in sorted(self.pending.items()):
+                pretty = ", ".join(f"(src={s}, tag={t})" for s, t in pairs)
+                lines.append(f"    rank {rank} mailbox: {pretty}")
+        else:
+            lines.append("  undelivered user messages at abort: none")
+        return "\n".join(lines)

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence
 
+from repro.faults.plan import NULL_FAULT_PLAN
 from repro.mpi.sizes import estimate_size
 from repro.perfmodel.clock import LogicalClock
 
@@ -39,24 +40,50 @@ MIN = ReduceOp("min", lambda a, b: a if a <= b else b)
 CONCAT = ReduceOp("concat", lambda a, b: list(a) + list(b))
 
 
+#: internal sentinel a poll hook returns while its operation is pending
+_PENDING = object()
+
+
 class Request:
     """Handle for a non-blocking operation.
 
-    Sends are buffered, so an isend's request is complete at creation;
-    an irecv's request performs the matching blocking receive on
-    :meth:`wait` (sufficient for deterministic SPMD programs, which
-    never rely on true receive-side overlap).
+    Sends are buffered, so an isend's request is complete at creation.
+    An irecv's request completes either on :meth:`wait` (the matching
+    blocking receive) or on :meth:`test`, which — MPI ``MPI_Test``
+    semantics — polls the mailbox non-blockingly and completes the
+    request when the matching message has already been delivered.
+    A ``test()`` loop therefore makes progress without ever calling
+    ``wait()`` (it used to return a stale ``False`` forever).
     """
 
-    __slots__ = ("_resolve", "_done", "_value")
+    __slots__ = ("_resolve", "_poll", "_done", "_value")
 
-    def __init__(self, resolve: Optional[Callable[[], Any]] = None, value: Any = None) -> None:
+    def __init__(
+        self,
+        resolve: Optional[Callable[[], Any]] = None,
+        value: Any = None,
+        poll: Optional[Callable[[], Any]] = None,
+    ) -> None:
         self._resolve = resolve
+        self._poll = poll
         self._done = resolve is None
         self._value = value
 
     def test(self) -> bool:
-        """True once the operation has completed."""
+        """True once the operation has completed.
+
+        For a pending receive this attempts completion: if the matching
+        message is already in the mailbox it is consumed (with the same
+        clock/trace accounting as a blocking receive) and the request
+        becomes complete; otherwise the request stays pending.
+        """
+        if self._done:
+            return True
+        if self._poll is not None:
+            out = self._poll()
+            if out is not _PENDING:
+                self._value = out
+                self._done = True
         return self._done
 
     def wait(self) -> Any:
@@ -84,6 +111,7 @@ class Communicator:
         clock: Optional[LogicalClock],
         trace: Optional["object"] = None,
         obs: Optional["object"] = None,
+        faults: Optional["object"] = None,
     ) -> None:
         from repro.obs.tracer import NULL_TRACER
 
@@ -96,6 +124,8 @@ class Communicator:
         #: and the communicator attributes message counts/bytes to the
         #: currently open span — the per-phase communication breakdown.
         self.obs = obs if obs is not None else NULL_TRACER
+        #: fault plan consulted on every send (injected link delays)
+        self._faults = faults if faults is not None else NULL_FAULT_PLAN
         self._coll_seq = 0
 
     # ------------------------------------------------------------------
@@ -141,17 +171,34 @@ class Communicator:
         return Request()
 
     def irecv(self, source: int, tag: int = 0) -> Request:
-        """Non-blocking receive: the matching wait performs the receive."""
+        """Non-blocking receive.
+
+        ``wait()`` performs the matching blocking receive; ``test()``
+        polls the mailbox and completes the request as soon as the
+        matching message has been delivered (``MPI_Test`` semantics).
+        """
         self._check_peer(source)
         if tag < 0:
             raise ValueError("negative tags are reserved for collectives")
-        return Request(resolve=lambda: self._fetch(source, tag))
+        try_collect = getattr(self._router, "try_collect", None)
+        poll: Optional[Callable[[], Any]] = None
+        if try_collect is not None:
+            def poll() -> Any:
+                item = try_collect(self.rank, source, tag)
+                if item is None:
+                    return _PENDING
+                return self._account_recv(item, source, tag)[0]
+        return Request(resolve=lambda: self._fetch(source, tag), poll=poll)
 
     # -- internals shared with collectives --------------------------------
     def _post(self, obj: Any, dest: int, tag: int, nbytes: Optional[int] = None) -> None:
         if nbytes is None:
             nbytes = estimate_size(obj)
         timestamp = None
+        if self._faults is not NULL_FAULT_PLAN:
+            extra = self._faults.send_delay(self.rank, dest, tag, nbytes)
+            if extra > 0.0 and self.clock is not None:
+                self.clock.charge_comm(extra)  # injected link delay
         if self.clock is not None:
             cost = self.clock.machine.msg_seconds(nbytes)
             self.clock.charge_comm(cost)
@@ -171,7 +218,14 @@ class Communicator:
         """Receive and also return the message's wire-size estimate, so
         forwarding collectives (bcast) can reuse it instead of
         re-estimating the identical payload."""
-        obj, timestamp, nbytes = self._router.collect(self.rank, source, tag)
+        item = self._router.collect(self.rank, source, tag)
+        return self._account_recv(item, source, tag)
+
+    def _account_recv(
+        self, item: "tuple[Any, Optional[float], int]", source: int, tag: int
+    ) -> "tuple[Any, int]":
+        """Clock/trace bookkeeping shared by blocking and polled receives."""
+        obj, timestamp, nbytes = item
         if self.clock is not None:
             if timestamp is not None:
                 self.clock.wait_until(timestamp)

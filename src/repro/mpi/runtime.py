@@ -11,9 +11,21 @@ clocks, not from wall time.
 Failure semantics: if any rank raises, the run aborts — pending and
 future receives in other ranks raise :class:`RankError` so no thread
 hangs — and the originating rank's exception is re-raised (wrapped) to
-the caller.  A receive that waits longer than ``deadlock_timeout`` real
-seconds raises :class:`DeadlockError` (wildcard-free matching means a
-genuinely missing message is a program bug, not a race).
+the caller, carrying a structured
+:class:`~repro.faults.report.RunFailure` post-mortem (originating rank
+and step span, per-rank outcomes, undelivered user messages).  A receive
+that waits longer than ``deadlock_timeout`` real seconds raises
+:class:`DeadlockError` reporting the actually elapsed time and the
+messages sitting undelivered in the rank's mailbox (wildcard-free
+matching means a genuinely missing message is a program bug, not a
+race).
+
+Fault injection: a seeded :class:`~repro.faults.plan.FaultPlan` passed
+as ``faults`` lets the run crash ranks at step boundaries, delay or
+reorder messages (within tag-legal bounds), and slow individual rank
+clocks — deterministically.  The default
+:data:`~repro.faults.plan.NULL_FAULT_PLAN` injects nothing and costs
+nothing.
 """
 
 from __future__ import annotations
@@ -24,13 +36,22 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.faults.plan import NULL_FAULT_PLAN
+from repro.faults.report import RankFailure, RunFailure
 from repro.mpi.comm import Communicator
 from repro.perfmodel.clock import LogicalClock
 from repro.perfmodel.machine import MachineModel
 
 
 class RankError(RuntimeError):
-    """A rank program raised; carries the failing rank."""
+    """A rank program raised; carries the failing rank.
+
+    ``report`` holds the run's :class:`~repro.faults.report.RunFailure`
+    post-mortem once :func:`run_spmd` has assembled it (``None`` for
+    errors raised outside a full run).
+    """
+
+    report: Optional[RunFailure] = None
 
     def __init__(self, rank: int, original: BaseException) -> None:
         super().__init__(f"rank {rank} failed: {original!r}")
@@ -39,7 +60,23 @@ class RankError(RuntimeError):
 
 
 class DeadlockError(RuntimeError):
-    """A receive waited past the deadlock timeout."""
+    """A receive waited past the deadlock timeout.
+
+    ``elapsed_s`` is the real (monotonic) time spent waiting — not the
+    configured timeout — and ``pending`` snapshots the ``(src, tag)``
+    pairs sitting undelivered in the waiting rank's mailbox, which is
+    usually enough to see which collective or exchange went lopsided.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        elapsed_s: float = 0.0,
+        pending: Optional[List[Tuple[int, int]]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.elapsed_s = elapsed_s
+        self.pending = pending or []
 
 
 class _MailboxRouter:
@@ -52,18 +89,61 @@ class _MailboxRouter:
     high rank counts).  Deadlock detection uses a ``time.monotonic()``
     deadline: only real elapsed time counts, never the number of times the
     wait happened to wake.
+
+    Fault injection: a :class:`~repro.faults.plan.FaultPlan` may hold a
+    delivered message back (reorder).  Held messages never violate
+    per-``(src, tag)`` FIFO order — a later same-key delivery flushes
+    them first — and are released on demand when their receiver asks, so
+    injected reordering can delay wall-clock progress but can never
+    manufacture a deadlock or change matching.
     """
 
-    def __init__(self, size: int) -> None:
+    def __init__(self, size: int, faults: Any = NULL_FAULT_PLAN) -> None:
         self.size = size
+        self._faults = faults
         self._lock = threading.Lock()
         self._conds = [threading.Condition(self._lock) for _ in range(size)]
         # mailbox[dest][(src, tag)] -> deque of (obj, timestamp, nbytes)
         self._boxes: List[Dict[Tuple[int, int], deque]] = [dict() for _ in range(size)]
+        # held[dest] -> list of [release_seq, (src, tag), item] (reorder faults)
+        self._held: List[List[list]] = [[] for _ in range(size)]
+        self._deliver_seq = [0] * size
         self.aborted: Optional[RankError] = None
+        #: per-rank pending user-tag (src, tag) pairs, frozen at abort time
+        self.pending_at_abort: Dict[int, List[Tuple[int, int]]] = {}
         #: total messages and bytes, for reporting
         self.message_count = 0
         self.byte_count = 0
+
+    # -- held-message bookkeeping (reorder faults; all under self._lock) --
+    def _release_held(
+        self, dest: int, key: Optional[Tuple[int, int]] = None,
+        due_seq: Optional[int] = None,
+    ) -> None:
+        held = self._held[dest]
+        if not held:
+            return
+        keep: List[list] = []
+        released = False
+        for entry in held:
+            release_seq, ekey, item = entry
+            if (key is not None and ekey == key) or (
+                due_seq is not None and release_seq <= due_seq
+            ):
+                self._boxes[dest].setdefault(ekey, deque()).append(item)
+                released = True
+            else:
+                keep.append(entry)
+        if released:
+            self._held[dest] = keep
+            self._conds[dest].notify()
+
+    def _pending_keys(self, dest: int, user_only: bool = False) -> List[Tuple[int, int]]:
+        keys = [k for k, q in self._boxes[dest].items() if q]
+        keys += [entry[1] for entry in self._held[dest]]
+        if user_only:
+            keys = [k for k in keys if k[1] >= 0]
+        return sorted(set(keys))
 
     def deliver(
         self, src: int, dest: int, tag: int, obj: Any, timestamp: Optional[float], nbytes: int
@@ -71,11 +151,26 @@ class _MailboxRouter:
         with self._lock:
             if self.aborted is not None:
                 raise self.aborted
-            self._boxes[dest].setdefault((src, tag), deque()).append(
-                (obj, timestamp, nbytes)
-            )
+            key = (src, tag)
+            self._deliver_seq[dest] += 1
+            seq = self._deliver_seq[dest]
             self.message_count += 1
             self.byte_count += nbytes
+            if self._faults is not NULL_FAULT_PLAN:
+                # non-overtaking: a same-key arrival flushes held ones first
+                self._release_held(dest, key=key)
+                hold = self._faults.deliver_hold(src, dest, tag)
+                if hold > 0:
+                    self._held[dest].append([seq + hold, key, (obj, timestamp, nbytes)])
+                    self._release_held(dest, due_seq=seq)
+                    # wake the receiver even though nothing reached its
+                    # box: a blocked collect() must get the chance to
+                    # claim the held message on demand, or a hold across
+                    # a sleeping waiter becomes a timeout
+                    self._conds[dest].notify()
+                    return
+                self._release_held(dest, due_seq=seq)
+            self._boxes[dest].setdefault(key, deque()).append((obj, timestamp, nbytes))
             self._conds[dest].notify()
 
     def collect(
@@ -84,10 +179,15 @@ class _MailboxRouter:
         key = (src, tag)
         cond = self._conds[dest]
         deadline: Optional[float] = None
+        start: Optional[float] = None
         with self._lock:
             while True:
                 if self.aborted is not None:
                     raise self.aborted
+                if self._held[dest]:
+                    # a receiver asking for a held message gets it now:
+                    # injected reordering must never deadlock the run
+                    self._release_held(dest, key=key)
                 q = self._boxes[dest].get(key)
                 if q:
                     item = q.popleft()
@@ -96,21 +196,120 @@ class _MailboxRouter:
                     return item
                 now = time.monotonic()
                 if deadline is None:
+                    start = now
                     deadline = now + timeout
                 remaining = deadline - now
                 if remaining <= 0:
+                    elapsed = now - (start if start is not None else now)
+                    pending = self._pending_keys(dest)
+                    pretty = (
+                        ", ".join(f"(src={s}, tag={t})" for s, t in pending)
+                        or "none"
+                    )
                     raise DeadlockError(
-                        f"rank {dest} waited {timeout}s for message from "
-                        f"rank {src} tag {tag}"
+                        f"rank {dest} waited {elapsed:.2f}s (timeout "
+                        f"{timeout}s) for message from rank {src} tag {tag}; "
+                        f"undelivered in its mailbox: {pretty}",
+                        elapsed_s=elapsed,
+                        pending=pending,
                     )
                 cond.wait(timeout=remaining)
+
+    def try_collect(
+        self, dest: int, src: int, tag: int
+    ) -> Optional[Tuple[Any, Optional[float], int]]:
+        """Non-blocking collect: the matching message, or ``None``.
+
+        MPI ``MPI_Test`` semantics for :meth:`Request.test`: completes
+        the receive when a match is already in the mailbox, never waits.
+        """
+        key = (src, tag)
+        with self._lock:
+            if self.aborted is not None:
+                raise self.aborted
+            if self._held[dest]:
+                self._release_held(dest, key=key)
+            q = self._boxes[dest].get(key)
+            if not q:
+                return None
+            item = q.popleft()
+            if not q:
+                del self._boxes[dest][key]
+            return item
 
     def abort(self, err: RankError) -> None:
         with self._lock:
             if self.aborted is None:
                 self.aborted = err
+                # freeze the undelivered-user-message picture for the
+                # post-mortem before waiters drain away
+                self.pending_at_abort = {
+                    dest: keys
+                    for dest in range(self.size)
+                    if (keys := self._pending_keys(dest, user_only=True))
+                }
             for cond in self._conds:
                 cond.notify_all()
+
+
+class _RankObs:
+    """Per-rank view of the span tracer.
+
+    Forwards everything to the shared tracer, but (a) consults the fault
+    plan when a span opens — a :class:`CrashFault` at that step boundary
+    raises here, before any step work runs — and (b) tracks the rank's
+    innermost open span name so failure reports can say *where* a rank
+    died without depending on tracer internals (the null tracer keeps no
+    stacks).
+    """
+
+    __slots__ = ("_inner", "_rank", "_faults", "_stack")
+
+    def __init__(self, inner: Any, rank: int, faults: Any) -> None:
+        self._inner = inner
+        self._rank = rank
+        self._faults = faults
+        self._stack: List[str] = []
+
+    @property
+    def current_step(self) -> Optional[str]:
+        return self._stack[-1] if self._stack else None
+
+    def span(self, name: str, **tags: Any):
+        self._faults.on_step(self._rank, name)
+        return _RankSpanContext(self, self._inner.span(name, **tags), name)
+
+    def event(self, name: str, **tags: Any) -> None:
+        self._inner.event(name, **tags)
+
+    def add_metric(self, name: str, value: float) -> None:
+        self._inner.add_metric(name, value)
+
+    def bind_clock(self, clock: Optional[Any]) -> None:
+        self._inner.bind_clock(clock)
+
+    def wrap_counter(self, sink: Any) -> Any:
+        return self._inner.wrap_counter(sink)
+
+
+class _RankSpanContext:
+    """Span context that also maintains the rank's step stack."""
+
+    __slots__ = ("_obs", "_inner", "_name")
+
+    def __init__(self, obs: _RankObs, inner: Any, name: str) -> None:
+        self._obs = obs
+        self._inner = inner
+        self._name = name
+
+    def __enter__(self) -> Any:
+        self._obs._stack.append(self._name)
+        return self._inner.__enter__()
+
+    def __exit__(self, *exc: Any) -> None:
+        self._inner.__exit__(*exc)
+        if self._obs._stack and self._obs._stack[-1] == self._name:
+            self._obs._stack.pop()
 
 
 @dataclass(slots=True)
@@ -134,6 +333,60 @@ class SpmdResult:
         return max(times) if times else 0.0
 
 
+def _build_failure_report(
+    nprocs: int,
+    errors: Sequence[Optional[RankError]],
+    rank_obs: Sequence[_RankObs],
+    router: _MailboxRouter,
+    origin: RankError,
+) -> RunFailure:
+    """Assemble the structured post-mortem of an aborted run."""
+    from repro.faults.plan import InjectedFault
+    from repro.obs.metrics import REGISTRY
+
+    ranks: List[RankFailure] = []
+    for rank in range(nprocs):
+        err = errors[rank]
+        if err is None:
+            ranks.append(RankFailure(rank=rank, kind="ok"))
+        elif err.rank == rank:
+            injected = isinstance(err.original, InjectedFault)
+            step = rank_obs[rank].current_step
+            if injected and getattr(err.original, "step", None) is not None:
+                step = err.original.step
+            ranks.append(
+                RankFailure(
+                    rank=rank,
+                    kind="crashed",
+                    step=step,
+                    error_type=type(err.original).__name__,
+                    message=str(err.original),
+                    injected=injected,
+                )
+            )
+        else:
+            # released by another rank's abort; step attribution would be
+            # scheduling-dependent, so it is deliberately omitted
+            ranks.append(
+                RankFailure(rank=rank, kind="aborted", error_type="RankError")
+            )
+    origin_rec = next((r for r in ranks if r.rank == origin.rank), None)
+    REGISTRY.counter("spmd.failed_runs").inc()
+    REGISTRY.counter("spmd.rank_failures").inc(
+        sum(1 for r in ranks if r.kind == "crashed")
+    )
+    return RunFailure(
+        nprocs=nprocs,
+        failed_rank=origin.rank,
+        step=origin_rec.step if origin_rec is not None else None,
+        error_type=type(origin.original).__name__,
+        message=str(origin.original),
+        injected=bool(origin_rec is not None and origin_rec.injected),
+        ranks=ranks,
+        pending=dict(router.pending_at_abort),
+    )
+
+
 def run_spmd(
     nprocs: int,
     fn: Callable[..., Any],
@@ -143,6 +396,7 @@ def run_spmd(
     deadlock_timeout: float = 60.0,
     trace: Optional[Any] = None,
     obs: Optional[Any] = None,
+    faults: Optional[Any] = None,
 ) -> SpmdResult:
     """Run ``fn(comm, *args, **kwargs)`` on ``nprocs`` ranks.
 
@@ -153,6 +407,9 @@ def run_spmd(
     :class:`~repro.obs.tracer.Tracer` passed as ``obs`` wraps each rank
     in a span (with the rank's logical clock bound for simulated
     timestamps) and lets rank programs open step spans via ``comm.obs``.
+    A :class:`~repro.faults.plan.FaultPlan` passed as ``faults`` injects
+    its scheduled failures; on abort, the raised :class:`RankError`
+    carries a :class:`~repro.faults.report.RunFailure` report.
     """
     from repro.obs.tracer import NULL_TRACER
 
@@ -160,12 +417,19 @@ def run_spmd(
         raise ValueError("nprocs must be positive")
     kwargs = kwargs or {}
     obs = obs if obs is not None else NULL_TRACER
-    router = _MailboxRouter(nprocs)
+    faults = faults if faults is not None else NULL_FAULT_PLAN
+    faults.begin_run(nprocs)
+    router = _MailboxRouter(nprocs, faults=faults)
     clocks: List[Optional[LogicalClock]] = [
         LogicalClock(machine) if machine is not None else None for _ in range(nprocs)
     ]
+    if faults is not NULL_FAULT_PLAN:
+        for rank, clock in enumerate(clocks):
+            if clock is not None:
+                clock.slowdown = faults.compute_factor(rank)
     values: List[Any] = [None] * nprocs
     errors: List[Optional[RankError]] = [None] * nprocs
+    rank_obs = [_RankObs(obs, rank, faults) for rank in range(nprocs)]
 
     class _BoundRouter:
         """Router view honouring the run's deadlock timeout."""
@@ -179,13 +443,20 @@ def run_spmd(
         def collect(self, dest: int, src: int, tag: int):
             return self._inner.collect(dest, src, tag, timeout=deadlock_timeout)
 
+        def try_collect(self, dest: int, src: int, tag: int):
+            return self._inner.try_collect(dest, src, tag)
+
     bound = _BoundRouter(router)
 
     def runner(rank: int) -> None:
-        comm = Communicator(rank, nprocs, bound, clocks[rank], trace=trace, obs=obs)
-        obs.bind_clock(clocks[rank])
+        robs = rank_obs[rank]
+        comm = Communicator(
+            rank, nprocs, bound, clocks[rank], trace=trace, obs=robs,
+            faults=faults,
+        )
+        robs.bind_clock(clocks[rank])
         try:
-            with obs.span("rank", rank=rank, nprocs=nprocs):
+            with robs.span("rank", rank=rank, nprocs=nprocs):
                 values[rank] = fn(comm, *args, **kwargs)
         except RankError as err:  # propagated abort from another rank
             errors[rank] = err
@@ -194,7 +465,7 @@ def run_spmd(
             errors[rank] = err
             router.abort(err)
         finally:
-            obs.bind_clock(None)
+            robs.bind_clock(None)
 
     if nprocs == 1:
         runner(0)
@@ -208,11 +479,14 @@ def run_spmd(
         for t in threads:
             t.join()
 
-    if router.aborted is not None:
-        raise router.aborted
-    first_err = next((e for e in errors if e is not None), None)
-    if first_err is not None:
-        raise first_err
+    failure = router.aborted
+    if failure is None:
+        failure = next((e for e in errors if e is not None), None)
+    if failure is not None:
+        failure.report = _build_failure_report(
+            nprocs, errors, rank_obs, router, failure
+        )
+        raise failure
 
     return SpmdResult(
         values=values,

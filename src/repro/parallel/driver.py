@@ -147,6 +147,7 @@ def route_parallel(
     memory_stats: Optional[CircuitStats] = None,
     trace: Optional[object] = None,
     obs: Optional[object] = None,
+    faults: Optional[object] = None,
 ) -> ParallelRun:
     """Route ``circuit`` with ``nprocs`` ranks of ``algorithm``.
 
@@ -156,7 +157,10 @@ def route_parallel(
     unavailable).  ``trace`` accepts a
     :class:`~repro.mpi.trace.TraceRecorder` to capture the run's
     communication events; ``obs`` a :class:`~repro.obs.tracer.Tracer`
-    for per-rank step spans (simulated-clock timestamps included).
+    for per-rank step spans (simulated-clock timestamps included);
+    ``faults`` a :class:`~repro.faults.plan.FaultPlan` for deterministic
+    fault injection (a crash surfaces as
+    :class:`~repro.mpi.runtime.RankError` with a containment report).
     """
     if nprocs < 1:
         raise ValueError("nprocs must be >= 1")
@@ -176,7 +180,7 @@ def route_parallel(
     try:
         spmd = run_spmd(
             nprocs, program, args=(circuit, config, pconfig), machine=machine,
-            trace=trace, obs=obs,
+            trace=trace, obs=obs, faults=faults,
         )
     finally:
         if was_enabled:

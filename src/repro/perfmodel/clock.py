@@ -19,7 +19,10 @@ from repro.perfmodel.machine import MachineModel
 class LogicalClock:
     """Simulated elapsed time of one rank."""
 
-    __slots__ = ("machine", "time", "work_units", "comm_seconds", "idle_seconds")
+    __slots__ = (
+        "machine", "time", "work_units", "comm_seconds", "idle_seconds",
+        "slowdown",
+    )
 
     def __init__(self, machine: MachineModel, start: float = 0.0) -> None:
         self.machine = machine
@@ -27,12 +30,16 @@ class LogicalClock:
         self.work_units: Dict[str, float] = defaultdict(float)
         self.comm_seconds = 0.0
         self.idle_seconds = 0.0
+        #: straggler multiplier on compute charges (fault injection sets
+        #: this; 1.0 — the default — is exact: ``x * 1.0 == x`` bit for
+        #: bit, so fault-free modeled times are untouched)
+        self.slowdown = 1.0
 
     # WorkCounter protocol -------------------------------------------------
     def add(self, kind: str, units: float) -> None:
         """Charge work and advance simulated time accordingly."""
         self.work_units[kind] += units
-        self.time += self.machine.work_seconds(kind, units)
+        self.time += self.machine.work_seconds(kind, units) * self.slowdown
 
     # Communication accounting ----------------------------------------------
     def charge_comm(self, seconds: float) -> None:
@@ -51,7 +58,7 @@ class LogicalClock:
         return sum(
             self.machine.work_seconds(kind, units)
             for kind, units in self.work_units.items()
-        )
+        ) * self.slowdown
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -184,6 +184,43 @@ def test_pool_failure_falls_back_to_inline(monkeypatch):
     assert [r.quality for r in records] == [r.quality for r in run_sweep([POINT], jobs=1)]
 
 
+def _echo_worker(task):
+    return {"task": task}
+
+
+def test_pool_fallback_is_logged(monkeypatch, caplog):
+    """The inline fallback is announced through the obs logger, not silent."""
+
+    def broken_map(self, fn, tasks):
+        raise OSError("no pool for you")
+
+    import concurrent.futures
+    import logging
+
+    monkeypatch.setattr(
+        concurrent.futures.ProcessPoolExecutor, "map", broken_map
+    )
+    with caplog.at_level(logging.WARNING, logger="repro.exec"):
+        out = engine_mod._map_tasks([1, 2], jobs=2, worker=_echo_worker)
+    assert out == [{"task": 1}, {"task": 2}]
+    assert any("inline" in rec.message for rec in caplog.records)
+
+
+def _raising_worker(task):
+    raise ValueError("deterministic worker failure")
+
+
+def test_worker_exception_propagates_not_swallowed():
+    """Regression: ``_map_tasks`` used to catch *every* exception and
+    silently rerun the whole batch inline — a deterministic worker
+    failure was masked (and recomputed) instead of surfacing.  Only
+    pool-level failures may trigger the fallback."""
+    tasks = [(POINT, None), (POINT.baseline_point(), None)]
+    for jobs in (1, 2):
+        with pytest.raises(ValueError, match="deterministic worker failure"):
+            engine_mod._map_tasks(tasks, jobs, worker=_raising_worker)
+
+
 # ---------------------------------------------------------------------------
 # telemetry: every routed record carries a per-step profile
 # ---------------------------------------------------------------------------

@@ -1,0 +1,255 @@
+"""FaultPlan determinism and the NullFaultPlan identity contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import mcnc
+from repro.faults import (
+    ALL_RANKS,
+    CacheIOFault,
+    CrashFault,
+    FaultPlan,
+    InjectedFault,
+    MessageDelayFault,
+    NULL_FAULT_PLAN,
+    NullFaultPlan,
+    PointFault,
+    ReorderFault,
+    SlowRankFault,
+    make_plan,
+)
+from repro.mpi.runtime import RankError, run_spmd
+from repro.parallel.driver import route_parallel
+from repro.perfmodel.machine import SPARCCENTER_1000
+from repro.twgr.config import RouterConfig
+
+CIRCUIT = mcnc.generate("primary1", scale=0.05, seed=1)
+CFG = RouterConfig(seed=1)
+
+
+def route(faults=None, algorithm="hybrid", nprocs=3):
+    return route_parallel(
+        CIRCUIT, algorithm=algorithm, nprocs=nprocs, machine=SPARCCENTER_1000,
+        config=CFG, compute_baseline=False, faults=faults,
+    )
+
+
+def quality(run):
+    r = run.result
+    return (r.total_tracks, r.area, r.num_feedthroughs, run.timing.elapsed)
+
+
+# ---------------------------------------------------------------------------
+# the identity contract: NULL plan changes nothing, bit for bit
+# ---------------------------------------------------------------------------
+
+def test_null_plan_is_bit_identical_to_no_plan():
+    assert quality(route(faults=None)) == quality(route(faults=NULL_FAULT_PLAN))
+    assert quality(route(faults=None)) == quality(route(faults=NullFaultPlan()))
+
+
+def test_null_plan_hooks_are_identities():
+    plan = NULL_FAULT_PLAN
+    plan.begin_run(4)
+    plan.on_step(0, "step1_steiner")
+    plan.on_cache("get")
+    plan.on_point("anything", 1)
+    assert plan.send_delay(0, 1, 0, 100) == 0.0
+    assert plan.deliver_hold(0, 1, 0) == 0
+    assert plan.compute_factor(0) == 1.0
+    assert plan.fired() == {}
+
+
+# ---------------------------------------------------------------------------
+# seeded replay: identical schedules, identical reports
+# ---------------------------------------------------------------------------
+
+def fresh_delay_plan(seed=7):
+    return FaultPlan(seed, (MessageDelayFault(every=3, max_delay_s=0.004),))
+
+
+def test_seeded_plan_replays_identical_schedule():
+    fired = []
+    for _ in range(2):
+        plan = fresh_delay_plan()
+        run = route(faults=plan)
+        fired.append((plan.fired(), quality(run)))
+    assert fired[0] == fired[1]
+    assert fired[0][0]  # something actually fired
+
+
+def test_different_seeds_draw_different_delays():
+    runs = []
+    for seed in (1, 2):
+        plan = fresh_delay_plan(seed)
+        route(faults=plan)
+        runs.append(plan.fired())
+    assert runs[0] != runs[1]
+
+
+def test_same_plan_object_reusable_across_runs():
+    """begin_run resets state: one plan object == fresh plan per run."""
+    plan = fresh_delay_plan()
+    route(faults=plan)
+    first = plan.fired()
+    route(faults=plan)
+    assert plan.fired() == first
+
+
+def test_crash_report_replays_bit_identically():
+    reports = []
+    for _ in range(2):
+        plan = FaultPlan(3, (CrashFault(rank=1, step="step3_feedthrough"),))
+        with pytest.raises(RankError) as exc:
+            route(faults=plan)
+        reports.append((exc.value.report.to_dict(), plan.fired()))
+    assert reports[0] == reports[1]
+
+
+# ---------------------------------------------------------------------------
+# crash containment
+# ---------------------------------------------------------------------------
+
+def test_crash_fault_contained_and_attributed():
+    plan = FaultPlan(0, (CrashFault(rank=2, step="step1_steiner"),))
+    with pytest.raises(RankError) as exc:
+        route(faults=plan)
+    report = exc.value.report
+    assert report is not None
+    assert report.failed_rank == 2
+    assert report.step == "step1_steiner"
+    assert report.injected
+    assert report.error_type == "InjectedFault"
+    assert report.crashed_ranks == [2]
+    assert sorted(report.aborted_ranks) == [0, 1]
+    assert len(report.ranks) == 3
+    # propagated aborts never claim a step (attribution would be racy)
+    for r in report.ranks:
+        if r.kind == "aborted":
+            assert r.step is None
+
+
+def test_crash_at_startup_via_rank_span():
+    plan = FaultPlan(0, (CrashFault(rank=0, step="rank"),))
+    with pytest.raises(RankError) as exc:
+        route(faults=plan)
+    assert exc.value.report.failed_rank == 0
+
+
+def test_real_exception_report_not_marked_injected():
+    def prog(comm):
+        if comm.rank == 1:
+            raise ValueError("genuine bug")
+        comm.barrier()
+
+    with pytest.raises(RankError) as exc:
+        run_spmd(3, prog, deadlock_timeout=30.0)
+    report = exc.value.report
+    assert report is not None
+    assert not report.injected
+    assert report.error_type == "ValueError"
+
+
+def test_pending_messages_snapshotted_at_abort():
+    def prog(comm):
+        if comm.rank == 0:
+            comm.send("orphan", 1, tag=42)
+            raise RuntimeError("die after send")
+        comm.recv(0, tag=99)  # never matched; released by the abort
+
+    with pytest.raises(RankError) as exc:
+        run_spmd(2, prog, deadlock_timeout=30.0)
+    report = exc.value.report
+    assert (0, 42) in report.pending.get(1, [])
+
+
+# ---------------------------------------------------------------------------
+# perturbation faults keep routed results exact
+# ---------------------------------------------------------------------------
+
+def test_message_delay_changes_time_not_quality():
+    clean = route()
+    plan = FaultPlan(5, (MessageDelayFault(every=2, max_delay_s=0.01),))
+    delayed = route(faults=plan)
+    assert delayed.result.total_tracks == clean.result.total_tracks
+    assert delayed.result.area == clean.result.area
+    assert delayed.timing.elapsed > clean.timing.elapsed
+
+
+def test_reorder_never_deadlocks_or_corrupts():
+    clean = route()
+    for every in (2, 3, 5):
+        plan = FaultPlan(9, (ReorderFault(rank=ALL_RANKS, every=every, hold=4),))
+        shuffled = route(faults=plan)
+        assert shuffled.result.total_tracks == clean.result.total_tracks
+        assert shuffled.result.area == clean.result.area
+        assert plan.fired()
+
+
+def test_slow_rank_stretches_the_clock():
+    clean = route()
+    plan = FaultPlan(0, (SlowRankFault(rank=1, factor=8.0),))
+    slow = route(faults=plan)
+    assert slow.result.total_tracks == clean.result.total_tracks
+    assert slow.timing.elapsed > clean.timing.elapsed
+
+
+def test_slowdown_factor_composes():
+    plan = FaultPlan(0, (SlowRankFault(0, 2.0), SlowRankFault(0, 3.0)))
+    assert plan.compute_factor(0) == 6.0
+    assert plan.compute_factor(1) == 1.0
+
+
+# ---------------------------------------------------------------------------
+# misc plan mechanics
+# ---------------------------------------------------------------------------
+
+def test_plan_rejects_non_fault_specs():
+    with pytest.raises(TypeError):
+        FaultPlan(0, ("not a fault",))
+
+
+def test_point_fault_matches_by_substring():
+    plan = FaultPlan(0, (PointFault(match="hybrid", fail_times=2),))
+    with pytest.raises(InjectedFault):
+        plan.on_point("primary1@0.1 hybrid p=4", 1)
+    with pytest.raises(InjectedFault):
+        plan.on_point("primary1@0.1 hybrid p=4", 2)
+    plan.on_point("primary1@0.1 hybrid p=4", 3)  # budget spent
+    plan.on_point("primary1@0.1 serial", 1)  # no match
+
+    assert plan.fired()["engine"] == [
+        "primary1@0.1 hybrid p=4@attempt1",
+        "primary1@0.1 hybrid p=4@attempt2",
+    ]
+
+
+def test_cache_fault_is_transient():
+    plan = FaultPlan(0, (CacheIOFault(op="get", fail_times=2),))
+    with pytest.raises(OSError):
+        plan.on_cache("get")
+    with pytest.raises(OSError):
+        plan.on_cache("get")
+    plan.on_cache("get")  # budget spent
+    plan.on_cache("put")  # op not matched
+    assert plan.fired()["cache"] == ["get#1", "get#2"]
+
+
+def test_named_plans_instantiate():
+    for name in ("none", "crash-step3", "message-delay", "reorder",
+                 "slow-rank", "flaky-cache", "flaky-point", "mixed"):
+        plan = make_plan(name, nprocs=4, seed=1)
+        assert hasattr(plan, "on_step")
+    with pytest.raises(ValueError, match="unknown fault plan"):
+        make_plan("nope", 4, 1)
+
+
+def test_describe_is_json_safe():
+    import json
+
+    plan = make_plan("mixed", 4, 2)
+    desc = plan.describe()
+    assert json.loads(json.dumps(desc)) == desc
+    assert desc["seed"] == 2
+    assert len(desc["faults"]) == 3

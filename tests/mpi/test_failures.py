@@ -87,3 +87,54 @@ def test_failure_with_machine_model():
 
     with pytest.raises(RankError):
         run_spmd(2, prog, machine=SPARCCENTER_1000, deadlock_timeout=10.0)
+
+
+# ---------------------------------------------------------------------------
+# abort propagation: a rank raising mid-collective must release every
+# sibling blocked inside the collective, at small and odd rank counts
+# ---------------------------------------------------------------------------
+
+COLLECTIVES = {
+    "bcast": lambda comm: comm.bcast(comm.rank, root=0),
+    "reduce": lambda comm: comm.reduce(comm.rank, root=0),
+    "gather": lambda comm: comm.gather(comm.rank, root=0),
+    "alltoall": lambda comm: comm.alltoall([comm.rank] * comm.size),
+}
+
+
+@pytest.mark.parametrize("nprocs", [2, 5])
+@pytest.mark.parametrize("op", sorted(COLLECTIVES))
+def test_abort_releases_ranks_blocked_in_collective(op, nprocs):
+    crasher = nprocs - 1
+
+    def prog(comm):
+        if comm.rank == crasher:
+            raise RuntimeError(f"crash instead of {op}")
+        return COLLECTIVES[op](comm)
+
+    # a hang here (not RankError) means the abort never reached a
+    # blocked sibling; the timeout turns that into a loud failure
+    with pytest.raises(RankError) as exc:
+        run_spmd(nprocs, prog, deadlock_timeout=30.0)
+    assert exc.value.rank == crasher
+    assert isinstance(exc.value.original, RuntimeError)
+
+
+@pytest.mark.parametrize("nprocs", [2, 5])
+@pytest.mark.parametrize("op", sorted(COLLECTIVES))
+def test_abort_mid_collective_carries_containment_report(op, nprocs):
+    crasher = 0
+
+    def prog(comm):
+        if comm.rank == crasher:
+            raise RuntimeError("early crash")
+        return COLLECTIVES[op](comm)
+
+    with pytest.raises(RankError) as exc:
+        run_spmd(nprocs, prog, deadlock_timeout=30.0)
+    report = exc.value.report
+    assert report is not None
+    assert report.nprocs == nprocs
+    assert report.failed_rank == crasher
+    assert report.crashed_ranks == [crasher]
+    assert sorted(report.aborted_ranks) == [r for r in range(nprocs) if r != crasher]

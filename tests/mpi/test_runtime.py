@@ -55,6 +55,29 @@ def test_deadlock_detection():
         run_spmd(2, prog, deadlock_timeout=1.0)
 
 
+def test_deadlock_error_reports_real_elapsed_and_pending():
+    """Regression: the error used to echo the *configured* timeout as the
+    wait time.  It must report the measured monotonic delta plus what was
+    actually sitting undelivered in the waiter's mailbox."""
+
+    def prog(comm):
+        if comm.rank == 1:
+            comm.send("decoy", dest=0, tag=7)  # delivered but never awaited
+            return None
+        comm.recv(source=1, tag=99)  # nobody ever sends tag 99
+
+    with pytest.raises((DeadlockError, RankError)) as exc:
+        run_spmd(2, prog, deadlock_timeout=0.5)
+    err = exc.value
+    if isinstance(err, RankError):  # the abort may wrap the deadlock
+        err = err.original
+    assert isinstance(err, DeadlockError)
+    assert err.elapsed_s >= 0.4  # measured, not the configured constant
+    assert (1, 7) in err.pending  # the undelivered decoy is snapshotted
+    msg = str(err)
+    assert "waited" in msg and "tag 99" in msg and "(src=1, tag=7)" in msg
+
+
 def test_timeout_counts_elapsed_time_not_wakeups():
     """A chatty run must not trip the deadlock timeout early.
 

@@ -69,7 +69,6 @@ class TestRequest:
                 comm.send({"k": 1}, 1, tag=3)
                 return None
             req = comm.irecv(0, tag=3)
-            assert not req.test()
             v = req.wait()
             assert req.test()
             assert req.wait() is v  # idempotent
@@ -77,6 +76,45 @@ class TestRequest:
 
         out = run_spmd(2, prog)
         assert out.values[1] == {"k": 1}
+
+    def test_irecv_test_before_any_send_is_false(self):
+        def prog(comm):
+            if comm.rank == 1:
+                req = comm.irecv(0, tag=3)
+                # nothing has been sent yet: test() must not complete
+                pending = req.test()
+                comm.send("go", 0, tag=4)  # unblock the sender
+                v = req.wait()
+                return (pending, v)
+            comm.recv(1, tag=4)
+            comm.send("late", 1, tag=3)
+            return None
+
+        out = run_spmd(2, prog)
+        assert out.values[1] == (False, "late")
+
+    def test_irecv_test_loop_completes_without_wait(self):
+        """Regression: ``test()`` used to return the stored flag and never
+        attempt completion, so a test() polling loop spun forever even
+        after the matching message had been delivered (MPI_Test would
+        have completed the request)."""
+        import time as _time
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(41, 1, tag=7)
+                return None
+            req = comm.irecv(0, tag=7)
+            deadline = _time.monotonic() + 10.0
+            while not req.test():
+                assert _time.monotonic() < deadline, "test() never completed"
+                _time.sleep(0.001)
+            # completed via test(); wait() must return the value, not
+            # attempt a second receive
+            return req.wait() + 1
+
+        out = run_spmd(2, prog)
+        assert out.values[1] == 42
 
     def test_irecv_overlap_pattern(self):
         """Post receives early, compute, then wait — classic overlap."""
