@@ -71,9 +71,11 @@ def _time(fn: Callable[[], object], rounds: int, inner: int = 1) -> Dict[str, fl
     }
 
 
-def bench_kernels(scale: float, seed: int, rounds: int) -> Dict[str, Dict[str, float]]:
+def bench_kernels(
+    scale: float, seed: int, rounds: int, backend: str = "auto"
+) -> Dict[str, Dict[str, float]]:
     """Micro-benchmarks of the three congestion kernels plus Prim MST."""
-    cfg = RouterConfig(seed=seed)
+    cfg = RouterConfig(seed=seed, backend=backend)
     circuit = mcnc.generate("primary1", scale=scale, seed=seed)
     router = GlobalRouter(cfg)
     _result, art = router.route_with_artifacts(circuit)
@@ -83,7 +85,7 @@ def bench_kernels(scale: float, seed: int, rounds: int) -> Dict[str, Dict[str, f
     # but not the per-segment pool.
     grid = CoarseGrid(
         ncols=grid.ncols, nrows=grid.nrows, col_width=grid.col_width,
-        weights=cfg.weights,
+        weights=cfg.weights, backend=backend,
     )
     committed_pool = coarse_route(
         collect_segments(art.trees), grid, cfg.rng(2, 0), passes=cfg.coarse_passes
@@ -106,6 +108,15 @@ def bench_kernels(scale: float, seed: int, rounds: int) -> Dict[str, Dict[str, f
 
     out["eval_cost"] = _time(run_eval, rounds)
     out["eval_cost"]["calls_per_round"] = len(routes)
+
+    # -- batched_eval: the wave-level entry point — the same candidates as
+    # ``eval_cost``, but every (low, high) pair scored in ONE backend call
+    # (fused gathers on numpy; the sequential loop on python), near-ties
+    # deferred to the strict oracle either way.
+    pairs = [(ps.route_low, ps.route_high) for ps in diagonals]
+
+    out["batched_eval"] = _time(lambda: grid.eval_both_batch(pairs), rounds)
+    out["batched_eval"]["calls_per_round"] = len(pairs)
 
     # -- add/remove: rip-up + recommit of every committed route.
     committed = [ps.route for ps in committed_pool]
@@ -156,12 +167,14 @@ def bench_kernels(scale: float, seed: int, rounds: int) -> Dict[str, Dict[str, f
     return out
 
 
-def bench_end_to_end(scale: float, seed: int, rounds: int) -> Dict[str, Dict]:
+def bench_end_to_end(
+    scale: float, seed: int, rounds: int, backend: str = "auto"
+) -> Dict[str, Dict]:
     """Full serial routes of the benchmark circuits at ``scale``."""
     out: Dict[str, Dict] = {}
     for name in BENCH_CIRCUITS:
         circuit = mcnc.generate(name, scale=scale, seed=seed)
-        router = GlobalRouter(RouterConfig(seed=seed))
+        router = GlobalRouter(RouterConfig(seed=seed, backend=backend))
         result = router.route(circuit)
         timing = _time(lambda: router.route(circuit), rounds)
         out[name] = {
@@ -184,7 +197,9 @@ SWEEP_ALGORITHMS = ("rowwise", "netwise", "hybrid")
 SWEEP_PROCS = (1, 2, 4, 8)
 
 
-def bench_sweep(scale: float, seed: int, jobs: int | None) -> Dict:
+def bench_sweep(
+    scale: float, seed: int, jobs: int | None, backend: str = "auto"
+) -> Dict:
     """Time the execution engine on a full sweep, three ways.
 
     1. cold, ``jobs=1`` — the in-process reference execution;
@@ -196,7 +211,7 @@ def bench_sweep(scale: float, seed: int, jobs: int | None) -> Dict:
     """
     from repro.exec import SweepPoint, RunCache, resolve_jobs, run_sweep
 
-    cfg = RouterConfig(seed=seed)
+    cfg = RouterConfig(seed=seed, backend=backend)
     points = [
         SweepPoint(
             circuit=name, algorithm=algo, nprocs=p, scale=scale,
@@ -272,6 +287,7 @@ def append_trajectory(report: Dict, path: Path) -> Dict:
         "commit": report["commit"],
         "unix_time": report["unix_time"],
         "python": report["python"],
+        "backend": report.get("backend", ""),
         "seed": report["seed"],
         "scale": report["scale"],
         "rounds": report["rounds"],
@@ -291,7 +307,10 @@ def append_trajectory(report: Dict, path: Path) -> Dict:
     }
     if path.exists():
         trajectory = json.loads(path.read_text())
-        records = [r for r in trajectory.get("records", ()) if r.get("commit") != record["commit"]]
+        records = [
+            r for r in trajectory.get("records", ())
+            if (r.get("commit"), r.get("backend", "")) != (record["commit"], record["backend"])
+        ]
     else:
         records = []
     records.append(record)
@@ -319,6 +338,10 @@ def main(argv: List[str] | None = None) -> int:
     ap.add_argument("--seed", type=int, default=1)
     ap.add_argument("--rounds", type=int, default=5)
     ap.add_argument(
+        "--backend", default="auto", choices=("auto", "python", "numpy"),
+        help="congestion-core backend (auto = REPRO_BACKEND env, else numpy)",
+    )
+    ap.add_argument(
         "--sweep-out",
         default=str(Path(__file__).resolve().parent.parent / "BENCH_sweep.json"),
     )
@@ -343,9 +366,12 @@ def main(argv: List[str] | None = None) -> int:
     if args.rounds < 1:
         ap.error("--rounds must be >= 1")
 
+    from repro.grid.backends import resolve_backend_name
+
+    backend = resolve_backend_name(args.backend)
     t0 = time.perf_counter()
-    kernels = bench_kernels(args.kernel_scale, args.seed, args.rounds)
-    circuits = bench_end_to_end(args.scale, args.seed, args.rounds)
+    kernels = bench_kernels(args.kernel_scale, args.seed, args.rounds, backend)
+    circuits = bench_end_to_end(args.scale, args.seed, args.rounds, backend)
 
     report = {
         "schema": 1,
@@ -353,6 +379,7 @@ def main(argv: List[str] | None = None) -> int:
         "unix_time": int(time.time()),
         "python": sys.version.split()[0],
         "numpy": np.__version__,
+        "backend": backend,
         "seed": args.seed,
         "scale": args.scale,
         "rounds": args.rounds,
@@ -365,7 +392,10 @@ def main(argv: List[str] | None = None) -> int:
         append_trajectory(report, Path(args.trajectory))
 
     width = max(len(k) for k in list(kernels) + list(circuits))
-    print(f"commit {report['commit'][:12]}  (rounds={args.rounds}, scale={args.scale})")
+    print(
+        f"commit {report['commit'][:12]}  (rounds={args.rounds}, "
+        f"scale={args.scale}, backend={backend})"
+    )
     for name, k in kernels.items():
         per = ""
         calls = k.get("calls_per_round")
@@ -383,12 +413,13 @@ def main(argv: List[str] | None = None) -> int:
         print(f"appended commit record to {args.trajectory}")
 
     if not args.no_sweep:
-        sweep = bench_sweep(args.sweep_scale, args.seed, args.jobs)
+        sweep = bench_sweep(args.sweep_scale, args.seed, args.jobs, backend)
         sweep_report = {
             "schema": 1,
             "commit": report["commit"],
             "unix_time": report["unix_time"],
             "python": report["python"],
+            "backend": backend,
             "sweep": sweep,
         }
         Path(args.sweep_out).write_text(json.dumps(sweep_report, indent=2) + "\n")

@@ -90,6 +90,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--machine", default=SPARCCENTER_1000.name, choices=sorted(MACHINES),
         help="performance model",
     )
+    parser.add_argument(
+        "--backend", default="auto", choices=("auto", "python", "numpy"),
+        help="congestion-core backend (auto = REPRO_BACKEND env, else numpy; "
+        "bit-identical results either way)",
+    )
 
 
 def _add_engine(parser: argparse.ArgumentParser) -> None:
@@ -205,6 +210,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument(
         "--machine", default=SPARCCENTER_1000.name, choices=sorted(MACHINES)
     )
+    p_prof.add_argument(
+        "--backend", default="auto", choices=("auto", "python", "numpy"),
+        help="congestion-core backend (recorded in the profile; --diff "
+        "warns when comparing across backends)",
+    )
     p_prof.add_argument("--json", metavar="PATH", help="save the profile as JSON")
     p_prof.add_argument(
         "--diff", metavar="OLD.json",
@@ -270,7 +280,7 @@ def cmd_route(args: argparse.Namespace) -> int:
         circuit=args.circuit, algorithm=args.algorithm,
         nprocs=1 if args.algorithm == "serial" else args.nprocs,
         scale=args.scale, circuit_seed=args.seed, machine=args.machine,
-        config=RouterConfig(seed=args.seed),
+        config=RouterConfig(seed=args.seed, backend=args.backend),
     )
     record = execute_point(point, cache=cache)
     suffix = "  (cached)" if record.cached else ""
@@ -297,7 +307,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     cache = _cache_from(args)
     circuit = mcnc.generate(args.circuit, scale=args.scale, seed=args.seed)
     machine = MACHINES[args.machine]
-    config = RouterConfig(seed=args.seed)
+    config = RouterConfig(seed=args.seed, backend=args.backend)
     algorithms = ("rowwise", "netwise", "hybrid")
 
     def point(algo: str, p: int = 1) -> SweepPoint:
@@ -426,7 +436,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
     from repro.parallel.driver import route_parallel
 
     circuit = mcnc.generate(args.circuit, scale=args.scale, seed=args.seed)
-    config = RouterConfig(seed=args.seed)
+    config = RouterConfig(seed=args.seed, backend=args.backend)
     machine = MACHINES[args.machine]
     recorder = TraceRecorder()
     tracer = Tracer()
@@ -469,7 +479,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
         circuit=args.circuit, algorithm=args.algorithm,
         nprocs=1 if args.algorithm == "serial" else args.nprocs,
         scale=args.scale, circuit_seed=args.seed, machine=args.machine,
-        config=RouterConfig(seed=args.seed),
+        config=RouterConfig(seed=args.seed, backend=args.backend),
     )
     record = execute_point(point, cache=cache, compute_baseline=False)
     profile = record.run_profile()
@@ -515,7 +525,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
     print()
     print(degree_histogram_text(circuit))
     print()
-    _, art = GlobalRouter(RouterConfig(seed=args.seed)).route_with_artifacts(circuit)
+    _, art = GlobalRouter(RouterConfig(seed=args.seed, backend=args.backend)).route_with_artifacts(circuit)
     print(report(art.spans, circuit.num_rows + 1, top=args.top))
     return 0
 
@@ -546,7 +556,7 @@ def _chaos_spmd(args: argparse.Namespace, plan) -> int:
     try:
         run = route_parallel(
             circuit, algorithm=args.algorithm, nprocs=args.nprocs,
-            machine=machine, config=RouterConfig(seed=args.seed),
+            machine=machine, config=RouterConfig(seed=args.seed, backend=args.backend),
             compute_baseline=False, faults=plan,
         )
     except RankError as exc:
@@ -569,7 +579,7 @@ def _chaos_sweep(args: argparse.Namespace, plan) -> int:
     from repro.exec import RunCache, SweepPoint, run_sweep_salvage
     from repro.faults.plan import CacheIOFault
 
-    config = RouterConfig(seed=args.seed)
+    config = RouterConfig(seed=args.seed, backend=args.backend)
     points = [
         SweepPoint(
             circuit=args.circuit, algorithm="serial", scale=args.scale,
@@ -608,7 +618,7 @@ def _chaos_smoke(args: argparse.Namespace) -> int:
     from repro.parallel.driver import route_parallel
 
     machine = MACHINES[args.machine]
-    config = RouterConfig(seed=args.seed)
+    config = RouterConfig(seed=args.seed, backend=args.backend)
     circuit = mcnc.generate(args.circuit, scale=args.scale, seed=args.seed)
 
     def spmd(plan):

@@ -184,6 +184,7 @@ def _execute(point: SweepPoint, baseline: Optional[RoutingResult]) -> RunRecord:
         scale=point.scale,
         seed=point.circuit_seed,
         machine=machine,
+        backend=point.config.resolved_backend(),
         model_time=run_result.model_time,
     )
     if point.algorithm == "serial":

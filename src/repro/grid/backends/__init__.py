@@ -1,0 +1,83 @@
+"""Congestion-core backends of the coarse routing grid.
+
+Two implementations of the :class:`~repro.grid.backends.base.CongestionBackend`
+protocol live here:
+
+* ``python`` — the reference pure-Python/flat-buffer kernels (moved to
+  :mod:`repro.grid.backends._kernels`), looping the grid's fused
+  single-candidate kernels.  This is also the strict oracle's home: the
+  per-cell accumulation walk every backend defers ties to.
+* ``numpy`` — batched wave-level evaluation: whole chunks of candidate
+  L-orientations are scored in one fused ``count*w + w_c*range_sum``
+  gather over prefix-sum tables, with per-candidate fallback to the
+  sequential kernel whenever an earlier flip in the same wave may have
+  invalidated the speculative evaluation.  Bit-identical to ``python``
+  by construction.
+
+Selection precedence: explicit argument (``CoarseGrid(backend=...)``,
+usually from ``RouterConfig.backend``) > the ``REPRO_BACKEND``
+environment variable > the default (``numpy``).  ``strict=True`` grids
+always run the ``python`` backend — the oracle takes no shortcuts.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from repro.grid.backends.base import CongestionBackend
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.grid.coarse import CoarseGrid
+
+#: environment override consulted when no explicit backend is configured
+BACKEND_ENV = "REPRO_BACKEND"
+
+#: backend used when neither an argument nor the environment chooses one
+DEFAULT_BACKEND = "numpy"
+
+#: valid backend names, in documentation order
+BACKEND_NAMES: Tuple[str, ...] = ("python", "numpy")
+
+
+def resolve_backend_name(name: Optional[str] = None) -> str:
+    """Resolve a backend request to a concrete registry name.
+
+    ``None``/``""``/``"auto"`` consult :data:`BACKEND_ENV`, then fall
+    back to :data:`DEFAULT_BACKEND`.  Unknown names raise ``ValueError``.
+    """
+    if name is None or name in ("", "auto"):
+        name = os.environ.get(BACKEND_ENV, "") or DEFAULT_BACKEND
+    name = name.lower()
+    if name not in BACKEND_NAMES:
+        raise ValueError(
+            f"unknown congestion backend {name!r} (choose from {BACKEND_NAMES})"
+        )
+    return name
+
+
+def make_backend(name: str, grid: "CoarseGrid") -> CongestionBackend:
+    """Instantiate the backend ``name`` bound to ``grid``.
+
+    Implementation modules are imported lazily so this package stays
+    importable from ``repro.grid.coarse`` without a cycle.
+    """
+    if name == "python":
+        from repro.grid.backends.python_ref import PythonBackend
+
+        return PythonBackend(grid)
+    if name == "numpy":
+        from repro.grid.backends.numpy_batch import NumpyBackend
+
+        return NumpyBackend(grid)
+    raise ValueError(f"unknown congestion backend {name!r}")
+
+
+__all__ = [
+    "BACKEND_ENV",
+    "BACKEND_NAMES",
+    "DEFAULT_BACKEND",
+    "CongestionBackend",
+    "make_backend",
+    "resolve_backend_name",
+]

@@ -1,0 +1,86 @@
+"""The congestion-backend protocol.
+
+A :class:`CongestionBackend` owns the *batched* entry points of one
+:class:`~repro.grid.coarse.CoarseGrid`: evaluating a wave of candidate
+``(low, high)`` L-orientations in one call, and running a whole chunk of
+the coarse improvement pass (rip-up / evaluate-both / re-commit per
+candidate) as one wave.  The grid keeps exclusive ownership of its
+congestion state; backends are trusted collaborators that may read the
+flat buffers and interval multisets directly but mutate them only through
+the grid's commit primitives.
+
+The determinism contract every backend must honor:
+
+* costs are the exact integer gathers ``count * w + w_c * range_sum`` in
+  the same float operation order as the pure-Python kernels, so cost
+  pairs are bit-identical across backends;
+* near-ties (gap below ``_TIE_EPS``) defer to the strict per-cell oracle
+  walk, so *orientation decisions* are bit-identical too;
+* work-counter charges per candidate equal the sequential kernels'
+  charges (bulk additions are fine — totals are exact integers);
+* after any wave, the grid's buffers and multisets are exactly what the
+  sequential pure-Python pass would have produced.
+
+Under this contract the choice of backend can never change a routing
+result — only how fast it is computed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.perfmodel.counter import WorkCounter, NULL_COUNTER
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.grid.coarse import CoarseGrid, RoutedSegment
+
+
+class CongestionBackend:
+    """Base class / protocol of the batched congestion kernels."""
+
+    #: registry name ("python", "numpy", ...)
+    name: str = "base"
+
+    def __init__(self, grid: "CoarseGrid") -> None:
+        self.grid = grid
+
+    # -- batched evaluation ---------------------------------------------
+
+    def eval_wave(
+        self,
+        pairs: Sequence[Tuple["RoutedSegment", "RoutedSegment"]],
+        counter: WorkCounter = NULL_COUNTER,
+    ) -> List[Tuple[float, float, bool]]:
+        """Batched ``eval_both``: per-candidate ``(c_low, c_high,
+        pick_high)`` on the current state, ties deferred to the oracle."""
+        raise NotImplementedError
+
+    # -- batched improvement passes -------------------------------------
+
+    def begin_flip_waves(self, committed, diagonal_idx: Sequence[int]) -> None:
+        """Prepare per-pool invariants before the improvement passes.
+
+        ``committed`` is the pool of
+        :class:`~repro.twgr.coarse_step.PooledSegment`; ``diagonal_idx``
+        indexes its orientation-free diagonals.  Called once per
+        ``coarse_route`` after the initial commit.
+        """
+        raise NotImplementedError
+
+    def flip_wave(
+        self,
+        committed,
+        diagonal_idx: Sequence[int],
+        order: np.ndarray,
+        counter: WorkCounter = NULL_COUNTER,
+    ) -> int:
+        """Process one scheduling wave of flip candidates.
+
+        ``order`` holds positions into ``diagonal_idx`` (one chunk of the
+        pass permutation).  Updates each candidate's ``orient``/``route``
+        and the grid state exactly as the sequential kernel would, in the
+        same candidate order, and returns how many orientations changed.
+        """
+        raise NotImplementedError

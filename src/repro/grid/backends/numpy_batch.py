@@ -1,0 +1,895 @@
+"""The NumPy batched congestion backend.
+
+Scores whole waves of candidate L-orientations as array operations
+instead of one fused Python call per candidate, while remaining
+bit-identical to the sequential pure-Python kernels.
+
+How a flip wave runs
+--------------------
+
+``flip_wave`` splits its chunk into speculative sub-waves.  For each
+sub-wave it
+
+1. rebuilds combined (own + external) prefix-sum tables of the feed and
+   horizontal-usage buffers — the grids are tiny, so two ``cumsum`` calls
+   cost microseconds and every interval sum becomes an O(1) difference;
+2. gathers all four sides (vert/horiz x low/high) of every candidate in
+   one fused vector pass over a stacked prefix table: per-side uncovered
+   counts and sums are the full clipped range minus the candidate's
+   *covered* intervals, which are kept per candidate as padded
+   ``(start, end)`` arrays — the vectorized form of the ``_uncovered``
+   gap computation (sharing: covered cells are free, and the ripped-up
+   route's own ``+1`` is subtracted per cell via the same sub flags the
+   sequential kernel uses);
+3. decides each candidate from the cost gap — exactly the sequential
+   rule: decisive gaps compare directly, the all-zero-congestion tie
+   keeps the low orientation, and every remaining near-tie runs the
+   batched strict oracle: per-cell cost terms accumulated left-to-right
+   with ``np.add.accumulate``, the same sequential float additions as
+   the scalar walk (padding slots contribute an exact ``0.0``, which
+   never changes a partial sum);
+4. applies the decisions *in wave order*.  A candidate whose resources
+   were touched by an earlier flip in the same sub-wave (tracked
+   conservatively per buffer range) is re-run through the grid's
+   sequential ``flip_step_rec`` on the live state — so speculation can
+   only ever be *confirmed*, never wrong, and the result is
+   bit-identical to the sequential pass by construction.
+
+Cross-pass memoization
+----------------------
+
+A candidate whose resources are untouched since its last evaluation
+must re-derive the exact same costs, hence the same decision — so it is
+skipped entirely (its sequential work charge is still added in bulk,
+keeping operation counts identical).  Invalidation is conservative:
+every flip records per-column / per-channel dirty ranges, and at the
+end of each sub-wave a vectorized overlap test re-invalidates every
+candidate whose clipped range intersects a dirty range of a column or
+channel it reads.  A changed external congestion snapshot (the net-wise
+algorithm's periodic synchronization) invalidates the whole pool.  The
+first improvement pass therefore evaluates everything; later passes
+only evaluate candidates near actual flips.
+
+Covered-interval rows are maintained incrementally: a flip marks every
+candidate sharing one of its interval multisets stale (via an identity
+index over the multiset lists), and stale rows are rebuilt lazily when
+their candidate next enters a sub-wave.
+
+``eval_wave`` (batched ``eval_both``) uses the same fused gather on the
+current committed state — no rip-up, no sub flags — and defers near-ties
+to the oracle comparison, reproducing ``eval_both`` exactly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.grid.backends._kernels import _TIE_EPS, _merged
+from repro.grid.backends.base import CongestionBackend
+from repro.perfmodel.counter import WorkCounter, NULL_COUNTER
+
+# rec tuple field indices (see CoarseGrid.make_flip_rec)
+_HAS_V, _FB_L, _FB_H, _V_LO, _V_HI, _VT, _IVS_VL, _IVS_VH = range(8)
+_EFPB_L, _EFPB_H = 8, 9
+_CI_L, _CI_H, _HB_L, _HB_H, _H_LO, _H_HI, _HT, _IVS_HL, _IVS_HH = range(10, 19)
+_EHPB_L, _EHPB_H, _OPS_LH = 19, 20, 21
+
+#: sentinel for unused padded-interval slots; every real range has
+#: ``lo >= 0``, so ``(0, -1)`` can never clip to a non-empty overlap
+_SENT_A, _SENT_B = 0, -1
+
+#: "no dirty cells" aggregate defaults: no real range satisfies
+#: ``lo <= -1`` or ``hi >= _FAR``
+_FAR = 1 << 60
+
+
+def _pad_rows(dst_a: np.ndarray, dst_b: np.ndarray, c: int, ivs) -> int:
+    """Write one candidate's covered intervals into padded row ``c``.
+
+    Returns the interval count (callers grow the arrays when it exceeds
+    the current pad width before retrying)."""
+    k = len(ivs)
+    if k > dst_a.shape[1]:
+        return k
+    dst_a[c, :] = _SENT_A
+    dst_b[c, :] = _SENT_B
+    for j, (a, b) in enumerate(ivs):
+        dst_a[c, j] = a
+        dst_b[c, j] = b
+    return k
+
+
+class _FlipPlan:
+    """Per-pool invariants of the batched improvement passes."""
+
+    __slots__ = (
+        "ps", "recs", "n",
+        "has_v", "efpb_l", "efpb_h", "v_lo", "v_hi",
+        "ci_l", "ci_h", "ehpb_l", "ehpb_h", "h_lo", "h_hi",
+        "n_v", "n_h", "same_v", "same_h", "cur_high",
+        "fb_l", "fb_h", "hb_l", "hb_h", "ops_lh",
+        "nfb_l", "nfb_h", "nhb_l", "nhb_h",
+        "a_vl", "b_vl", "a_vh", "b_vh",
+        "a_hl", "b_hl", "a_hh", "b_hh",
+        "stale", "sharers",
+        "invalid", "use_hl", "use_hh",
+        "gcol_l", "gcol_h", "ci_l_safe", "ci_h_safe",
+        "l_hasv", "l_vlo", "l_vhi", "l_hlo", "l_hhi",
+        "l_cil", "l_cih", "l_gl", "l_gh",
+        "nagg_cols", "nagg_chs",
+        "ext_feed_seen", "ext_hus_seen",
+    )
+
+    def __init__(self, ps: list, recs: list, grid) -> None:
+        self.ps = ps
+        self.recs = recs
+        n = self.n = len(recs)
+        arr = np.array(
+            [
+                (
+                    r[_HAS_V], r[_EFPB_L], r[_EFPB_H], r[_V_LO], r[_V_HI],
+                    r[_CI_L], r[_CI_H], r[_EHPB_L], r[_EHPB_H],
+                    r[_H_LO], r[_H_HI], r[_FB_L], r[_FB_H],
+                )
+                for r in recs
+            ],
+            dtype=np.int64,
+        ).reshape(n, 13)
+        self.has_v = arr[:, 0].astype(bool)
+        self.efpb_l = arr[:, 1]
+        self.efpb_h = arr[:, 2]
+        self.v_lo = arr[:, 3]
+        self.v_hi = arr[:, 4]
+        self.ci_l = arr[:, 5]
+        self.ci_h = arr[:, 6]
+        self.ehpb_l = arr[:, 7]
+        self.ehpb_h = arr[:, 8]
+        self.h_lo = arr[:, 9]
+        self.h_hi = arr[:, 10]
+        # clipped-off vertical parts carry the empty-range defaults
+        # (v_lo=1, v_hi=0), which gather to exact zeros on their own
+        self.n_v = np.where(self.has_v, self.v_hi - self.v_lo + 1, 0)
+        self.n_h = self.h_hi - self.h_lo + 1
+        # the sequential sub flags compare buffer bases / channel indices
+        self.same_v = arr[:, 11] == arr[:, 12]
+        self.same_h = self.ci_l == self.ci_h
+        self.cur_high = np.zeros(n, dtype=bool)
+        self.use_hl = self.ci_l >= 0
+        self.use_hh = self.ci_h >= 0
+        # scalar mirrors for the apply loop (no per-item np extraction)
+        self.fb_l = [r[_FB_L] for r in recs]
+        self.fb_h = [r[_FB_H] for r in recs]
+        self.hb_l = [r[_HB_L] for r in recs]
+        self.hb_h = [r[_HB_H] for r in recs]
+        self.ops_lh = [r[_OPS_LH] for r in recs]
+        self.l_hasv = self.has_v.tolist()
+        self.l_vlo = self.v_lo.tolist()
+        self.l_vhi = self.v_hi.tolist()
+        self.l_hlo = self.h_lo.tolist()
+        self.l_hhi = self.h_hi.tolist()
+        self.l_cil = self.ci_l.tolist()
+        self.l_cih = self.ci_h.tolist()
+        # array mirrors of the value-buffer bases (strict-oracle batch)
+        self.nfb_l = np.array(self.fb_l, dtype=np.int64)
+        self.nfb_h = np.array(self.fb_h, dtype=np.int64)
+        self.nhb_l = np.array(self.hb_l, dtype=np.int64)
+        self.nhb_h = np.array(self.hb_h, dtype=np.int64)
+        # column / channel ids for the invalidation aggregates (clipped so
+        # non-participating sides index safely; their use masks gate them)
+        nr, nc, rl = grid.nrows, grid.ncols, grid.row_lo
+        self.nagg_cols = nc
+        self.nagg_chs = nr + 1
+        self.gcol_l = np.clip((self.efpb_l + rl) // (nr + 1), 0, nc - 1)
+        self.gcol_h = np.clip((self.efpb_h + rl) // (nr + 1), 0, nc - 1)
+        self.ci_l_safe = np.maximum(self.ci_l, 0)
+        self.ci_h_safe = np.maximum(self.ci_h, 0)
+        self.l_gl = self.gcol_l.tolist()
+        self.l_gh = self.gcol_h.tolist()
+        # padded covered-interval rows, rebuilt lazily when stale
+        k0 = 2
+        self.a_vl = np.full((n, k0), _SENT_A, dtype=np.int64)
+        self.b_vl = np.full((n, k0), _SENT_B, dtype=np.int64)
+        self.a_vh = np.full((n, k0), _SENT_A, dtype=np.int64)
+        self.b_vh = np.full((n, k0), _SENT_B, dtype=np.int64)
+        self.a_hl = np.full((n, k0), _SENT_A, dtype=np.int64)
+        self.b_hl = np.full((n, k0), _SENT_B, dtype=np.int64)
+        self.a_hh = np.full((n, k0), _SENT_A, dtype=np.int64)
+        self.b_hh = np.full((n, k0), _SENT_B, dtype=np.int64)
+        self.stale = np.ones(n, dtype=bool)
+        # not evaluated yet -> everything needs a first evaluation
+        self.invalid = np.ones(n, dtype=bool)
+        self.ext_feed_seen = grid._ext_feed_cells
+        self.ext_hus_seen = grid._ext_hus_cells
+        # identity index: multiset list -> candidates whose covered rows
+        # read it (a flip mutates its four lists; sharers go stale)
+        sharers = {}
+        for c, r in enumerate(recs):
+            for lst in (r[_IVS_VL], r[_IVS_VH], r[_IVS_HL], r[_IVS_HH]):
+                if lst is not None:
+                    sharers.setdefault(id(lst), []).append(c)
+        self.sharers = sharers
+
+    def grow(self, k: int) -> None:
+        """Widen the padded-interval arrays to ``k`` slots."""
+        def wide(a: np.ndarray, fill: int) -> np.ndarray:
+            out = np.full((self.n, k), fill, dtype=np.int64)
+            out[:, : a.shape[1]] = a
+            return out
+
+        self.a_vl = wide(self.a_vl, _SENT_A)
+        self.b_vl = wide(self.b_vl, _SENT_B)
+        self.a_vh = wide(self.a_vh, _SENT_A)
+        self.b_vh = wide(self.b_vh, _SENT_B)
+        self.a_hl = wide(self.a_hl, _SENT_A)
+        self.b_hl = wide(self.b_hl, _SENT_B)
+        self.a_hh = wide(self.a_hh, _SENT_A)
+        self.b_hh = wide(self.b_hh, _SENT_B)
+
+
+def _minus_own(ivs: list, own: tuple) -> list:
+    """Copy of ``ivs`` with one occurrence of ``own`` removed."""
+    if len(ivs) == 1:
+        return []
+    out = list(ivs)
+    out.remove(own)
+    return out
+
+
+def _strict_terms(
+    V: np.ndarray,
+    base: np.ndarray,
+    lo: np.ndarray,
+    n: np.ndarray,
+    use: np.ndarray,
+    A: np.ndarray,
+    B: np.ndarray,
+    w0: float,
+    wc: float,
+    sub: np.ndarray,
+) -> np.ndarray:
+    """Per-cell strict-oracle cost terms as padded float rows.
+
+    Row ``i`` holds ``w0 + wc*(V[base+cell] - sub)`` for the uncovered
+    cells of ``[lo, lo+n)`` in ascending cell order, and an exact ``0.0``
+    in every other slot — the same IEEE ops the scalar walk performs per
+    cell, so accumulating a row left to right reproduces its cost
+    bit for bit.
+    """
+    m = len(lo)
+    width = int(n[use].max()) if use.any() else 0
+    if width == 0:
+        return np.zeros((m, 0))
+    j = np.arange(width)
+    cells = lo[:, None] + j[None, :]
+    valid = use[:, None] & (j[None, :] < n[:, None])
+    idx = np.where(valid, base[:, None] + cells, 0)
+    vals = V[idx]
+    cov = np.zeros_like(valid)
+    for k in range(A.shape[1]):
+        cov |= (A[:, k : k + 1] <= cells) & (cells <= B[:, k : k + 1])
+    terms = w0 + wc * (vals - sub[:, None].astype(np.int64))
+    return np.where(valid & ~cov, terms, 0.0)
+
+
+def _accumulate_rows(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Sequential left-to-right row sums of ``hstack([a, b])``."""
+    rows = np.hstack((a, b))
+    if not rows.shape[1]:
+        return np.zeros(rows.shape[0])
+    return np.add.accumulate(rows, axis=1)[:, -1]
+
+
+def _covered_batch(
+    P: np.ndarray,
+    base: np.ndarray,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    A: np.ndarray,
+    B: np.ndarray,
+):
+    """Vectorized covered-cell ``(count, prefix_sum)`` over padded rows."""
+    cnt = np.zeros(len(lo), dtype=np.int64)
+    sm = np.zeros(len(lo), dtype=np.int64)
+    for k in range(A.shape[1]):
+        ac = np.maximum(A[:, k], lo)
+        bc = np.minimum(B[:, k], hi)
+        m = ac <= bc
+        if not m.any():
+            continue
+        ia = np.where(m, base + ac, 0)
+        ib = np.where(m, base + bc + 1, 0)
+        cnt += np.where(m, bc - ac + 1, 0)
+        sm += np.where(m, P[ib] - P[ia], 0)
+    return cnt, sm
+
+
+class NumpyBackend(CongestionBackend):
+    """Wave-level batched evaluation over prefix tables."""
+
+    name = "numpy"
+
+    #: candidates per speculative sub-wave: large enough to amortize the
+    #: vector dispatch, small enough that intra-wave flip conflicts (which
+    #: force sequential fallback) stay rare
+    WAVE = 192
+    #: below this wave size the sequential kernels win outright
+    MIN_BATCH = 24
+    #: when memoization leaves fewer fresh evaluations than this in a
+    #: sub-wave, the sequential kernel beats the vector dispatch
+    SEQ_EVAL = 16
+
+    def __init__(self, grid) -> None:
+        super().__init__(grid)
+        self._plan: Optional[_FlipPlan] = None
+        self._extf_src = None
+        self._extf: Optional[np.ndarray] = None
+        self._exth_src = None
+        self._exth: Optional[np.ndarray] = None
+        self._seq = None  # lazily-built sequential fallback backend
+
+    # -- shared helpers --------------------------------------------------
+
+    def _sequential(self):
+        if self._seq is None:
+            from repro.grid.backends.python_ref import PythonBackend
+
+            self._seq = PythonBackend(self.grid)
+        return self._seq
+
+    def _ext_feed_arr(self) -> Optional[np.ndarray]:
+        cells = self.grid._ext_feed_cells
+        if cells is None:
+            return None
+        if cells is not self._extf_src:
+            self._extf_src = cells
+            self._extf = np.array(cells, dtype=np.int64)
+        return self._extf
+
+    def _ext_hus_arr(self) -> Optional[np.ndarray]:
+        cells = self.grid._ext_hus_cells
+        if cells is None:
+            return None
+        if cells is not self._exth_src:
+            self._exth_src = cells
+            self._exth = np.array(cells, dtype=np.int64)
+        return self._exth
+
+    def _prefix_tables(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Combined own+external prefix tables of both buffers.
+
+        Layout matches the external prefix tables the sequential kernels
+        use: feed column ``g`` owns entries ``[g*(nrows+1), (g+1)*(nrows+1))``
+        and channel ``ci`` owns ``[ci*(ncols+1), (ci+1)*(ncols+1))``, so
+        the flip records' prefix bases index both tables unchanged.
+        """
+        pf, ph, _feed, _hus = self._tables()
+        return pf, ph
+
+    def _tables(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Prefix tables plus the combined per-cell value arrays.
+
+        The value arrays keep the flat layout of the own buffers (feed
+        column ``g`` at ``g*nrows``, channel ``ci`` at ``ci*ncols``), so
+        the flip records' value bases index them unchanged — the
+        strict-oracle batch reads cells from these.
+        """
+        g = self.grid
+        nr, nc = g.nrows, g.ncols
+        feed = np.array(g._feed, dtype=np.int64)
+        ext = self._ext_feed_arr()
+        if ext is not None:
+            feed = feed + ext
+        pf = np.zeros((nc, nr + 1), dtype=np.int64)
+        np.cumsum(feed.reshape(nc, nr), axis=1, out=pf[:, 1:])
+        hus = np.array(g._hus, dtype=np.int64)
+        ext = self._ext_hus_arr()
+        if ext is not None:
+            hus = hus + ext
+        ph = np.zeros((nr + 1, nc + 1), dtype=np.int64)
+        np.cumsum(hus.reshape(nr + 1, nc), axis=1, out=ph[:, 1:])
+        return pf.ravel(), ph.ravel(), feed, hus
+
+    # -- batched eval_both ----------------------------------------------
+
+    def eval_wave(
+        self,
+        pairs: Sequence[Tuple],
+        counter: WorkCounter = NULL_COUNTER,
+    ) -> List[Tuple[float, float, bool]]:
+        grid = self.grid
+        if grid.strict or len(pairs) < 2:
+            return self._sequential().eval_wave(pairs, counter)
+        m = 2 * len(pairs)
+        use_v = np.zeros(m, dtype=bool)
+        pfb = np.zeros(m, dtype=np.int64)
+        v_lo = np.zeros(m, dtype=np.int64)
+        v_hi = np.full(m, -1, dtype=np.int64)
+        use_h = np.zeros(m, dtype=bool)
+        phb = np.zeros(m, dtype=np.int64)
+        g_lo = np.zeros(m, dtype=np.int64)
+        g_hi = np.full(m, -1, dtype=np.int64)
+        kmax = 1
+        cov_v: List[list] = [()] * m
+        cov_h: List[list] = [()] * m
+        rl = grid.row_lo
+        nr = grid.nrows
+        nc = grid.ncols
+        net_vert = grid._net_vert
+        net_horiz = grid._net_horiz
+        i = 0
+        for low, high in pairs:
+            for route in (low, high):
+                net = route.net
+                v = route.vert
+                if v is not None:
+                    gcol, r_lo, r_hi = v
+                    lo = max(r_lo + 1, rl)
+                    hi = min(r_hi - 1, rl + nr - 1)
+                    if lo <= hi:
+                        use_v[i] = True
+                        pfb[i] = gcol * (nr + 1) - rl
+                        v_lo[i] = lo
+                        v_hi[i] = hi
+                        ivs = net_vert.get((net, gcol))
+                        if ivs:
+                            cov = _merged(ivs)
+                            cov_v[i] = cov
+                            if len(cov) > kmax:
+                                kmax = len(cov)
+                h = route.horiz
+                if h is not None:
+                    ch, c_lo, c_hi = h
+                    ci = ch - rl
+                    if 0 <= ci <= nr:
+                        use_h[i] = True
+                        phb[i] = ci * (nc + 1)
+                        g_lo[i] = c_lo
+                        g_hi[i] = c_hi
+                        ivs = net_horiz.get((net, ch))
+                        if ivs:
+                            cov = _merged(ivs)
+                            cov_h[i] = cov
+                            if len(cov) > kmax:
+                                kmax = len(cov)
+                i += 1
+        a_v = np.full((m, kmax), _SENT_A, dtype=np.int64)
+        b_v = np.full((m, kmax), _SENT_B, dtype=np.int64)
+        a_h = np.full((m, kmax), _SENT_A, dtype=np.int64)
+        b_h = np.full((m, kmax), _SENT_B, dtype=np.int64)
+        for c in range(m):
+            for j, (a, b) in enumerate(cov_v[c]):
+                a_v[c, j] = a
+                b_v[c, j] = b
+            for j, (a, b) in enumerate(cov_h[c]):
+                a_h[c, j] = a
+                b_h[c, j] = b
+
+        PF, PH = self._prefix_tables()
+        cnt, sm = _covered_batch(PF, pfb, v_lo, v_hi, a_v, b_v)
+        n_v = np.where(use_v, v_hi - v_lo + 1 - cnt, 0)
+        s_v = np.where(use_v, PF[pfb + v_hi + 1] - PF[pfb + v_lo] - sm, 0)
+        cnt, sm = _covered_batch(PH, phb, g_lo, g_hi, a_h, b_h)
+        n_h = np.where(use_h, g_hi - g_lo + 1 - cnt, 0)
+        s_h = np.where(use_h, PH[phb + g_hi + 1] - PH[phb + g_lo] - sm, 0)
+
+        w = grid.weights
+        # same float op order as eval_cost: absent parts contribute an
+        # exact 0.0 because their counts and sums are zeroed above
+        cost = (n_v * w.feed + w.feed_congestion * s_v) + (
+            n_h * 1.0 + w.channel_congestion * s_h
+        )
+        # eval_cost charges the full clipped range per call, min 1
+        ops = np.where(use_v, v_hi - v_lo + 1, 0) + np.where(use_h, g_hi - g_lo + 1, 0)
+        counter.add("coarse", int(np.maximum(ops, 1).sum()))
+
+        c_low = cost[0::2]
+        c_high = cost[1::2]
+        d = c_low - c_high
+        tied = (-_TIE_EPS < d) & (d < _TIE_EPS)
+        picks = d > 0.0
+        out: List[Tuple[float, float, bool]] = []
+        strict_eval = grid._eval_cost_strict
+        cl_list = c_low.tolist()
+        ch_list = c_high.tolist()
+        pk_list = picks.tolist()
+        td_list = tied.tolist()
+        for j, (low, high) in enumerate(pairs):
+            if td_list[j]:
+                pick = strict_eval(high) < strict_eval(low)
+            else:
+                pick = pk_list[j]
+            out.append((cl_list[j], ch_list[j], pick))
+        return out
+
+    # -- batched improvement passes --------------------------------------
+
+    def begin_flip_waves(self, committed, diagonal_idx: Sequence[int]) -> None:
+        self._plan = None
+        if self.grid.strict or not diagonal_idx:
+            return
+        ps = [committed[i] for i in diagonal_idx]
+        recs = [p.rec for p in ps]
+        if any(r is None for r in recs):
+            return  # sequential fallback handles mixed pools
+        self._plan = _FlipPlan(ps, recs, self.grid)
+
+    def flip_wave(
+        self,
+        committed,
+        diagonal_idx: Sequence[int],
+        order: np.ndarray,
+        counter: WorkCounter = NULL_COUNTER,
+    ) -> int:
+        plan = self._plan
+        if plan is None or len(order) < self.MIN_BATCH:
+            return self._sequential().flip_wave(
+                committed, diagonal_idx, order, counter
+            )
+        grid = self.grid
+        # a new external snapshot shifts every cost: all bets are off
+        if (
+            grid._ext_feed_cells is not plan.ext_feed_seen
+            or grid._ext_hus_cells is not plan.ext_hus_seen
+        ):
+            plan.invalid[:] = True
+            plan.ext_feed_seen = grid._ext_feed_cells
+            plan.ext_hus_seen = grid._ext_hus_cells
+        changed = 0
+        wave = self.WAVE
+        s = 0
+        n = len(order)
+        while s < n:
+            ids = order[s : s + wave]
+            flips = self._run_subwave(plan, ids, counter)
+            changed += flips
+            s += len(ids)
+            # adaptive wave sizing: few flips mean little conflict risk,
+            # so later sub-waves amortize the vector dispatch over far
+            # more candidates; a flip burst drops back to the base size.
+            # Both inputs are bit-identical across backends, so the wave
+            # boundaries (and hence the evaluation order) stay
+            # deterministic.
+            if flips * 16 <= len(ids):
+                wave = min(wave * 4, 1 << 20)
+            else:
+                wave = self.WAVE
+        return changed
+
+    def _refresh_rows(self, plan: _FlipPlan, ids: np.ndarray) -> None:
+        """Rebuild stale covered-interval rows for candidates in ``ids``."""
+        stale_ids = ids[plan.stale[ids]]
+        if not len(stale_ids):
+            return
+        recs = plan.recs
+        cur_high = plan.cur_high
+        for c in stale_ids.tolist():
+            r = recs[c]
+            cur = cur_high[c]
+            while True:
+                need = 1
+                if r[_HAS_V]:
+                    ivs_vl, ivs_vh, vt = r[_IVS_VL], r[_IVS_VH], r[_VT]
+                    # the rip-up removes own from the *current* side's
+                    # list; when both sides read the same list (clamped
+                    # columns coincide) the other side sees it gone too.
+                    # Single-entry lists (just the own route) dominate,
+                    # so short-circuit them: minus-own leaves nothing,
+                    # keep-own is already one merged interval.
+                    shared = ivs_vl is ivs_vh
+                    if cur or shared:
+                        cov_h = () if len(ivs_vh) == 1 else _merged(
+                            _minus_own(ivs_vh, vt)
+                        )
+                    elif not ivs_vh:
+                        cov_h = ()
+                    else:
+                        cov_h = ivs_vh if len(ivs_vh) == 1 else _merged(ivs_vh)
+                    if not cur or shared:
+                        cov_l = () if len(ivs_vl) == 1 else _merged(
+                            _minus_own(ivs_vl, vt)
+                        )
+                    elif not ivs_vl:
+                        cov_l = ()
+                    else:
+                        cov_l = ivs_vl if len(ivs_vl) == 1 else _merged(ivs_vl)
+                    need = max(
+                        need,
+                        _pad_rows(plan.a_vl, plan.b_vl, c, cov_l),
+                        _pad_rows(plan.a_vh, plan.b_vh, c, cov_h),
+                    )
+                shared = r[_IVS_HL] is not None and r[_IVS_HL] is r[_IVS_HH]
+                if r[_CI_L] >= 0:
+                    ivs = r[_IVS_HL]
+                    if not cur or shared:
+                        cov = () if len(ivs) == 1 else _merged(
+                            _minus_own(ivs, r[_HT])
+                        )
+                    elif not ivs:
+                        cov = ()
+                    else:
+                        cov = ivs if len(ivs) == 1 else _merged(ivs)
+                    need = max(need, _pad_rows(plan.a_hl, plan.b_hl, c, cov))
+                if r[_CI_H] >= 0:
+                    ivs = r[_IVS_HH]
+                    if cur or shared:
+                        cov = () if len(ivs) == 1 else _merged(
+                            _minus_own(ivs, r[_HT])
+                        )
+                    elif not ivs:
+                        cov = ()
+                    else:
+                        cov = ivs if len(ivs) == 1 else _merged(ivs)
+                    need = max(need, _pad_rows(plan.a_hh, plan.b_hh, c, cov))
+                if need <= plan.a_vl.shape[1]:
+                    break
+                plan.grow(need)
+        plan.stale[stale_ids] = False
+
+    def _decide(self, plan: _FlipPlan, E: np.ndarray) -> np.ndarray:
+        """Batched flip decisions (True = high) for candidates ``E``."""
+        PF, PH, FV, HV = self._tables()
+        off = len(PF)
+        T = np.concatenate((PF, PH))
+        m = len(E)
+        cur = plan.cur_high[E]
+        has_v = plan.has_v[E]
+        lo = plan.v_lo[E]
+        hi = plan.v_hi[E]
+        n_v = plan.n_v[E]
+        same_v = plan.same_v[E]
+        use_hl = plan.use_hl[E]
+        use_hh = plan.use_hh[E]
+        h_lo = plan.h_lo[E]
+        h_hi = plan.h_hi[E]
+        n_h = plan.n_h[E]
+        same_h = plan.same_h[E]
+        A_vl, B_vl = plan.a_vl[E], plan.b_vl[E]
+        A_vh, B_vh = plan.a_vh[E], plan.b_vh[E]
+        A_hl, B_hl = plan.a_hl[E], plan.b_hl[E]
+        A_hh, B_hh = plan.a_hh[E], plan.b_hh[E]
+        # all four sides in ONE fused gather over the stacked prefix
+        # table (feed columns first, channels at `off`); empty clipped
+        # ranges gather to exact zeros via their defaults
+        base4 = np.concatenate(
+            (plan.efpb_l[E], plan.efpb_h[E], plan.ehpb_l[E] + off, plan.ehpb_h[E] + off)
+        )
+        lo4 = np.concatenate((lo, lo, h_lo, h_lo))
+        hi4 = np.concatenate((hi, hi, h_hi, h_hi))
+        A4 = np.concatenate((A_vl, A_vh, A_hl, A_hh))
+        B4 = np.concatenate((B_vl, B_vh, B_hl, B_hh))
+        cnt4, sm4 = _covered_batch(T, base4, lo4, hi4, A4, B4)
+        # uncovered sum = full-range prefix difference minus covered sum
+        un4 = T[base4 + hi4 + 1] - T[base4 + lo4] - sm4
+        m2, m3 = 2 * m, 3 * m
+        n_vl = np.where(has_v, n_v - cnt4[:m], 0)
+        s_vl = np.where(has_v, un4[:m], 0)
+        n_vh = np.where(has_v, n_v - cnt4[m:m2], 0)
+        s_vh = np.where(has_v, un4[m:m2], 0)
+        n_hl = np.where(use_hl, n_h - cnt4[m2:m3], 0)
+        s_hl = np.where(use_hl, un4[m2:m3], 0)
+        n_hh = np.where(use_hh, n_h - cnt4[m3:], 0)
+        s_hh = np.where(use_hh, un4[m3:], 0)
+        # the ripped-up route's own +1 still sits on every cell the
+        # current side gathers (and the other side too when the clamped
+        # columns coincide) — identical to the sequential sub flags
+        sub_vl = np.where(cur, same_v, True)
+        sub_vh = np.where(cur, True, same_v)
+        s_vl = s_vl - np.where(sub_vl, n_vl, 0)
+        s_vh = s_vh - np.where(sub_vh, n_vh, 0)
+        sub_hl = np.where(cur, same_h, True)
+        sub_hh = np.where(cur, True, same_h)
+        s_hl = s_hl - np.where(sub_hl & use_hl, n_hl, 0)
+        s_hh = s_hh - np.where(sub_hh & use_hh, n_hh, 0)
+
+        w = self.grid.weights
+        wf = w.feed
+        wfc = w.feed_congestion
+        wcc = w.channel_congestion
+        # same float op order as flip_step_rec; absent sides are exact 0.0
+        c_low = (n_vl * wf + wfc * s_vl) + (n_hl * 1.0 + wcc * s_hl)
+        c_high = (n_vh * wf + wfc * s_vh) + (n_hh * 1.0 + wcc * s_hh)
+        d = c_low - c_high
+        tied = (-_TIE_EPS < d) & (d < _TIE_EPS)
+        # the zero-congestion tie shortcut: exact sums of zero mean every
+        # cell is zero, so the strict walks would be bit-equal — keep low
+        zero_tie = (
+            tied
+            & (s_vl == 0) & (s_vh == 0) & (s_hl == 0) & (s_hh == 0)
+            & (n_vl == n_vh) & (n_hl == n_hh)
+        )
+        picks = np.where(tied, False, d > 0.0)
+        o = np.nonzero(tied & ~zero_tie)[0]
+        if len(o):
+            # batched strict oracle, both sides stacked (low rows first):
+            # per-cell terms accumulated left to right — the same
+            # sequential float additions as the scalar walk (padding
+            # slots are exact 0.0 and never change a partial sum)
+            k = len(o)
+            lo2 = np.concatenate((lo[o], lo[o]))
+            n_v2 = np.concatenate((n_v[o], n_v[o]))
+            has2 = np.concatenate((has_v[o], has_v[o]))
+            vb2 = np.concatenate((plan.nfb_l[E][o], plan.nfb_h[E][o]))
+            Av2 = np.concatenate((A_vl[o], A_vh[o]))
+            Bv2 = np.concatenate((B_vl[o], B_vh[o]))
+            sv2 = np.concatenate((sub_vl[o], sub_vh[o]))
+            hlo2 = np.concatenate((h_lo[o], h_lo[o]))
+            n_h2 = np.concatenate((n_h[o], n_h[o]))
+            use2 = np.concatenate((use_hl[o], use_hh[o]))
+            hb2 = np.concatenate((plan.nhb_l[E][o], plan.nhb_h[E][o]))
+            Ah2 = np.concatenate((A_hl[o], A_hh[o]))
+            Bh2 = np.concatenate((B_hl[o], B_hh[o]))
+            sh2 = np.concatenate((sub_hl[o], sub_hh[o]))
+            tv = _strict_terms(FV, vb2, lo2, n_v2, has2, Av2, Bv2, wf, wfc, sv2)
+            th = _strict_terms(HV, hb2, hlo2, n_h2, use2, Ah2, Bh2, 1.0, wcc, sh2)
+            c2 = _accumulate_rows(tv, th)
+            picks[o] = c2[k:] < c2[:k]
+        return picks
+
+    def _run_subwave(
+        self, plan: _FlipPlan, ids: np.ndarray, counter: WorkCounter
+    ) -> int:
+        grid = self.grid
+        W = ids
+        inval = plan.invalid[W]
+        nval = int(inval.sum())
+        forced = None
+        picks_w = plan.cur_high[W].copy()
+        if nval == len(W):
+            self._refresh_rows(plan, W)
+            picks_w = self._decide(plan, W)
+        elif nval >= self.SEQ_EVAL:
+            epos = np.nonzero(inval)[0]
+            E = W[epos]
+            self._refresh_rows(plan, E)
+            picks_w[epos] = self._decide(plan, E)
+        elif nval:
+            forced = set(W[inval].tolist())
+        # everything in this wave is (re-)evaluated below; flips re-mark
+        # their neighbourhoods at the end of the wave
+        plan.invalid[W] = False
+
+        # apply in wave order; conflicts with an earlier flip in the
+        # same sub-wave re-run the sequential kernel on the live state
+        ps_list = plan.ps
+        recs = plan.recs
+        fb_l, fb_h = plan.fb_l, plan.fb_h
+        hb_l, hb_h = plan.hb_l, plan.hb_h
+        ops_lh = plan.ops_lh
+        l_hasv = plan.l_hasv
+        l_vlo, l_vhi = plan.l_vlo, plan.l_vhi
+        l_hlo, l_hhi = plan.l_hlo, plan.l_hhi
+        l_cil, l_cih = plan.l_cil, plan.l_cih
+        l_gl, l_gh = plan.l_gl, plan.l_gh
+        cur_high = plan.cur_high
+        sharers = plan.sharers
+        stale = plan.stale
+        invalid = plan.invalid
+        _hit = self._hit
+        flip_rec = grid.flip_step_rec
+        commit_flip = grid._commit_flip
+        dirty_v: dict = {}
+        dirty_h: dict = {}
+        have_dirty = False
+        alc = ahc = alh = ahh = None
+        ids_l = ids.tolist()
+        cur_l = plan.cur_high[W].tolist()
+        pk_l = picks_w.tolist()
+        batch_ops = 0
+        changed = 0
+        for j, c in enumerate(ids_l):
+            cur_c = cur_l[j]
+            if have_dirty or forced is not None:
+                hit = forced is not None and c in forced
+                if not hit and have_dirty:
+                    vlo, vhi = l_vlo[c], l_vhi[c]
+                    hlo, hhi = l_hlo[c], l_hhi[c]
+                    hit = (
+                        _hit(dirty_v, fb_l[c], vlo, vhi)
+                        or _hit(dirty_v, fb_h[c], vlo, vhi)
+                        or _hit(dirty_h, hb_l[c], hlo, hhi)
+                        or _hit(dirty_h, hb_h[c], hlo, hhi)
+                    )
+                if hit:
+                    pick = flip_rec(recs[c], cur_c, counter)
+                    if pick == cur_c:
+                        continue
+                else:
+                    pick = pk_l[j]
+                    batch_ops += ops_lh[c]
+                    if pick == cur_c:
+                        continue
+                    commit_flip(recs[c], cur_c)
+            else:
+                pick = pk_l[j]
+                batch_ops += ops_lh[c]
+                if pick == cur_c:
+                    continue
+                commit_flip(recs[c], cur_c)
+            # -- flip bookkeeping --
+            changed += 1
+            cur_high[c] = pick
+            ps = ps_list[c]
+            if pick:
+                ps.orient = _HIGH_ORIENT
+                ps.route = ps.route_high
+            else:
+                ps.orient = _LOW_ORIENT
+                ps.route = ps.route_low
+            if not have_dirty:
+                have_dirty = True
+                alc = [_FAR] * plan.nagg_cols
+                ahc = [-1] * plan.nagg_cols
+                alh = [_FAR] * plan.nagg_chs
+                ahh = [-1] * plan.nagg_chs
+            # conservative conflict ranges on all four resources, both as
+            # exact per-base ranges (intra-wave) and per-column/channel
+            # aggregates (cross-wave invalidation)
+            if l_hasv[c]:
+                vlo, vhi = l_vlo[c], l_vhi[c]
+                dirty_v.setdefault(fb_l[c], []).append((vlo, vhi))
+                dirty_v.setdefault(fb_h[c], []).append((vlo, vhi))
+                for gcol in (l_gl[c], l_gh[c]):
+                    if alc[gcol] > vlo:
+                        alc[gcol] = vlo
+                    if ahc[gcol] < vhi:
+                        ahc[gcol] = vhi
+            hlo, hhi = l_hlo[c], l_hhi[c]
+            ci = l_cil[c]
+            if ci >= 0:
+                dirty_h.setdefault(hb_l[c], []).append((hlo, hhi))
+                if alh[ci] > hlo:
+                    alh[ci] = hlo
+                if ahh[ci] < hhi:
+                    ahh[ci] = hhi
+            ci = l_cih[c]
+            if ci >= 0:
+                dirty_h.setdefault(hb_h[c], []).append((hlo, hhi))
+                if alh[ci] > hlo:
+                    alh[ci] = hlo
+                if ahh[ci] < hhi:
+                    ahh[ci] = hhi
+            rec = recs[c]
+            for lst in (rec[_IVS_VL], rec[_IVS_VH], rec[_IVS_HL], rec[_IVS_HH]):
+                if lst is not None:
+                    for other in sharers[id(lst)]:
+                        stale[other] = True
+                        invalid[other] = True
+        if batch_ops:
+            # bulk charge == the per-candidate sequential charges
+            counter.add("coarse", batch_ops)
+        if have_dirty:
+            # cross-wave invalidation: a candidate reading a touched
+            # column/channel with a range overlapping its dirty aggregate
+            # can no longer reuse its last evaluation
+            alc_a = np.array(alc)
+            ahc_a = np.array(ahc)
+            gl, gh = plan.gcol_l, plan.gcol_h
+            ov = plan.has_v & (plan.v_lo <= ahc_a[gl]) & (plan.v_hi >= alc_a[gl])
+            ov |= plan.has_v & (plan.v_lo <= ahc_a[gh]) & (plan.v_hi >= alc_a[gh])
+            alh_a = np.array(alh)
+            ahh_a = np.array(ahh)
+            cl, ch = plan.ci_l_safe, plan.ci_h_safe
+            ov |= plan.use_hl & (plan.h_lo <= ahh_a[cl]) & (plan.h_hi >= alh_a[cl])
+            ov |= plan.use_hh & (plan.h_lo <= ahh_a[ch]) & (plan.h_hi >= alh_a[ch])
+            invalid |= ov
+        return changed
+
+    @staticmethod
+    def _hit(dirty: dict, base: int, lo: int, hi: int) -> bool:
+        ranges = dirty.get(base)
+        if ranges is None:
+            return False
+        for a, b in ranges:
+            if a <= hi and b >= lo:
+                return True
+        return False
+
+
+# resolved once at import; Orientation lives in repro.grid.coarse, which
+# imports this package lazily, so the import below cannot cycle
+from repro.grid.coarse import Orientation as _Orientation  # noqa: E402
+
+_LOW_ORIENT = _Orientation.VERT_AT_LOW
+_HIGH_ORIENT = _Orientation.VERT_AT_HIGH

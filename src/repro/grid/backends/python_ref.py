@@ -1,0 +1,69 @@
+"""The reference pure-Python backend.
+
+Waves are processed as the sequential loops the router always ran: one
+fused ``flip_step_rec`` / ``flip_step`` call per candidate in wave order,
+one ``eval_both`` per evaluation pair.  The primitive kernels themselves
+live in :mod:`repro.grid.backends._kernels`; this class is the thin wave
+adapter that makes the sequential path a :class:`CongestionBackend` like
+any other — and thereby the executable specification the NumPy backend
+is property-tested against.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.grid.backends.base import CongestionBackend
+from repro.perfmodel.counter import WorkCounter, NULL_COUNTER
+
+
+class PythonBackend(CongestionBackend):
+    """Sequential flat-buffer kernels behind the wave interface."""
+
+    name = "python"
+
+    def eval_wave(
+        self,
+        pairs: Sequence[Tuple],
+        counter: WorkCounter = NULL_COUNTER,
+    ) -> List[Tuple[float, float, bool]]:
+        eval_both = self.grid.eval_both
+        return [eval_both(low, high, counter) for low, high in pairs]
+
+    def begin_flip_waves(self, committed, diagonal_idx: Sequence[int]) -> None:
+        pass  # no per-pool state beyond the precomputed flip records
+
+    def flip_wave(
+        self,
+        committed,
+        diagonal_idx: Sequence[int],
+        order: np.ndarray,
+        counter: WorkCounter = NULL_COUNTER,
+    ) -> int:
+        from repro.grid.coarse import Orientation
+
+        grid = self.grid
+        flip_rec = grid.flip_step_rec
+        flip = grid.flip_step
+        LOW = Orientation.VERT_AT_LOW
+        HIGH = Orientation.VERT_AT_HIGH
+        changed = 0
+        for k in order.tolist():
+            ps = committed[diagonal_idx[k]]
+            # fused rip-up / evaluate-both / re-commit kernel; the
+            # decision is identical to comparing two eval_cost calls
+            rec = ps.rec
+            if rec is not None:
+                pick_high = flip_rec(rec, ps.orient is HIGH, counter)
+            else:
+                pick_high = flip(ps.route_low, ps.route_high, ps.route, counter)
+            if pick_high:
+                new_orient, new_route = HIGH, ps.route_high
+            else:
+                new_orient, new_route = LOW, ps.route_low
+            if new_orient is not ps.orient:
+                changed += 1
+            ps.orient, ps.route = new_orient, new_route
+        return changed

@@ -41,220 +41,18 @@ import numpy as np
 from repro.geometry import Segment
 from repro.perfmodel.counter import WorkCounter, NULL_COUNTER
 
-#: Cost gap below which the fast kernel defers an orientation decision to
-#: the strict per-cell oracle.  Real cost differences are sums of weight
-#: multiples (≥ 0.05 with the default weights); floating-point noise in
-#: either cost form is bounded far below 1e-9, so any gap inside this band
-#: means the two orientations are tied in real arithmetic and only the
-#: oracle's accumulation order can break the tie the way the pre-rewrite
-#: implementation did.
-_TIE_EPS = 1e-7
-
-
-def _uncovered(lo: int, hi: int, ivs: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
-    """Subranges of the inclusive range ``[lo, hi]`` not covered by ``ivs``.
-
-    ``ivs`` is a small unordered multiset of inclusive intervals (a net's
-    existing runs over one grid column / channel).  The result is the
-    ordered list of maximal gaps — the cells where committing a new run
-    would actually consume a fresh resource.
-    """
-    if not ivs:
-        return [(lo, hi)]
-    if len(ivs) == 1:  # the overwhelmingly common case: one run per column
-        a, b = ivs[0]
-        if a > hi or b < lo:
-            return [(lo, hi)]
-        out = []
-        if a > lo:
-            out.append((lo, a - 1))
-        if b < hi:
-            out.append((b + 1, hi))
-        return out
-    rel = sorted((a, b) for a, b in ivs if a <= hi and b >= lo)
-    if not rel:
-        return [(lo, hi)]
-    out: List[Tuple[int, int]] = []
-    cur = lo
-    for a, b in rel:
-        if a > hi or cur > hi:
-            break
-        if a > cur:
-            out.append((cur, a - 1))
-        if b >= cur:
-            cur = b + 1
-    if cur <= hi:
-        out.append((cur, hi))
-    return out
-
-
-def _merged(ivs: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
-    """Sorted disjoint merge of an inclusive-interval multiset."""
-    if len(ivs) == 1:
-        return ivs
-    out: List[Tuple[int, int]] = []
-    for a, b in sorted(ivs):
-        if out and a <= out[-1][1] + 1:
-            if b > out[-1][1]:
-                out[-1] = (out[-1][0], b)
-        else:
-            out.append((a, b))
-    return out
-
-
-def _bump_range(
-    buf: List[int],
-    base: int,
-    lo: int,
-    hi: int,
-    ivs: List[Tuple[int, int]],
-    delta: int,
-) -> None:
-    """Add ``delta`` to ``buf[base + x]`` for the cells of ``[lo, hi]``
-    not covered by ``ivs``.  The 0/1-interval cases are inlined — they
-    cover nearly every call — so the hot path allocates nothing."""
-    if lo == hi:  # single cell — the typical vertical run of an L
-        if ivs:
-            for a, b in ivs:
-                if a <= lo <= b:
-                    return
-        buf[base + lo] += delta
-        return
-    if not ivs:
-        for i in range(base + lo, base + hi + 1):
-            buf[i] += delta
-        return
-    if len(ivs) == 1:
-        a, b = ivs[0]
-        if a > hi or b < lo:
-            for i in range(base + lo, base + hi + 1):
-                buf[i] += delta
-            return
-        if a > lo:
-            for i in range(base + lo, base + a):
-                buf[i] += delta
-        if b < hi:
-            for i in range(base + b + 1, base + hi + 1):
-                buf[i] += delta
-        return
-    for a, b in _uncovered(lo, hi, ivs):
-        for i in range(base + a, base + b + 1):
-            buf[i] += delta
-
-
-def _strict_eval(
-    feed: List[int],
-    fb: int,
-    lo: int,
-    hi: int,
-    ivs: Optional[List[Tuple[int, int]]],
-    extf: Optional[List[int]],
-    wf: float,
-    wfc: float,
-    hus: List[int],
-    hb: int,
-    g_lo: int,
-    g_hi: int,
-    ivsh: Optional[List[Tuple[int, int]]],
-    exth: Optional[List[int]],
-    wcc: float,
-    use_v: bool,
-    use_h: bool,
-    sub_v: int = 0,
-    sub_h: int = 0,
-) -> float:
-    """Per-cell cost accumulation from pre-clipped ranges — the tie-break
-    core of :meth:`CoarseGrid.flip_step`, kept in exact agreement with
-    :meth:`CoarseGrid._eval_cost_strict`.  External mirrors share the flat
-    layout of the own maps, so one base serves both.
-
-    ``sub_v``/``sub_h`` subtract a constant from every visited cell: the
-    mutation-free flip kernel leaves the ripped-up route's own ``+1`` in
-    the usage buffers, and that contribution sits on exactly the cells
-    this walk visits, so subtracting it per cell reproduces the ripped-up
-    per-cell values (and hence the legacy accumulation) bit-for-bit."""
-    cost = 0.0
-    if use_v:
-        for a, b in _uncovered(lo, hi, ivs) if ivs else ((lo, hi),):
-            if extf is None:
-                for i in range(fb + a, fb + b + 1):
-                    cost += wf + wfc * (feed[i] - sub_v)
-            else:
-                for r in range(a, b + 1):
-                    cost += wf + wfc * (feed[fb + r] + extf[fb + r] - sub_v)
-    if use_h:
-        for a, b in _uncovered(g_lo, g_hi, ivsh) if ivsh else ((g_lo, g_hi),):
-            if exth is None:
-                for i in range(hb + a, hb + b + 1):
-                    cost += 1.0 + wcc * (hus[i] - sub_h)
-            else:
-                for c in range(a, b + 1):
-                    cost += 1.0 + wcc * (hus[hb + c] + exth[hb + c] - sub_h)
-    return cost
-
-
-def _gather(
-    buf: List[int],
-    base: int,
-    lo: int,
-    hi: int,
-    ivs: Optional[List[Tuple[int, int]]],
-    ep: Optional[List[int]],
-    pb: int,
-) -> Tuple[int, int]:
-    """``(cells, congestion_sum)`` over the uncovered cells of ``[lo, hi]``.
-
-    ``buf[base + x]`` is the aggregate congestion of cell ``x``; ``ep`` is
-    the external snapshot's prefix-sum table (``ep[pb + x]`` = sum of the
-    external values strictly below cell ``x``), making each external
-    interval an O(1) difference.  The own-map term is a C-level slice
-    reduction — exact integer arithmetic either way, so the caller's
-    ``count * w + w_c * sum`` cost is deterministic regardless of how the
-    cells would have been walked.
-    """
-    if lo == hi:  # single cell
-        if ivs:
-            for a, b in ivs:
-                if a <= lo <= b:
-                    return 0, 0
-        s = buf[base + lo]
-        if ep is not None:
-            i = pb + lo
-            s += ep[i + 1] - ep[i]
-        return 1, s
-    if not ivs:
-        s = sum(buf[base + lo : base + hi + 1])
-        if ep is not None:
-            s += ep[pb + hi + 1] - ep[pb + lo]
-        return hi - lo + 1, s
-    if len(ivs) == 1:
-        a, b = ivs[0]
-        if a > hi or b < lo:
-            s = sum(buf[base + lo : base + hi + 1])
-            if ep is not None:
-                s += ep[pb + hi + 1] - ep[pb + lo]
-            return hi - lo + 1, s
-        n = 0
-        s = 0
-        if a > lo:
-            s = sum(buf[base + lo : base + a])
-            if ep is not None:
-                s += ep[pb + a] - ep[pb + lo]
-            n = a - lo
-        if b < hi:
-            s += sum(buf[base + b + 1 : base + hi + 1])
-            if ep is not None:
-                s += ep[pb + hi + 1] - ep[pb + b + 1]
-            n += hi - b
-        return n, s
-    n = 0
-    s = 0
-    for a, b in _uncovered(lo, hi, ivs):
-        s += sum(buf[base + a : base + b + 1])
-        if ep is not None:
-            s += ep[pb + b + 1] - ep[pb + a]
-        n += b - a + 1
-    return n, s
+# The primitive congestion kernels (gap computation, range bumps, exact
+# integer gathers, the strict per-cell oracle walk) moved to the backend
+# package when the congestion core grew a second, batched implementation;
+# they are re-exported here so historical imports keep working.
+from repro.grid.backends._kernels import (  # noqa: F401  (re-exports)
+    _TIE_EPS,
+    _bump_range,
+    _gather,
+    _merged,
+    _strict_eval,
+    _uncovered,
+)
 
 
 class Orientation(enum.IntEnum):
@@ -310,6 +108,14 @@ class CoarseGrid:
     fast mode computes each part as ``count * w + w_c * range_sum`` from
     exact integer gathers and defers only real-arithmetic ties to the
     strict walk, so both modes commit identical routes.
+
+    ``backend`` selects the *batched* congestion core (see
+    :mod:`repro.grid.backends`): ``"python"`` loops the sequential fused
+    kernels, ``"numpy"`` scores whole candidate waves as array ops, and
+    ``None``/``"auto"`` resolves via the ``REPRO_BACKEND`` environment
+    variable.  Backends are bit-identical by contract — routes, buffers
+    and work charges never depend on the choice.  Strict grids always
+    run the ``python`` backend (the oracle takes no shortcuts).
     """
 
     def __init__(
@@ -320,6 +126,7 @@ class CoarseGrid:
         row_lo: int = 0,
         weights: CostWeights = CostWeights(),
         strict: bool = False,
+        backend: Optional[str] = None,
     ) -> None:
         if ncols <= 0 or nrows <= 0 or col_width <= 0:
             raise ValueError("grid dimensions must be positive")
@@ -329,6 +136,10 @@ class CoarseGrid:
         self.row_lo = row_lo
         self.weights = weights
         self.strict = strict
+        from repro.grid.backends import make_backend, resolve_backend_name
+
+        self.backend_name = "python" if strict else resolve_backend_name(backend)
+        self._backend = make_backend(self.backend_name, self)
         # Aggregate congestion maps in flat integer buffers.  Feeds are
         # column-major (column g owns the contiguous block
         # ``[g*nrows, (g+1)*nrows)``) so a vertical run is one range;
@@ -1281,6 +1092,95 @@ class CoarseGrid:
                 ivs_hh.append(ht)
                 self._hus_view = None
         return pick_high
+
+    def _commit_flip(self, rec: tuple, cur_is_high: bool) -> None:
+        """Apply a flip whose decision is already known.
+
+        The batched backend resolves orientations against a wave-start
+        snapshot and only then mutates state; this is the exact mutation
+        sequence of :meth:`flip_step_rec` when the orientation changes —
+        remove the current side's multiset entries, rip its ``+1`` out of
+        the buffers, commit the other side — so batched and sequential
+        passes leave bit-identical buffers and multisets.
+        """
+        (has_v, fb_l, fb_h, v_lo, v_hi, vt, ivs_vl, ivs_vh,
+         _efpb_l, _efpb_h,
+         ci_l, ci_h, hb_l, hb_h, h_lo, h_hi, ht, ivs_hl, ivs_hh,
+         _ehpb_l, _ehpb_h,
+         _ops_lh) = rec
+        feed = self._feed
+        hus = self._hus
+        if cur_is_high:
+            if has_v:
+                ivs_vh.remove(vt)
+                _bump_range(feed, fb_h, v_lo, v_hi, ivs_vh, -1)
+                _bump_range(feed, fb_l, v_lo, v_hi, ivs_vl, 1)
+                ivs_vl.append(vt)
+                self._feed_view = None
+                self._row_index = None
+            if ci_h >= 0:
+                ivs_hh.remove(ht)
+                _bump_range(hus, hb_h, h_lo, h_hi, ivs_hh, -1)
+                self._hus_view = None
+            if ci_l >= 0:
+                _bump_range(hus, hb_l, h_lo, h_hi, ivs_hl, 1)
+                ivs_hl.append(ht)
+                self._hus_view = None
+        else:
+            if has_v:
+                ivs_vl.remove(vt)
+                _bump_range(feed, fb_l, v_lo, v_hi, ivs_vl, -1)
+                _bump_range(feed, fb_h, v_lo, v_hi, ivs_vh, 1)
+                ivs_vh.append(vt)
+                self._feed_view = None
+                self._row_index = None
+            if ci_l >= 0:
+                ivs_hl.remove(ht)
+                _bump_range(hus, hb_l, h_lo, h_hi, ivs_hl, -1)
+                self._hus_view = None
+            if ci_h >= 0:
+                _bump_range(hus, hb_h, h_lo, h_hi, ivs_hh, 1)
+                ivs_hh.append(ht)
+                self._hus_view = None
+
+    # -- batched (wave-level) entry points ----------------------------------
+
+    def eval_both_batch(
+        self,
+        pairs: List[Tuple[RoutedSegment, RoutedSegment]],
+        counter: WorkCounter = NULL_COUNTER,
+    ) -> List[Tuple[float, float, bool]]:
+        """Batched :meth:`eval_both` over the active backend.
+
+        One ``(cost_low, cost_high, pick_high)`` per candidate pair, on
+        the current committed state.  Costs are the exact fused gathers
+        and near-ties defer to the strict oracle, so the returned picks
+        are bit-identical to per-pair :meth:`eval_both` calls — whichever
+        backend evaluates them.
+        """
+        return self._backend.eval_wave(pairs, counter)
+
+    def begin_flip_waves(self, committed, diagonal_idx) -> None:
+        """Let the backend precompute per-pool wave invariants (called
+        once per coarse pass sequence, after the initial commit)."""
+        self._backend.begin_flip_waves(committed, diagonal_idx)
+
+    def flip_wave(
+        self,
+        committed,
+        diagonal_idx,
+        order: np.ndarray,
+        counter: WorkCounter = NULL_COUNTER,
+    ) -> int:
+        """Run one scheduling wave of coarse flip candidates.
+
+        Delegates to the active backend; every backend processes the
+        candidates in ``order`` with rip-up/evaluate/re-commit semantics
+        identical to the sequential :meth:`flip_step_rec` loop, updating
+        each pooled segment's ``orient``/``route`` and returning the
+        number of orientation changes.
+        """
+        return self._backend.flip_wave(committed, diagonal_idx, order, counter)
 
     # -- aggregate views ----------------------------------------------------
 

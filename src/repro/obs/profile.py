@@ -44,6 +44,9 @@ class RunProfile:
     scale: float = 1.0
     seed: int = 0
     machine: str = ""
+    #: congestion-core backend the run resolved to ("python"/"numpy";
+    #: empty on profiles recorded before the field existed)
+    backend: str = ""
     #: step name -> {count, wall_sum_s, wall_max_s, [sim_sum_s, sim_max_s,]
     #: model_s, ops: {kind: units}, messages, bytes, collectives}
     steps: Dict[str, Dict[str, Any]] = field(default_factory=dict)
@@ -82,6 +85,7 @@ class RunProfile:
             "scale": self.scale,
             "seed": self.seed,
             "machine": self.machine,
+            "backend": self.backend,
             "steps": self.steps,
             "ops": self.ops,
             "comm": self.comm,
@@ -102,6 +106,7 @@ class RunProfile:
             scale=data.get("scale", 1.0),
             seed=data.get("seed", 0),
             machine=data.get("machine", ""),
+            backend=data.get("backend", ""),
             steps=dict(data.get("steps", {})),
             ops=dict(data.get("ops", {})),
             comm=dict(data.get("comm", {})),
@@ -120,6 +125,7 @@ def profile_from_tracer(
     seed: int = 0,
     machine: Optional[MachineModel] = None,
     machine_name: str = "",
+    backend: str = "",
     model_time: Optional[float] = None,
     cache_stats: Optional[Dict[str, Any]] = None,
 ) -> RunProfile:
@@ -185,6 +191,7 @@ def profile_from_tracer(
         scale=scale,
         seed=seed,
         machine=machine.name if machine is not None else machine_name,
+        backend=backend,
         steps=steps,
         ops=total_ops,
         comm=comm,
@@ -204,6 +211,8 @@ def render_profile(profile: RunProfile) -> str:
         f"profile: {profile.circuit}@{profile.scale:g} {profile.algorithm} "
         f"p={profile.nprocs} [{profile.machine or 'no machine model'}]"
     )
+    if profile.backend:
+        header += f" backend={profile.backend}"
     names = profile.ordered_steps()
     total_s = sum(profile.step_seconds(n) for n in names) or 1.0
     rows = [
@@ -287,6 +296,10 @@ class ProfileDiff:
     threshold: float
     #: steps slower than ``old * (1 + threshold)``
     regressions: List[StepDelta] = field(default_factory=list)
+    #: set when the two profiles resolved different congestion backends —
+    #: the diff is still valid (modeled seconds are backend-independent by
+    #: the bit-identity contract) but never silently cross-backend
+    backend_note: str = ""
 
     @property
     def ok(self) -> bool:
@@ -296,6 +309,8 @@ class ProfileDiff:
     def render(self) -> str:
         """Human-readable comparison table."""
         lines = [f"profile diff (threshold {self.threshold:.0%})"]
+        if self.backend_note:
+            lines.append(f"  WARNING: {self.backend_note}")
         width = max((len(d.step) for d in self.deltas), default=4)
         for d in self.deltas:
             flag = "  REGRESSED" if d in self.regressions else ""
@@ -317,6 +332,11 @@ def profile_diff(
     simulated > wall).  A step is flagged when its new time exceeds the
     old by more than ``threshold`` (fractional, e.g. 0.25 = +25%); steps
     absent from the old profile are flagged only if they take time.
+
+    When the two profiles ran under different congestion backends the
+    diff carries a ``backend_note`` (rendered as a warning): modeled
+    seconds are backend-independent by contract, so the comparison stays
+    meaningful, but it is never made silently.
     """
     names = list(dict.fromkeys(old.ordered_steps() + new.ordered_steps()))
     deltas = [
@@ -328,4 +348,13 @@ def profile_diff(
         if (d.old_s == 0 and d.new_s > 0)  # step is new and takes time
         or (d.old_s > 0 and d.new_s > d.old_s * (1.0 + threshold))
     ]
-    return ProfileDiff(deltas=deltas, threshold=threshold, regressions=regressions)
+    backend_note = ""
+    if old.backend and new.backend and old.backend != new.backend:
+        backend_note = (
+            f"comparing across backends: {old.backend} (reference) vs "
+            f"{new.backend} (current)"
+        )
+    return ProfileDiff(
+        deltas=deltas, threshold=threshold, regressions=regressions,
+        backend_note=backend_note,
+    )

@@ -91,6 +91,7 @@ def netwise_program(
             col_width=config.col_width,
             weights=config.weights,
             strict=config.strict_kernels,
+            backend=config.backend,
         )
 
         def grid_sync() -> None:

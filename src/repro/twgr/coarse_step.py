@@ -93,7 +93,6 @@ def coarse_route(
     diagonal_idx: List[int] = []
     commit = grid.commit_segment
     LOW = Orientation.VERT_AT_LOW
-    HIGH = Orientation.VERT_AT_HIGH
     for entry in pool:
         net, seg = entry[0], entry[1]
         locked = len(entry) > 2 and bool(entry[2])
@@ -121,28 +120,21 @@ def coarse_route(
         # sync-once mode (syncs_per_pass == 0) it is also the only one
         sync()
 
-    flip_rec = grid.flip_step_rec
-    flip = grid.flip_step
+    # The improvement passes submit each scheduling wave — one chunk of
+    # the pass permutation, i.e. everything between two sync points — to
+    # the grid's congestion backend in a single call.  The pure-Python
+    # backend runs the historical per-candidate loop; the NumPy backend
+    # scores the whole wave in fused array gathers.  Both process the
+    # candidates in wave order with identical rip-up/evaluate/re-commit
+    # semantics, so the routes (and the work charged) never depend on the
+    # backend.
+    grid.begin_flip_waves(committed, diagonal_idx)
+    flip_wave = grid.flip_wave
     for _ in range(passes):
         changed = 0
         order = rng.permutation(len(diagonal_idx)) if diagonal_idx else np.empty(0, dtype=np.int64)
         for chunk in split_chunks(order, syncs_per_pass if synced else 1):
-            for k in chunk.tolist():
-                ps = committed[diagonal_idx[k]]
-                # fused rip-up / evaluate-both / re-commit kernel; the
-                # decision is identical to comparing two eval_cost calls
-                rec = ps.rec
-                if rec is not None:
-                    pick_high = flip_rec(rec, ps.orient is HIGH, counter)
-                else:
-                    pick_high = flip(ps.route_low, ps.route_high, ps.route, counter)
-                if pick_high:
-                    new_orient, new_route = HIGH, ps.route_high
-                else:
-                    new_orient, new_route = LOW, ps.route_low
-                if new_orient is not ps.orient:
-                    changed += 1
-                ps.orient, ps.route = new_orient, new_route
+            changed += flip_wave(committed, diagonal_idx, chunk, counter)
             if synced:
                 sync()
         if changed == 0 and not synced:

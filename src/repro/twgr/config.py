@@ -44,6 +44,13 @@ class RouterConfig:
     #: range-sum fast path (same routes either way; keep ``False`` outside
     #: of equivalence testing)
     strict_kernels: bool = False
+    #: congestion-core backend: ``"python"`` (sequential reference
+    #: kernels), ``"numpy"`` (batched wave-level evaluation), or
+    #: ``"auto"`` (the ``REPRO_BACKEND`` environment variable, else
+    #: numpy).  Backends are bit-identical by contract, so this knob
+    #: never changes a routing result — only its speed.  Ignored when
+    #: ``strict_kernels`` is set (the oracle always runs pure Python).
+    backend: str = "auto"
 
     def rng(self, *stream: int) -> np.random.Generator:
         """A deterministic RNG for a named sub-stream.
@@ -69,3 +76,15 @@ class RouterConfig:
             raise ValueError("switch_passes must be >= 0")
         if self.cell_height <= 0 or self.track_pitch <= 0:
             raise ValueError("area model pitches must be positive")
+        if self.backend not in ("auto", "python", "numpy"):
+            raise ValueError(
+                f"unknown backend {self.backend!r} (auto, python or numpy)"
+            )
+
+    def resolved_backend(self) -> str:
+        """The congestion backend a run under this config will use."""
+        if self.strict_kernels:
+            return "python"
+        from repro.grid.backends import resolve_backend_name
+
+        return resolve_backend_name(self.backend)

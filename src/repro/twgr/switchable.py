@@ -16,7 +16,7 @@ both effects reproduce through this hook).
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -58,17 +58,52 @@ def optimize_switchable(
     flips = 0
     flip_gain = state.flip_gain
     flip = state.flip
+    span_count = state.span_count
+    owns = state.owns
+    # Gain memoization by channel version: a candidate's flip gain is a
+    # pure function of its two channels' span profiles, so a cached gain
+    # stays exact until either channel is touched by a flip.  The cached
+    # work charge is replayed on every hit (both channels unchanged means
+    # the evaluation would have walked identical structures), keeping
+    # operation counts bit-identical to unmemoized passes.
+    ver: Dict[int, int] = {}
+    memo: Dict[int, Tuple] = {}
     for _ in range(max(passes, 0)):
         changed = 0
         order = rng.permutation(len(candidates)) if candidates else np.empty(0, dtype=np.int64)
         for chunk in split_chunks(order, syncs_per_pass if synced else 1):
             if synced:
                 sync()
+                memo.clear()  # fresh density snapshot: every gain is stale
             for k in chunk.tolist():
                 span = candidates[k]
-                if flip_gain(span, counter) > 0:
+                src = span.channel
+                m = memo.get(k)
+                if (
+                    m is not None
+                    and m[0] == src
+                    and ver.get(src, 0) == m[1]
+                    and ver.get(m[4], 0) == m[2]
+                ):
+                    gain = m[3]
+                    if m[5] is not None:
+                        counter.add("switch", m[5])
+                else:
+                    row = span.row
+                    dst = row if src == row + 1 else row + 1
+                    gain = flip_gain(span, counter)
+                    charge = (
+                        span_count(src) + span_count(dst) + 1 + state.eval_surcharge
+                        if owns(src) and owns(dst)
+                        else None
+                    )
+                    memo[k] = (src, ver.get(src, 0), ver.get(dst, 0), gain, dst, charge)
+                if gain > 0:
                     flip(span)
                     changed += 1
+                    dst = span.channel  # flip() moved it here
+                    ver[src] = ver.get(src, 0) + 1
+                    ver[dst] = ver.get(dst, 0) + 1
         flips += changed
         if changed == 0 and sync is None:
             break
