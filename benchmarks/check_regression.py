@@ -21,6 +21,16 @@ for reference and the sweep record's ``bit_identical`` flag is enforced —
 a historical sweep that was not bit-identical would mean the committed
 baseline itself is untrustworthy.
 
+Finally it gates the committed perf trajectory ``BENCH_trajectory.json``:
+the newest record of every backend must carry the incremental-engine
+observability stats (a ``batched_eval`` kernel mean and a per-circuit
+``dirty_frac``), and its end-to-end ``route_mean_s`` must not be more
+than ``--route-threshold`` (default 5%) slower than the previous
+committed record of the *same* backend at the same scale/seed.  This
+check reads committed records only — it never times anything itself, so
+it cannot flake with runner speed; it fails exactly when someone commits
+a measurably slower trajectory record.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py            # gate
@@ -107,6 +117,80 @@ def check_bench_records(kernels_path: Path, sweep_path: Path) -> List[str]:
     return problems
 
 
+#: kernel stats the newest trajectory record of each backend must carry
+REQUIRED_KERNEL_STATS = ("batched_eval",)
+
+
+def check_trajectory(path: Path, route_threshold: float) -> List[str]:
+    """Gate the committed perf-trajectory records; returns problems.
+
+    Per backend present in the file: the newest record must have every
+    :data:`REQUIRED_KERNEL_STATS` kernel mean and a numeric ``dirty_frac``
+    for every circuit, and may not regress ``route_mean_s`` by more than
+    ``route_threshold`` against the previous comparable record (same
+    backend, scale, seed, and rounds — wall timings at different operating
+    points are not comparable).  Records written before the backend stamp
+    existed carry no ``backend`` key; they predate the gated stats and are
+    excluded rather than failed retroactively.
+    """
+    problems: List[str] = []
+    try:
+        records = json.loads(path.read_text(encoding="utf-8")).get("records", [])
+    except (OSError, ValueError) as exc:
+        return [f"cannot read {path}: {exc}"]
+    legacy = sum(1 for rec in records if "backend" not in rec)
+    if legacy:
+        print(f"trajectory {path.name}: {legacy} legacy record(s) without a "
+              f"backend stamp excluded from the gate")
+    by_backend: Dict[str, List[Dict]] = {}
+    for rec in records:
+        if "backend" not in rec:
+            continue
+        by_backend.setdefault(rec.get("backend", ""), []).append(rec)
+    if not by_backend:
+        return [f"{path.name}: no trajectory records committed"]
+    for backend, recs in sorted(by_backend.items()):
+        latest = recs[-1]  # records are ordered oldest-first
+        tag = f"{path.name} [{backend or 'unset'}]"
+        for stat in REQUIRED_KERNEL_STATS:
+            if stat not in latest.get("kernels_mean_s", {}):
+                problems.append(f"{tag}: newest record lacks kernel stat {stat!r}")
+        for name, c in latest.get("circuits", {}).items():
+            if not isinstance(c.get("dirty_frac"), (int, float)):
+                problems.append(
+                    f"{tag}: newest record lacks dirty_frac for {name!r}"
+                )
+        key = (latest.get("scale"), latest.get("seed"), latest.get("rounds"))
+        prev = next(
+            (
+                r for r in reversed(recs[:-1])
+                if (r.get("scale"), r.get("seed"), r.get("rounds")) == key
+            ),
+            None,
+        )
+        if prev is None:
+            print(f"trajectory {tag}: no previous comparable record (gate skipped)")
+            continue
+        for name, c in latest.get("circuits", {}).items():
+            old = prev.get("circuits", {}).get(name, {}).get("route_mean_s")
+            new = c.get("route_mean_s")
+            if not old or not new:
+                continue
+            ratio = new / old
+            marker = "REGRESSED" if ratio > 1.0 + route_threshold else "ok"
+            print(
+                f"trajectory {tag} {name}: route_mean_s "
+                f"{1e3 * old:.1f} -> {1e3 * new:.1f} ms ({ratio:.3f}x) {marker}"
+            )
+            if ratio > 1.0 + route_threshold:
+                problems.append(
+                    f"{tag}: {name} route_mean_s regressed {ratio:.3f}x "
+                    f"(> +{route_threshold:.0%}) vs commit "
+                    f"{str(prev.get('commit'))[:12]}"
+                )
+    return problems
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--reference", default=str(DEFAULT_REFERENCE))
@@ -120,6 +204,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     ap.add_argument("--kernels", default=str(REPO / "BENCH_kernels.json"))
     ap.add_argument("--sweep", default=str(REPO / "BENCH_sweep.json"))
+    ap.add_argument("--trajectory", default=str(REPO / "BENCH_trajectory.json"))
+    ap.add_argument(
+        "--route-threshold", type=float, default=0.05,
+        help="route_mean_s regression threshold between committed "
+        "trajectory records (fraction, default 0.05)",
+    )
     ap.add_argument(
         "--skip-bench-files", action="store_true",
         help="gate on the smoke profile only (no BENCH_*.json checks)",
@@ -143,6 +233,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     problems: List[str] = []
     if not args.skip_bench_files:
         problems += check_bench_records(Path(args.kernels), Path(args.sweep))
+        problems += check_trajectory(Path(args.trajectory), args.route_threshold)
 
     # cross-backend bit-identity: every step's modeled seconds must agree
     # exactly between the two backends before either is gated

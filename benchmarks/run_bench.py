@@ -42,6 +42,7 @@ from typing import Callable, Dict, List
 import numpy as np
 
 from repro.circuits import mcnc
+from repro.grid.backends import BACKEND_NAMES, resolve_backend_name
 from repro.grid.channels import build_state
 from repro.grid.coarse import CoarseGrid, Orientation
 from repro.steiner import prim_mst
@@ -175,8 +176,14 @@ def bench_end_to_end(
     for name in BENCH_CIRCUITS:
         circuit = mcnc.generate(name, scale=scale, seed=seed)
         router = GlobalRouter(RouterConfig(seed=seed, backend=backend))
-        result = router.route(circuit)
+        result, art = router.route_with_artifacts(circuit)
         timing = _time(lambda: router.route(circuit), rounds)
+        # Incremental-engine observability: clean/dirty candidate counts
+        # per coarse improvement pass and per step-5 gain sweep, plus the
+        # headline dirty fraction (dirty / total over all coarse passes).
+        coarse_stats = art.grid.flip_pass_stats() if art.grid is not None else []
+        c_clean = sum(p["clean"] for p in coarse_stats)
+        c_dirty = sum(p["dirty"] for p in coarse_stats)
         out[name] = {
             "scale": scale,
             "rows": circuit.num_rows,
@@ -187,6 +194,12 @@ def bench_end_to_end(
             "area": result.area,
             "num_feedthroughs": result.num_feedthroughs,
             "route": timing,
+            "coarse_pass_stats": coarse_stats,
+            "switch_pass_stats": art.switch_stats,
+            "dirty_frac": (
+                round(c_dirty / (c_clean + c_dirty), 4)
+                if (c_clean + c_dirty) else 1.0
+            ),
         }
     return out
 
@@ -301,15 +314,24 @@ def append_trajectory(report: Dict, path: Path) -> Dict:
                 "total_tracks": c["total_tracks"],
                 "area": c["area"],
                 "num_feedthroughs": c["num_feedthroughs"],
+                "dirty_frac": c.get("dirty_frac"),
             }
             for name, c in report["circuits"].items()
         },
     }
+    # dedupe on commit + backend + operating point: re-running the same
+    # measurement replaces its record, but a smoke run at another scale
+    # must never clobber the committed full-scale record
+    def _key(r):
+        return (
+            r.get("commit"), r.get("backend", ""),
+            r.get("scale"), r.get("seed"), r.get("rounds"),
+        )
+
     if path.exists():
         trajectory = json.loads(path.read_text())
         records = [
-            r for r in trajectory.get("records", ())
-            if (r.get("commit"), r.get("backend", "")) != (record["commit"], record["backend"])
+            r for r in trajectory.get("records", ()) if _key(r) != _key(record)
         ]
     else:
         records = []
@@ -320,14 +342,29 @@ def append_trajectory(report: Dict, path: Path) -> Dict:
 
 
 def git_commit() -> str:
+    """``HEAD`` hash, stamped ``+dirty`` when the worktree has changes.
+
+    The stamp keeps trajectory records honest: re-running on an
+    uncommitted state dedupes against the *dirty* record of that commit,
+    never silently replacing the clean post-commit measurement (the
+    trajectory dedupe key is ``(commit, backend, scale, seed, rounds)``).
+    """
+    repo = Path(__file__).resolve().parent.parent
     try:
-        return subprocess.run(
+        head = subprocess.run(
             ["git", "rev-parse", "HEAD"],
-            cwd=Path(__file__).resolve().parent.parent,
-            capture_output=True, text=True, check=True,
+            cwd=repo, capture_output=True, text=True, check=True,
         ).stdout.strip()
     except Exception:
         return "unknown"
+    try:
+        dirty = bool(subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=repo, capture_output=True, text=True, check=True,
+        ).stdout.strip())
+    except Exception:
+        dirty = False
+    return head + "+dirty" if dirty else head
 
 
 def main(argv: List[str] | None = None) -> int:
@@ -338,7 +375,7 @@ def main(argv: List[str] | None = None) -> int:
     ap.add_argument("--seed", type=int, default=1)
     ap.add_argument("--rounds", type=int, default=5)
     ap.add_argument(
-        "--backend", default="auto", choices=("auto", "python", "numpy"),
+        "--backend", default="auto", choices=("auto",) + BACKEND_NAMES,
         help="congestion-core backend (auto = REPRO_BACKEND env, else numpy)",
     )
     ap.add_argument(
@@ -365,8 +402,6 @@ def main(argv: List[str] | None = None) -> int:
     args = ap.parse_args(argv)
     if args.rounds < 1:
         ap.error("--rounds must be >= 1")
-
-    from repro.grid.backends import resolve_backend_name
 
     backend = resolve_backend_name(args.backend)
     t0 = time.perf_counter()
@@ -406,7 +441,8 @@ def main(argv: List[str] | None = None) -> int:
         r = c["route"]
         print(
             f"  {name:<{width}}  {1e3 * r['mean_s']:9.3f} ms +/- {1e3 * r['stddev_s']:.3f}"
-            f"  (route: {c['nets']} nets, {c['total_tracks']} tracks)"
+            f"  (route: {c['nets']} nets, {c['total_tracks']} tracks, "
+            f"dirty {c['dirty_frac']:.0%})"
         )
     print(f"wrote {args.out}")
     if args.trajectory:

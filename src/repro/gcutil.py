@@ -1,0 +1,37 @@
+"""Cyclic-GC suspension for bounded, cycle-free work phases.
+
+The router's working sets (trees, pools, flip records, span sets) hold no
+back references, so every cyclic-collector pass taken mid-route scans
+tens of thousands of live objects and reclaims nothing.  Both the serial
+router and the SPMD driver suspend collection for the bounded routing
+phase; reference counting still frees all transients immediately.
+
+:func:`gc_paused` is the one shared guard: exception-safe (the collector
+is restored by ``finally`` even when the phase raises — e.g. a
+:class:`~repro.mpi.runtime.RankError` out of a fault-injected run) and
+reentrant (a nested pause sees the collector already disabled and leaves
+re-enabling to the outermost pause).
+"""
+
+from __future__ import annotations
+
+import gc
+from contextlib import contextmanager
+from typing import Iterator
+
+
+@contextmanager
+def gc_paused() -> Iterator[None]:
+    """Disable the cyclic collector for the duration of the block.
+
+    On exit — normal or raising — the collector is re-enabled if and only
+    if it was enabled on entry, so nested pauses compose and an enclosing
+    ``gc.disable()`` by the caller is respected.
+    """
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()

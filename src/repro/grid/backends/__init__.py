@@ -23,7 +23,7 @@ always run the ``python`` backend — the oracle takes no shortcuts.
 from __future__ import annotations
 
 import os
-from typing import TYPE_CHECKING, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
 
 from repro.grid.backends.base import CongestionBackend
 
@@ -36,46 +36,74 @@ BACKEND_ENV = "REPRO_BACKEND"
 #: backend used when neither an argument nor the environment chooses one
 DEFAULT_BACKEND = "numpy"
 
-#: valid backend names, in documentation order
-BACKEND_NAMES: Tuple[str, ...] = ("python", "numpy")
+
+def _make_python(grid: "CoarseGrid") -> CongestionBackend:
+    from repro.grid.backends.python_ref import PythonBackend
+
+    return PythonBackend(grid)
+
+
+def _make_numpy(grid: "CoarseGrid") -> CongestionBackend:
+    from repro.grid.backends.numpy_batch import NumpyBackend
+
+    return NumpyBackend(grid)
+
+
+#: the backend registry — THE single source of truth for valid backend
+#: names.  Everything that accepts a backend request (RouterConfig
+#: validation, the CoarseGrid constructor, the REPRO_BACKEND environment
+#: variable, the benchmark harness's ``--backend`` flag) resolves through
+#: :func:`resolve_backend_name`, so an unknown name fails fast with the
+#: registered-name list instead of surfacing later as a KeyError deep in
+#: grid construction.  Factories import lazily so this package stays
+#: importable from ``repro.grid.coarse`` without a cycle.
+BACKENDS: Dict[str, Callable[["CoarseGrid"], CongestionBackend]] = {
+    "python": _make_python,
+    "numpy": _make_numpy,
+}
+
+#: valid backend names, in registration order
+BACKEND_NAMES: Tuple[str, ...] = tuple(BACKENDS)
 
 
 def resolve_backend_name(name: Optional[str] = None) -> str:
     """Resolve a backend request to a concrete registry name.
 
     ``None``/``""``/``"auto"`` consult :data:`BACKEND_ENV`, then fall
-    back to :data:`DEFAULT_BACKEND`.  Unknown names raise ``ValueError``.
+    back to :data:`DEFAULT_BACKEND`; an *empty* environment value also
+    falls through to the default.  Any other name must be registered in
+    :data:`BACKENDS` (case-insensitive) — unknown names raise
+    ``ValueError`` naming the registered backends, including names
+    smuggled in via the environment variable.
     """
+    via_env = None
     if name is None or name in ("", "auto"):
-        name = os.environ.get(BACKEND_ENV, "") or DEFAULT_BACKEND
+        via_env = os.environ.get(BACKEND_ENV, "")
+        name = via_env or DEFAULT_BACKEND
     name = name.lower()
-    if name not in BACKEND_NAMES:
+    if name not in BACKENDS:
+        source = f"{BACKEND_ENV}={via_env!r}" if via_env else f"{name!r}"
         raise ValueError(
-            f"unknown congestion backend {name!r} (choose from {BACKEND_NAMES})"
+            f"unknown congestion backend {source} (choose from {BACKEND_NAMES})"
         )
     return name
 
 
 def make_backend(name: str, grid: "CoarseGrid") -> CongestionBackend:
-    """Instantiate the backend ``name`` bound to ``grid``.
-
-    Implementation modules are imported lazily so this package stays
-    importable from ``repro.grid.coarse`` without a cycle.
-    """
-    if name == "python":
-        from repro.grid.backends.python_ref import PythonBackend
-
-        return PythonBackend(grid)
-    if name == "numpy":
-        from repro.grid.backends.numpy_batch import NumpyBackend
-
-        return NumpyBackend(grid)
-    raise ValueError(f"unknown congestion backend {name!r}")
+    """Instantiate the backend ``name`` bound to ``grid``."""
+    try:
+        factory = BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown congestion backend {name!r} (choose from {BACKEND_NAMES})"
+        ) from None
+    return factory(grid)
 
 
 __all__ = [
     "BACKEND_ENV",
     "BACKEND_NAMES",
+    "BACKENDS",
     "DEFAULT_BACKEND",
     "CongestionBackend",
     "make_backend",

@@ -118,6 +118,35 @@ def _bump_range(
             buf[i] += delta
 
 
+def _defer_bump(
+    diff: List[int],
+    base: int,
+    lo: int,
+    hi: int,
+    ivs: List[Tuple[int, int]],
+    delta: int,
+) -> None:
+    """Record a :func:`_bump_range` as difference-array boundary writes.
+
+    ``diff`` has one slot per buffer cell plus a trailing guard; adding
+    ``delta`` at ``base + a`` and subtracting it at ``base + b + 1`` for
+    every uncovered subrange makes a later exclusive prefix sum of
+    ``diff`` reproduce the per-cell bumps exactly — two writes per range
+    instead of one write per cell, which is what makes the initial pool
+    commit cheap for long vertical runs."""
+    if lo == hi:
+        if ivs:
+            for a, b in ivs:
+                if a <= lo <= b:
+                    return
+        diff[base + lo] += delta
+        diff[base + lo + 1] -= delta
+        return
+    for a, b in _uncovered(lo, hi, ivs) if ivs else ((lo, hi),):
+        diff[base + a] += delta
+        diff[base + b + 1] -= delta
+
+
 def _strict_eval(
     feed: List[int],
     fb: int,

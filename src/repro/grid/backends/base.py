@@ -27,7 +27,7 @@ result — only how fast it is computed.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -45,6 +45,25 @@ class CongestionBackend:
 
     def __init__(self, grid: "CoarseGrid") -> None:
         self.grid = grid
+        #: running clean/dirty candidate tallies of the incremental
+        #: engine.  Deliberately *not* routed through the work counter:
+        #: charges are part of the bit-identity contract, while the
+        #: clean/dirty split is a backend-local caching detail that may
+        #: legitimately differ between backends.
+        self.stats: Dict[str, int] = {"clean": 0, "dirty": 0}
+        #: per-pass snapshots of ``stats`` deltas (see :meth:`mark_pass`)
+        self.pass_stats: List[Dict[str, int]] = []
+        self._last_stats: Dict[str, int] = {"clean": 0, "dirty": 0}
+
+    def mark_pass(self) -> None:
+        """Close out one coarse pass: record the clean/dirty candidate
+        counts accumulated since the previous mark."""
+        s = self.stats
+        last = self._last_stats
+        self.pass_stats.append(
+            {k: s[k] - last.get(k, 0) for k in ("clean", "dirty")}
+        )
+        self._last_stats = dict(s)
 
     # -- batched evaluation ---------------------------------------------
 

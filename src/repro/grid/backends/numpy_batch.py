@@ -10,50 +10,53 @@ How a flip wave runs
 ``flip_wave`` splits its chunk into speculative sub-waves.  For each
 sub-wave it
 
-1. rebuilds combined (own + external) prefix-sum tables of the feed and
+1. partitions the candidates by the grid's resource-window versions: a
+   candidate whose cached version vector still matches the live windows
+   is *clean* — re-evaluation would see byte-identical windows and
+   re-pick its current orientation, so it is kept and its exact
+   sequential work charge replayed in bulk;
+2. rebuilds combined (own + external) prefix-sum tables of the feed and
    horizontal-usage buffers — the grids are tiny, so two ``cumsum`` calls
    cost microseconds and every interval sum becomes an O(1) difference;
-2. gathers all four sides (vert/horiz x low/high) of every candidate in
-   one fused vector pass over a stacked prefix table: per-side uncovered
-   counts and sums are the full clipped range minus the candidate's
-   *covered* intervals, which are kept per candidate as padded
-   ``(start, end)`` arrays — the vectorized form of the ``_uncovered``
-   gap computation (sharing: covered cells are free, and the ripped-up
-   route's own ``+1`` is subtracted per cell via the same sub flags the
-   sequential kernel uses);
-3. decides each candidate from the cost gap — exactly the sequential
-   rule: decisive gaps compare directly, the all-zero-congestion tie
-   keeps the low orientation, and every remaining near-tie runs the
-   batched strict oracle: per-cell cost terms accumulated left-to-right
-   with ``np.add.accumulate``, the same sequential float additions as
-   the scalar walk (padding slots contribute an exact ``0.0``, which
-   never changes a partial sum);
-4. applies the decisions *in wave order*.  A candidate whose resources
-   were touched by an earlier flip in the same sub-wave (tracked
-   conservatively per buffer range) is re-run through the grid's
-   sequential ``flip_step_rec`` on the live state — so speculation can
-   only ever be *confirmed*, never wrong, and the result is
-   bit-identical to the sequential pass by construction.
+3. gathers all four sides (vert/horiz x low/high) of every *dirty*
+   candidate in one fused vector pass over a stacked prefix table:
+   per-side uncovered counts and sums are the full clipped range minus
+   the candidate's *covered* intervals, which are kept per candidate as
+   padded ``(start, end)`` arrays — the vectorized form of the
+   ``_uncovered`` gap computation (sharing: covered cells are free, and
+   the ripped-up route's own ``+1`` is subtracted per cell via the same
+   sub flags the sequential kernel uses);
+4. decides each dirty candidate from the cost gap — exactly the
+   sequential rule: decisive gaps compare directly, the
+   all-zero-congestion tie keeps the low orientation, and every
+   remaining near-tie runs the batched strict oracle: per-cell cost
+   terms accumulated left-to-right with ``np.add.accumulate``, the same
+   sequential float additions as the scalar walk (padding slots
+   contribute an exact ``0.0``, which never changes a partial sum);
+5. applies the decisions *in wave order*.  Intra-wave flips record the
+   window ranges they bump; any later candidate — clean or speculative —
+   whose clipped ranges overlap a bumped range is re-run through the
+   grid's sequential ``flip_step_rec`` on the live state (disjoint
+   ranges leave everything its evaluation reads byte-identical), so
+   speculation can only ever be *confirmed*, never wrong, and the result
+   is bit-identical to the sequential pass by construction.
 
 Cross-pass memoization
 ----------------------
 
-A candidate whose resources are untouched since its last evaluation
-must re-derive the exact same costs, hence the same decision — so it is
-skipped entirely (its sequential work charge is still added in bulk,
-keeping operation counts identical).  Invalidation is conservative:
-every flip records per-column / per-channel dirty ranges, and at the
-end of each sub-wave a vectorized overlap test re-invalidates every
-candidate whose clipped range intersects a dirty range of a column or
-channel it reads.  A changed external congestion snapshot (the net-wise
-algorithm's periodic synchronization) invalidates the whole pool.  The
-first improvement pass therefore evaluates everything; later passes
-only evaluate candidates near actual flips.
+Invalidation rides entirely on ``CoarseGrid._wver``: every buffer bump
+or bare multiset change bumps the owning column/channel window, and a
+changed external snapshot bumps all windows at once, so comparing a
+candidate's cached 4-slot version vector against the live one is the
+whole staleness test — no sharer indices, no dirty-range bookkeeping.
+The first improvement pass therefore evaluates everything; later passes
+only evaluate candidates near actual flips.  The padded
+covered-interval rows carry their own version stamps and are rebuilt
+lazily under the same rule.
 
-Covered-interval rows are maintained incrementally: a flip marks every
-candidate sharing one of its interval multisets stale (via an identity
-index over the multiset lists), and stale rows are rebuilt lazily when
-their candidate next enters a sub-wave.
+Because a clean skip replays the very decision and the very charge the
+sequential kernel would produce, backends stay bit-identical even when
+their caches diverge — each cache only has to be individually sound.
 
 ``eval_wave`` (batched ``eval_both``) uses the same fused gather on the
 current committed state — no rip-up, no sub flags — and defers near-ties
@@ -74,23 +77,29 @@ from repro.perfmodel.counter import WorkCounter, NULL_COUNTER
 _HAS_V, _FB_L, _FB_H, _V_LO, _V_HI, _VT, _IVS_VL, _IVS_VH = range(8)
 _EFPB_L, _EFPB_H = 8, 9
 _CI_L, _CI_H, _HB_L, _HB_H, _H_LO, _H_HI, _HT, _IVS_HL, _IVS_HH = range(10, 19)
-_EHPB_L, _EHPB_H, _OPS_LH = 19, 20, 21
+_EHPB_L, _EHPB_H, _OPS_LH, _WIDS = 19, 20, 21, 22
 
 #: sentinel for unused padded-interval slots; every real range has
 #: ``lo >= 0``, so ``(0, -1)`` can never clip to a non-empty overlap
 _SENT_A, _SENT_B = 0, -1
 
-#: "no dirty cells" aggregate defaults: no real range satisfies
-#: ``lo <= -1`` or ``hi >= _FAR``
-_FAR = 1 << 60
 
-
-def _pad_rows(dst_a: np.ndarray, dst_b: np.ndarray, c: int, ivs) -> int:
+def _pad_rows(
+    dst_a: np.ndarray, dst_b: np.ndarray, ne: list, c: int, ivs
+) -> int:
     """Write one candidate's covered intervals into padded row ``c``.
 
-    Returns the interval count (callers grow the arrays when it exceeds
-    the current pad width before retrying)."""
+    ``ne`` tracks which rows currently hold real intervals, so writing
+    an empty covered set into an already-empty row — the overwhelmingly
+    common case — touches nothing.  Returns the interval count (callers
+    grow the arrays when it exceeds the current pad width and retry)."""
     k = len(ivs)
+    if k == 0:
+        if ne[c]:
+            dst_a[c, :] = _SENT_A
+            dst_b[c, :] = _SENT_B
+            ne[c] = False
+        return 0
     if k > dst_a.shape[1]:
         return k
     dst_a[c, :] = _SENT_A
@@ -98,6 +107,7 @@ def _pad_rows(dst_a: np.ndarray, dst_b: np.ndarray, c: int, ivs) -> int:
     for j, (a, b) in enumerate(ivs):
         dst_a[c, j] = a
         dst_b[c, j] = b
+    ne[c] = True
     return k
 
 
@@ -113,13 +123,9 @@ class _FlipPlan:
         "nfb_l", "nfb_h", "nhb_l", "nhb_h",
         "a_vl", "b_vl", "a_vh", "b_vh",
         "a_hl", "b_hl", "a_hh", "b_hh",
-        "stale", "sharers",
-        "invalid", "use_hl", "use_hh",
-        "gcol_l", "gcol_h", "ci_l_safe", "ci_h_safe",
-        "l_hasv", "l_vlo", "l_vhi", "l_hlo", "l_hhi",
-        "l_cil", "l_cih", "l_gl", "l_gh",
-        "nagg_cols", "nagg_chs",
-        "ext_feed_seen", "ext_hus_seen",
+        "use_hl", "use_hh",
+        "wids", "widl", "wrng", "seen", "row_seen",
+        "ne_vl", "ne_vh", "ne_hl", "ne_hh",
     )
 
     def __init__(self, ps: list, recs: list, grid) -> None:
@@ -164,29 +170,44 @@ class _FlipPlan:
         self.hb_l = [r[_HB_L] for r in recs]
         self.hb_h = [r[_HB_H] for r in recs]
         self.ops_lh = [r[_OPS_LH] for r in recs]
-        self.l_hasv = self.has_v.tolist()
-        self.l_vlo = self.v_lo.tolist()
-        self.l_vhi = self.v_hi.tolist()
-        self.l_hlo = self.h_lo.tolist()
-        self.l_hhi = self.h_hi.tolist()
-        self.l_cil = self.ci_l.tolist()
-        self.l_cih = self.ci_h.tolist()
         # array mirrors of the value-buffer bases (strict-oracle batch)
         self.nfb_l = np.array(self.fb_l, dtype=np.int64)
         self.nfb_h = np.array(self.fb_h, dtype=np.int64)
         self.nhb_l = np.array(self.hb_l, dtype=np.int64)
         self.nhb_h = np.array(self.hb_h, dtype=np.int64)
-        # column / channel ids for the invalidation aggregates (clipped so
-        # non-participating sides index safely; their use masks gate them)
-        nr, nc, rl = grid.nrows, grid.ncols, grid.row_lo
-        self.nagg_cols = nc
-        self.nagg_chs = nr + 1
-        self.gcol_l = np.clip((self.efpb_l + rl) // (nr + 1), 0, nc - 1)
-        self.gcol_h = np.clip((self.efpb_h + rl) // (nr + 1), 0, nc - 1)
-        self.ci_l_safe = np.maximum(self.ci_l, 0)
-        self.ci_h_safe = np.maximum(self.ci_h, 0)
-        self.l_gl = self.gcol_l.tolist()
-        self.l_gh = self.gcol_h.tolist()
+        # the four resource windows each candidate reads; absent sides
+        # carry the grid's dummy window (version pinned at 0, so it
+        # never perturbs the vector comparison)
+        self.wids = np.array([r[_WIDS] for r in recs], dtype=np.int64).reshape(n, 4)
+        self.widl = [r[_WIDS] for r in recs]
+        dummy = grid._wdummy
+        # per candidate: the present (window, clipped lo, clipped hi)
+        # triples its evaluation reads — the intra-wave conflict test and
+        # the flip bump-recording both work on these
+        self.wrng = []
+        for r in recs:
+            w0, w1, w2, w3 = r[_WIDS]
+            trip = []
+            if w0 != dummy:
+                trip.append((w0, r[_V_LO], r[_V_HI]))
+                trip.append((w1, r[_V_LO], r[_V_HI]))
+            if w2 != dummy:
+                trip.append((w2, r[_H_LO], r[_H_HI]))
+            if w3 != dummy:
+                trip.append((w3, r[_H_LO], r[_H_HI]))
+            self.wrng.append(tuple(trip))
+        # cached version vectors: the decision cache (seen) and the
+        # covered-interval row cache (row_seen); -1 never matches a live
+        # version, so everything starts dirty
+        self.seen = np.full((n, 4), -1, dtype=np.int64)
+        self.row_seen = np.full((n, 4), -1, dtype=np.int64)
+        # whether each padded row currently holds any real interval —
+        # the overwhelmingly common empty-covered case (a net with a
+        # single run per column) then skips the sentinel rewrites
+        self.ne_vl = [False] * n
+        self.ne_vh = [False] * n
+        self.ne_hl = [False] * n
+        self.ne_hh = [False] * n
         # padded covered-interval rows, rebuilt lazily when stale
         k0 = 2
         self.a_vl = np.full((n, k0), _SENT_A, dtype=np.int64)
@@ -197,19 +218,6 @@ class _FlipPlan:
         self.b_hl = np.full((n, k0), _SENT_B, dtype=np.int64)
         self.a_hh = np.full((n, k0), _SENT_A, dtype=np.int64)
         self.b_hh = np.full((n, k0), _SENT_B, dtype=np.int64)
-        self.stale = np.ones(n, dtype=bool)
-        # not evaluated yet -> everything needs a first evaluation
-        self.invalid = np.ones(n, dtype=bool)
-        self.ext_feed_seen = grid._ext_feed_cells
-        self.ext_hus_seen = grid._ext_hus_cells
-        # identity index: multiset list -> candidates whose covered rows
-        # read it (a flip mutates its four lists; sharers go stale)
-        sharers = {}
-        for c, r in enumerate(recs):
-            for lst in (r[_IVS_VL], r[_IVS_VH], r[_IVS_HL], r[_IVS_HH]):
-                if lst is not None:
-                    sharers.setdefault(id(lst), []).append(c)
-        self.sharers = sharers
 
     def grow(self, k: int) -> None:
         """Widen the padded-interval arrays to ``k`` slots."""
@@ -316,9 +324,15 @@ class NumpyBackend(CongestionBackend):
     WAVE = 192
     #: below this wave size the sequential kernels win outright
     MIN_BATCH = 24
-    #: when memoization leaves fewer fresh evaluations than this in a
-    #: sub-wave, the sequential kernel beats the vector dispatch
+    #: when the clean partition leaves fewer dirty candidates than this
+    #: in a sub-wave, the sequential kernel beats the vector dispatch
     SEQ_EVAL = 16
+    #: mean fused work charge (cells gathered per candidate, both
+    #: orientations) below which the whole pool runs sequentially: the
+    #: vector path pays a near-constant per-candidate dispatch cost
+    #: while the sequential kernels scale with range length, so short
+    #: ranges — small circuits or fine scales — can't amortize it
+    BATCH_MIN_MEAN_OPS = 32
 
     def __init__(self, grid) -> None:
         super().__init__(grid)
@@ -336,6 +350,10 @@ class NumpyBackend(CongestionBackend):
             from repro.grid.backends.python_ref import PythonBackend
 
             self._seq = PythonBackend(self.grid)
+            # one clean/dirty tally for the whole backend, fallback waves
+            # included — the split is an engine property, not a question
+            # of which code path served the wave
+            self._seq.stats = self.stats
         return self._seq
 
     def _ext_feed_arr(self) -> Optional[np.ndarray]:
@@ -506,6 +524,9 @@ class NumpyBackend(CongestionBackend):
     # -- batched improvement passes --------------------------------------
 
     def begin_flip_waves(self, committed, diagonal_idx: Sequence[int]) -> None:
+        # the sequential fallback serves small waves and mixed pools, and
+        # keeps its own (equally sound) version cache for them
+        self._sequential().begin_flip_waves(committed, diagonal_idx)
         self._plan = None
         if self.grid.strict or not diagonal_idx:
             return
@@ -513,6 +534,12 @@ class NumpyBackend(CongestionBackend):
         recs = [p.rec for p in ps]
         if any(r is None for r in recs):
             return  # sequential fallback handles mixed pools
+        # dispatch-lean waves: when the candidates' ranges are too short
+        # to amortize the per-candidate vector dispatch, don't build a
+        # plan at all — every wave then runs through the sequential
+        # kernels, which carry the same versioned incremental cache
+        if sum(r[_OPS_LH] for r in recs) < self.BATCH_MIN_MEAN_OPS * len(recs):
+            return
         self._plan = _FlipPlan(ps, recs, self.grid)
 
     def flip_wave(
@@ -524,18 +551,21 @@ class NumpyBackend(CongestionBackend):
     ) -> int:
         plan = self._plan
         if plan is None or len(order) < self.MIN_BATCH:
-            return self._sequential().flip_wave(
+            changed = self._sequential().flip_wave(
                 committed, diagonal_idx, order, counter
             )
-        grid = self.grid
-        # a new external snapshot shifts every cost: all bets are off
-        if (
-            grid._ext_feed_cells is not plan.ext_feed_seen
-            or grid._ext_hus_cells is not plan.ext_hus_seen
-        ):
-            plan.invalid[:] = True
-            plan.ext_feed_seen = grid._ext_feed_cells
-            plan.ext_hus_seen = grid._ext_hus_cells
+            if plan is not None and changed:
+                # the fallback mutated orientations behind the plan's
+                # back; resync its snapshot (versions took care of the
+                # caches — every flip bumped its windows)
+                from repro.grid.coarse import Orientation
+
+                HIGH = Orientation.VERT_AT_HIGH
+                ps_list = plan.ps
+                cur_high = plan.cur_high
+                for k in order.tolist():
+                    cur_high[k] = ps_list[k].orient is HIGH
+            return changed
         changed = 0
         wave = self.WAVE
         s = 0
@@ -557,11 +587,14 @@ class NumpyBackend(CongestionBackend):
                 wave = self.WAVE
         return changed
 
-    def _refresh_rows(self, plan: _FlipPlan, ids: np.ndarray) -> None:
-        """Rebuild stale covered-interval rows for candidates in ``ids``."""
-        stale_ids = ids[plan.stale[ids]]
-        if not len(stale_ids):
+    def _refresh_rows(
+        self, plan: _FlipPlan, E: np.ndarray, vers_E: np.ndarray
+    ) -> None:
+        """Rebuild covered-interval rows whose version stamps lag ``vers_E``."""
+        stale = (plan.row_seen[E] != vers_E).any(axis=1)
+        if not stale.any():
             return
+        stale_ids = E[stale]
         recs = plan.recs
         cur_high = plan.cur_high
         for c in stale_ids.tolist():
@@ -596,8 +629,8 @@ class NumpyBackend(CongestionBackend):
                         cov_l = ivs_vl if len(ivs_vl) == 1 else _merged(ivs_vl)
                     need = max(
                         need,
-                        _pad_rows(plan.a_vl, plan.b_vl, c, cov_l),
-                        _pad_rows(plan.a_vh, plan.b_vh, c, cov_h),
+                        _pad_rows(plan.a_vl, plan.b_vl, plan.ne_vl, c, cov_l),
+                        _pad_rows(plan.a_vh, plan.b_vh, plan.ne_vh, c, cov_h),
                     )
                 shared = r[_IVS_HL] is not None and r[_IVS_HL] is r[_IVS_HH]
                 if r[_CI_L] >= 0:
@@ -610,7 +643,9 @@ class NumpyBackend(CongestionBackend):
                         cov = ()
                     else:
                         cov = ivs if len(ivs) == 1 else _merged(ivs)
-                    need = max(need, _pad_rows(plan.a_hl, plan.b_hl, c, cov))
+                    need = max(
+                        need, _pad_rows(plan.a_hl, plan.b_hl, plan.ne_hl, c, cov)
+                    )
                 if r[_CI_H] >= 0:
                     ivs = r[_IVS_HH]
                     if cur or shared:
@@ -621,11 +656,13 @@ class NumpyBackend(CongestionBackend):
                         cov = ()
                     else:
                         cov = ivs if len(ivs) == 1 else _merged(ivs)
-                    need = max(need, _pad_rows(plan.a_hh, plan.b_hh, c, cov))
+                    need = max(
+                        need, _pad_rows(plan.a_hh, plan.b_hh, plan.ne_hh, c, cov)
+                    )
                 if need <= plan.a_vl.shape[1]:
                     break
                 plan.grow(need)
-        plan.stale[stale_ids] = False
+        plan.row_seen[stale_ids] = vers_E[stale]
 
     def _decide(self, plan: _FlipPlan, E: np.ndarray) -> np.ndarray:
         """Batched flip decisions (True = high) for candidates ``E``."""
@@ -732,81 +769,126 @@ class NumpyBackend(CongestionBackend):
     ) -> int:
         grid = self.grid
         W = ids
-        inval = plan.invalid[W]
-        nval = int(inval.sum())
-        forced = None
+        wver = grid._wver
+        # the clean partition: candidates whose cached version vectors
+        # still match the live windows keep their orientation (and their
+        # exact work charge) without any gathers
+        vers_now = np.asarray(wver, dtype=np.int64)[plan.wids[W]]
+        clean = (plan.seen[W] == vers_now).all(axis=1)
+        epos = np.nonzero(~clean)[0]
+        if len(epos):
+            # range-aware second chance: a version mismatch is forgiven
+            # when every bump since the cached stamp provably missed the
+            # candidate's clipped ranges (CoarseGrid.window_unchanged) —
+            # the windows it reads are then still byte-identical there.
+            # Unstamped rows (-1) can never prove anything; skip them.
+            stamped = epos[plan.seen[W[epos], 0] != -1]
+            if len(stamped):
+                unchanged = grid.window_unchanged
+                recs_l = plan.recs
+                widl = plan.widl
+                cand = W[stamped]
+                cached_rows = plan.seen[cand].tolist()
+                live_rows = vers_now[stamped].tolist()
+                proved: List[int] = []
+                for idx, c in enumerate(cand.tolist()):
+                    ck = cached_rows[idx]
+                    lv = live_rows[idx]
+                    r = recs_l[c]
+                    w0, w1, w2, w3 = widl[c]
+                    if (
+                        (ck[0] == lv[0]
+                         or unchanged(w0, ck[0], r[_V_LO], r[_V_HI]))
+                        and (ck[1] == lv[1]
+                             or unchanged(w1, ck[1], r[_V_LO], r[_V_HI]))
+                        and (ck[2] == lv[2]
+                             or unchanged(w2, ck[2], r[_H_LO], r[_H_HI]))
+                        and (ck[3] == lv[3]
+                             or unchanged(w3, ck[3], r[_H_LO], r[_H_HI]))
+                    ):
+                        proved.append(idx)
+                if proved:
+                    pp = stamped[np.asarray(proved, dtype=np.int64)]
+                    clean[pp] = True
+                    plan.seen[W[pp]] = vers_now[pp]
+                    epos = np.nonzero(~clean)[0]
+        nval = len(epos)
         picks_w = plan.cur_high[W].copy()
-        if nval == len(W):
-            self._refresh_rows(plan, W)
-            picks_w = self._decide(plan, W)
-        elif nval >= self.SEQ_EVAL:
-            epos = np.nonzero(inval)[0]
+        forced = None
+        if nval >= self.SEQ_EVAL:
             E = W[epos]
-            self._refresh_rows(plan, E)
+            self._refresh_rows(plan, E, vers_now[epos])
             picks_w[epos] = self._decide(plan, E)
+            # stamp the snapshot the decisions were made on; intra-wave
+            # conflicts and flips overwrite their stamps with live reads
+            plan.seen[E] = vers_now[epos]
         elif nval:
-            forced = set(W[inval].tolist())
-        # everything in this wave is (re-)evaluated below; flips re-mark
-        # their neighbourhoods at the end of the wave
-        plan.invalid[W] = False
+            # too few dirty candidates to amortize the vector dispatch:
+            # run them through the sequential kernel in wave order
+            forced = set(W[epos].tolist())
 
-        # apply in wave order; conflicts with an earlier flip in the
-        # same sub-wave re-run the sequential kernel on the live state
+        # apply in wave order; any candidate whose clipped ranges overlap
+        # a window range bumped by an earlier flip in the same sub-wave
+        # re-runs the sequential kernel on the live state (disjoint
+        # ranges leave everything its evaluation reads byte-identical,
+        # so speculation survives flips elsewhere in the window)
         ps_list = plan.ps
         recs = plan.recs
-        fb_l, fb_h = plan.fb_l, plan.fb_h
-        hb_l, hb_h = plan.hb_l, plan.hb_h
         ops_lh = plan.ops_lh
-        l_hasv = plan.l_hasv
-        l_vlo, l_vhi = plan.l_vlo, plan.l_vhi
-        l_hlo, l_hhi = plan.l_hlo, plan.l_hhi
-        l_cil, l_cih = plan.l_cil, plan.l_cih
-        l_gl, l_gh = plan.l_gl, plan.l_gh
         cur_high = plan.cur_high
-        sharers = plan.sharers
-        stale = plan.stale
-        invalid = plan.invalid
-        _hit = self._hit
+        seen = plan.seen
+        widl = plan.widl
+        wrng = plan.wrng
         flip_rec = grid.flip_step_rec
         commit_flip = grid._commit_flip
-        dirty_v: dict = {}
-        dirty_h: dict = {}
-        have_dirty = False
-        alc = ahc = alh = ahh = None
+        bumped: dict = {}  # window id -> [(lo, hi), ...] flipped ranges
         ids_l = ids.tolist()
+        cl_l = clean.tolist()
         cur_l = plan.cur_high[W].tolist()
         pk_l = picks_w.tolist()
         batch_ops = 0
         changed = 0
+        clean_skips = 0
         for j, c in enumerate(ids_l):
             cur_c = cur_l[j]
-            if have_dirty or forced is not None:
-                hit = forced is not None and c in forced
-                if not hit and have_dirty:
-                    vlo, vhi = l_vlo[c], l_vhi[c]
-                    hlo, hhi = l_hlo[c], l_hhi[c]
-                    hit = (
-                        _hit(dirty_v, fb_l[c], vlo, vhi)
-                        or _hit(dirty_v, fb_h[c], vlo, vhi)
-                        or _hit(dirty_h, hb_l[c], hlo, hhi)
-                        or _hit(dirty_h, hb_h[c], hlo, hhi)
-                    )
-                if hit:
-                    pick = flip_rec(recs[c], cur_c, counter)
-                    if pick == cur_c:
-                        continue
-                else:
-                    pick = pk_l[j]
-                    batch_ops += ops_lh[c]
-                    if pick == cur_c:
-                        continue
-                    commit_flip(recs[c], cur_c)
+            hit = False
+            if bumped:
+                for wid, lo, hi in wrng[c]:
+                    rngs = bumped.get(wid)
+                    if rngs:
+                        for a, b in rngs:
+                            if a <= hi and b >= lo:
+                                hit = True
+                                break
+                        if hit:
+                            break
+            if hit or (forced is not None and c in forced):
+                pick = flip_rec(recs[c], cur_c, counter)
+                w0, w1, w2, w3 = widl[c]
+                seen[c, 0] = wver[w0]
+                seen[c, 1] = wver[w1]
+                seen[c, 2] = wver[w2]
+                seen[c, 3] = wver[w3]
+                if pick == cur_c:
+                    continue
+            elif cl_l[j]:
+                batch_ops += ops_lh[c]
+                clean_skips += 1
+                continue
             else:
                 pick = pk_l[j]
                 batch_ops += ops_lh[c]
                 if pick == cur_c:
                     continue
                 commit_flip(recs[c], cur_c)
+                # the commit bumped this candidate's windows; re-stamp
+                # with the post-commit versions (re-evaluating now would
+                # keep the new orientation)
+                w0, w1, w2, w3 = widl[c]
+                seen[c, 0] = wver[w0]
+                seen[c, 1] = wver[w1]
+                seen[c, 2] = wver[w2]
+                seen[c, 3] = wver[w3]
             # -- flip bookkeeping --
             changed += 1
             cur_high[c] = pick
@@ -817,74 +899,19 @@ class NumpyBackend(CongestionBackend):
             else:
                 ps.orient = _LOW_ORIENT
                 ps.route = ps.route_low
-            if not have_dirty:
-                have_dirty = True
-                alc = [_FAR] * plan.nagg_cols
-                ahc = [-1] * plan.nagg_cols
-                alh = [_FAR] * plan.nagg_chs
-                ahh = [-1] * plan.nagg_chs
-            # conservative conflict ranges on all four resources, both as
-            # exact per-base ranges (intra-wave) and per-column/channel
-            # aggregates (cross-wave invalidation)
-            if l_hasv[c]:
-                vlo, vhi = l_vlo[c], l_vhi[c]
-                dirty_v.setdefault(fb_l[c], []).append((vlo, vhi))
-                dirty_v.setdefault(fb_h[c], []).append((vlo, vhi))
-                for gcol in (l_gl[c], l_gh[c]):
-                    if alc[gcol] > vlo:
-                        alc[gcol] = vlo
-                    if ahc[gcol] < vhi:
-                        ahc[gcol] = vhi
-            hlo, hhi = l_hlo[c], l_hhi[c]
-            ci = l_cil[c]
-            if ci >= 0:
-                dirty_h.setdefault(hb_l[c], []).append((hlo, hhi))
-                if alh[ci] > hlo:
-                    alh[ci] = hlo
-                if ahh[ci] < hhi:
-                    ahh[ci] = hhi
-            ci = l_cih[c]
-            if ci >= 0:
-                dirty_h.setdefault(hb_h[c], []).append((hlo, hhi))
-                if alh[ci] > hlo:
-                    alh[ci] = hlo
-                if ahh[ci] < hhi:
-                    ahh[ci] = hhi
-            rec = recs[c]
-            for lst in (rec[_IVS_VL], rec[_IVS_VH], rec[_IVS_HL], rec[_IVS_HH]):
-                if lst is not None:
-                    for other in sharers[id(lst)]:
-                        stale[other] = True
-                        invalid[other] = True
+            for wid, lo, hi in wrng[c]:
+                rngs = bumped.get(wid)
+                if rngs is None:
+                    bumped[wid] = [(lo, hi)]
+                else:
+                    rngs.append((lo, hi))
         if batch_ops:
             # bulk charge == the per-candidate sequential charges
             counter.add("coarse", batch_ops)
-        if have_dirty:
-            # cross-wave invalidation: a candidate reading a touched
-            # column/channel with a range overlapping its dirty aggregate
-            # can no longer reuse its last evaluation
-            alc_a = np.array(alc)
-            ahc_a = np.array(ahc)
-            gl, gh = plan.gcol_l, plan.gcol_h
-            ov = plan.has_v & (plan.v_lo <= ahc_a[gl]) & (plan.v_hi >= alc_a[gl])
-            ov |= plan.has_v & (plan.v_lo <= ahc_a[gh]) & (plan.v_hi >= alc_a[gh])
-            alh_a = np.array(alh)
-            ahh_a = np.array(ahh)
-            cl, ch = plan.ci_l_safe, plan.ci_h_safe
-            ov |= plan.use_hl & (plan.h_lo <= ahh_a[cl]) & (plan.h_hi >= alh_a[cl])
-            ov |= plan.use_hh & (plan.h_lo <= ahh_a[ch]) & (plan.h_hi >= alh_a[ch])
-            invalid |= ov
+        stats = self.stats
+        stats["clean"] += clean_skips
+        stats["dirty"] += len(ids_l) - clean_skips
         return changed
-
-    @staticmethod
-    def _hit(dirty: dict, base: int, lo: int, hi: int) -> bool:
-        ranges = dirty.get(base)
-        if ranges is None:
-            return False
-        for a, b in ranges:
-            if a <= hi and b >= lo:
-                return True
-        return False
 
 
 # resolved once at import; Orientation lives in repro.grid.coarse, which

@@ -7,22 +7,46 @@ live in :mod:`repro.grid.backends._kernels`; this class is the thin wave
 adapter that makes the sequential path a :class:`CongestionBackend` like
 any other — and thereby the executable specification the NumPy backend
 is property-tested against.
+
+On top of the sequential kernels sits the incremental engine: every
+candidate remembers the version vector of the four resource windows its
+evaluation reads, taken right after its last evaluation.  While those
+versions are unchanged, re-running the rip-up/evaluate/re-commit kernel
+would see byte-identical windows and must re-pick the *current*
+orientation (re-evaluation after a commit virtually rips up to exactly
+the state the previous evaluation scored), so a clean candidate is a
+guaranteed "keep": the backend skips the gathers and replays the exact
+work charge the kernel would have made.  Because the skip's decision and
+charge equal the evaluation's, the cache is pure elision — backends stay
+bit-identical even when their caches diverge.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.grid.backends.base import CongestionBackend
 from repro.perfmodel.counter import WorkCounter, NULL_COUNTER
 
+_WIDS = 22   # flip-rec index of the (wid_vl, wid_vh, wid_hl, wid_hh) tuple
+_OPS = 21    # flip-rec index of the fused low+high work charge
+_V_LO, _V_HI = 3, 4    # clipped vertical range read in both vert windows
+_H_LO, _H_HI = 14, 15  # clipped horizontal range read in both channels
+
 
 class PythonBackend(CongestionBackend):
     """Sequential flat-buffer kernels behind the wave interface."""
 
     name = "python"
+
+    def __init__(self, grid) -> None:
+        super().__init__(grid)
+        # cached per-candidate window-version vectors; valid only for the
+        # pool identity remembered in _cache_idx
+        self._seen: List[Optional[Tuple[int, int, int, int]]] = []
+        self._cache_idx: Optional[Sequence[int]] = None
 
     def eval_wave(
         self,
@@ -33,7 +57,9 @@ class PythonBackend(CongestionBackend):
         return [eval_both(low, high, counter) for low, high in pairs]
 
     def begin_flip_waves(self, committed, diagonal_idx: Sequence[int]) -> None:
-        pass  # no per-pool state beyond the precomputed flip records
+        # fresh cache per pool: one slot per flip candidate
+        self._seen = [None] * len(diagonal_idx)
+        self._cache_idx = diagonal_idx
 
     def flip_wave(
         self,
@@ -50,15 +76,77 @@ class PythonBackend(CongestionBackend):
         LOW = Orientation.VERT_AT_LOW
         HIGH = Orientation.VERT_AT_HIGH
         changed = 0
+        stats = self.stats
+        if self._cache_idx is not diagonal_idx:
+            # wave driven outside begin_flip_waves (or for another pool):
+            # run uncached — correctness never depends on the cache
+            for k in order.tolist():
+                ps = committed[diagonal_idx[k]]
+                rec = ps.rec
+                if rec is not None:
+                    pick_high = flip_rec(rec, ps.orient is HIGH, counter)
+                else:
+                    pick_high = flip(ps.route_low, ps.route_high, ps.route, counter)
+                stats["dirty"] += 1
+                if pick_high:
+                    new_orient, new_route = HIGH, ps.route_high
+                else:
+                    new_orient, new_route = LOW, ps.route_low
+                if new_orient is not ps.orient:
+                    changed += 1
+                ps.orient, ps.route = new_orient, new_route
+            return changed
+        seen = self._seen
+        wver = grid._wver
+        unchanged = grid.window_unchanged
         for k in order.tolist():
             ps = committed[diagonal_idx[k]]
+            rec = ps.rec
+            if rec is None:
+                pick_high = flip(ps.route_low, ps.route_high, ps.route, counter)
+                stats["dirty"] += 1
+                if pick_high:
+                    new_orient, new_route = HIGH, ps.route_high
+                else:
+                    new_orient, new_route = LOW, ps.route_low
+                if new_orient is not ps.orient:
+                    changed += 1
+                ps.orient, ps.route = new_orient, new_route
+                continue
+            w0, w1, w2, w3 = rec[_WIDS]
+            cur = (wver[w0], wver[w1], wver[w2], wver[w3])
+            sk = seen[k]
+            if sk == cur:
+                # clean ⟹ keep: the windows are byte-identical to the
+                # candidate's last evaluation, which picked the current
+                # orientation; replay the kernel's exact work charge
+                counter.add("coarse", rec[_OPS])
+                stats["clean"] += 1
+                continue
+            if sk is not None:
+                # range-aware second chance: every bump since the cached
+                # versions may have missed this candidate's clipped
+                # ranges, in which case the windows it reads are still
+                # byte-identical over those ranges
+                s0, s1, s2, s3 = sk
+                c0, c1, c2, c3 = cur
+                if (
+                    (s0 == c0 or unchanged(w0, s0, rec[_V_LO], rec[_V_HI]))
+                    and (s1 == c1 or unchanged(w1, s1, rec[_V_LO], rec[_V_HI]))
+                    and (s2 == c2 or unchanged(w2, s2, rec[_H_LO], rec[_H_HI]))
+                    and (s3 == c3 or unchanged(w3, s3, rec[_H_LO], rec[_H_HI]))
+                ):
+                    seen[k] = cur
+                    counter.add("coarse", rec[_OPS])
+                    stats["clean"] += 1
+                    continue
             # fused rip-up / evaluate-both / re-commit kernel; the
             # decision is identical to comparing two eval_cost calls
-            rec = ps.rec
-            if rec is not None:
-                pick_high = flip_rec(rec, ps.orient is HIGH, counter)
-            else:
-                pick_high = flip(ps.route_low, ps.route_high, ps.route, counter)
+            pick_high = flip_rec(rec, ps.orient is HIGH, counter)
+            # post-evaluation versions: state the winner was scored on
+            # (flip_step_rec bumps the windows itself when it flips)
+            seen[k] = (wver[w0], wver[w1], wver[w2], wver[w3])
+            stats["dirty"] += 1
             if pick_high:
                 new_orient, new_route = HIGH, ps.route_high
             else:

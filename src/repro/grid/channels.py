@@ -91,6 +91,14 @@ class ChannelState:
         }
         # externally-contributed intervals, tracked so they can be replaced
         self._external: Dict[int, List[Interval]] = {}
+        # monotone per-channel version counters: every mutation of a
+        # channel's interval set (span edits, flips, external resyncs)
+        # bumps its counter, so any quantity derived purely from a
+        # channel's span profile — a flip gain, a density, a work charge —
+        # stays provably fresh while the versions it was computed under
+        # are unchanged.  This is the channel-window analogue of
+        # CoarseGrid._wver.
+        self._ver: Dict[int, int] = {}
         #: extra work units charged per flip evaluation — set by callers
         #: whose real implementation consults channel structures larger
         #: than the locally-held spans (net-wise scalar sync mode)
@@ -110,13 +118,22 @@ class ChannelState:
                 f"channel {channel} outside window [{self.ch_lo}, {self.ch_hi}]"
             ) from None
 
+    def version(self, channel: int) -> int:
+        """Monotone mutation counter of one channel's interval set."""
+        return self._ver.get(channel, 0)
+
+    def _bump(self, channel: int) -> None:
+        self._ver[channel] = self._ver.get(channel, 0) + 1
+
     def add_span(self, span: ChannelSpan) -> None:
         """Insert a span into its channel's interval set."""
         self._set(span.channel).add_range(span.lo, span.hi)
+        self._bump(span.channel)
 
     def remove_span(self, span: ChannelSpan) -> None:
         """Remove a previously-added span."""
         self._set(span.channel).remove_range(span.lo, span.hi)
+        self._bump(span.channel)
 
     def add_external(self, channel: int, intervals: Iterable[Tuple[int, int]]) -> None:
         """Fold in spans owned by another rank (boundary-channel sync)."""
@@ -126,17 +143,22 @@ class ChannelState:
             iv = Interval(lo, hi)
             s.add(iv)
             bucket.append(iv)
+        self._bump(channel)
 
     def replace_externals(self, per_channel: Dict[int, List[Tuple[int, int]]]) -> None:
         """Swap the external snapshot for a fresh one (net-wise resync).
 
         Removes every previously-added external interval, then installs
-        the new ones; the rank's own spans are untouched.
+        the new ones; the rank's own spans are untouched.  Every channel
+        whose externals are removed or reinstalled is bumped (reinstalls
+        bump even when the new snapshot equals the old — conservative,
+        never stale).
         """
         for ch, bucket in self._external.items():
             s = self._set(ch)
             for iv in bucket:
                 s.remove(iv)
+            self._bump(ch)
         self._external.clear()
         for ch, intervals in per_channel.items():
             if self.owns(ch):
@@ -191,6 +213,8 @@ class ChannelState:
         dst = span.other_channel()
         self._set(span.channel).remove_range(span.lo, span.hi)
         self._set(dst).add_range(span.lo, span.hi)
+        self._bump(span.channel)
+        self._bump(dst)
         span.channel = dst
 
 

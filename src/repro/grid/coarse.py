@@ -48,11 +48,20 @@ from repro.perfmodel.counter import WorkCounter, NULL_COUNTER
 from repro.grid.backends._kernels import (  # noqa: F401  (re-exports)
     _TIE_EPS,
     _bump_range,
+    _defer_bump,
     _gather,
     _merged,
     _strict_eval,
     _uncovered,
 )
+
+
+#: per-window bump-log capacity — a window seeing more bumps than this
+#: between two evaluations of the same candidate simply loses its
+#: range-proof (the floor rises and staleness is assumed), which is
+#: always safe; flips bump a handful of windows per pass, so the cap is
+#: rarely hit outside the initial commit (which saturates wholesale)
+_WLOG_CAP = 16
 
 
 class Orientation(enum.IntEnum):
@@ -173,6 +182,37 @@ class CoarseGrid:
         self._ext_hus_cells: Optional[List[int]] = None
         self._ext_feed_prefix: Optional[List[int]] = None
         self._ext_hus_prefix: Optional[List[int]] = None
+        # Resource-window version counters — the incremental engine's
+        # single source of invalidation truth.  Window id ``g`` is feed
+        # column ``g`` (``0 .. ncols-1``); window ``ncols + ci`` is
+        # channel index ``ci`` (``0 .. nrows``); the last id is a dummy
+        # window for absent route sides that is never bumped, so cached
+        # version vectors can always be fixed 4-tuples.  Every mutation
+        # of a column/channel — buffer bump *or* bare multiset change
+        # (a sibling interval fully covered by a candidate's own run
+        # changes that candidate's post-rip-up covered set without
+        # touching the buffer) — bumps the owning window, so equality of
+        # a cached version vector with the live one proves the windows
+        # an evaluation read are byte-identical to when it was cached.
+        self._wdummy = ncols + nrows + 1
+        self._wver: List[int] = [0] * (ncols + nrows + 2)
+        # Bounded per-window logs of recent bump ranges, enabling
+        # *range-aware* invalidation: version mismatch alone does not
+        # force a re-evaluation if every bump since the cached version
+        # provably missed the candidate's clipped range in that window
+        # (disjoint ranges leave both the buffer cells and the relevant
+        # multiset overlaps untouched).  ``_wlog[w]`` holds
+        # ``(version, lo, hi)`` ascending for every bump with
+        # ``version > _wfloor[w]``; anything at or below the floor is
+        # unknown and conservatively treated as overlapping.
+        self._wlog: List[List[Tuple[int, int, int]]] = [
+            [] for _ in range(ncols + nrows + 2)
+        ]
+        self._wfloor: List[int] = [0] * (ncols + nrows + 2)
+        # difference arrays of a deferred bulk commit (see
+        # begin_bulk_commit); None outside bulk-commit sections
+        self._bulk_fd: Optional[List[int]] = None
+        self._bulk_hd: Optional[List[int]] = None
 
     @property
     def feed_demand(self) -> np.ndarray:
@@ -238,6 +278,52 @@ class CoarseGrid:
         else:
             self._ext_hus_cells = None
             self._ext_hus_prefix = None
+        # a new snapshot shifts every cost: all windows change at once,
+        # over their full ranges — saturate the bump logs so no cached
+        # evaluation can range-prove its way past the snapshot swap
+        self._wver = [v + 1 for v in self._wver]
+        self._wfloor = list(self._wver)
+        for log in self._wlog:
+            if log:
+                del log[:]
+
+    # -- bulk initial commit ----------------------------------------------
+
+    def begin_bulk_commit(self) -> None:
+        """Defer buffer writes of subsequent :meth:`commit_segment` calls.
+
+        Between this call and :meth:`end_bulk_commit` the commit kernels
+        record each range bump as two difference-array boundary writes
+        instead of walking cells, while multisets, flip records, window
+        versions and view invalidation behave exactly as in the direct
+        path.  The usage buffers are stale inside the section — nothing
+        in the initial commit loop reads them — and one prefix sum per
+        buffer at the end reproduces the per-cell state bit for bit.
+        """
+        self._bulk_fd = [0] * (len(self._feed) + 1)
+        self._bulk_hd = [0] * (len(self._hus) + 1)
+
+    def end_bulk_commit(self) -> None:
+        """Apply the deferred bumps and leave bulk-commit mode."""
+        fd, hd = self._bulk_fd, self._bulk_hd
+        self._bulk_fd = self._bulk_hd = None
+        # commits bump windows without logging ranges (far too many to
+        # bound a log); raise every floor so stale stamps can't range-prove
+        self._wfloor = list(self._wver)
+        for log in self._wlog:
+            if log:
+                del log[:]
+        if fd is not None and any(fd):
+            delta = np.cumsum(np.asarray(fd[:-1], dtype=np.int64))
+            self._feed = (
+                np.asarray(self._feed, dtype=np.int64) + delta
+            ).tolist()
+            self._feed_view = None
+            self._row_index = None
+        if hd is not None and any(hd):
+            delta = np.cumsum(np.asarray(hd[:-1], dtype=np.int64))
+            self._hus = (np.asarray(self._hus, dtype=np.int64) + delta).tolist()
+            self._hus_view = None
 
     # -- index helpers ----------------------------------------------------
 
@@ -333,6 +419,39 @@ class CoarseGrid:
         self._hus_view = None
         self._row_index = None
 
+    def _bump_w(self, w: int, lo: int, hi: int) -> None:
+        """Bump window ``w``'s version, logging the bumped range.
+
+        ``[lo, hi]`` is the inclusive range whose buffer cells and
+        multiset overlaps the mutation may have changed.  Inside a bulk
+        commit the log is skipped — :meth:`end_bulk_commit` saturates
+        every floor, which invalidates wholesale."""
+        ver = self._wver[w] + 1
+        self._wver[w] = ver
+        if self._bulk_fd is not None:
+            return
+        log = self._wlog[w]
+        log.append((ver, lo, hi))
+        if len(log) > _WLOG_CAP:
+            self._wfloor[w] = log[0][0]
+            del log[0]
+
+    def window_unchanged(self, w: int, cached: int, lo: int, hi: int) -> bool:
+        """True when window ``w``'s content over ``[lo, hi]`` is provably
+        identical to what it was at version ``cached``.
+
+        Every bump newer than ``cached`` must be in the log (i.e.
+        ``cached >= _wfloor[w]``) and miss the range; a bump at or below
+        the floor is unknowable and fails the proof."""
+        if cached < self._wfloor[w]:
+            return False
+        for ver, a, b in reversed(self._wlog[w]):
+            if ver <= cached:
+                break
+            if a <= hi and b >= lo:
+                return False
+        return True
+
     def add_route(self, route: RoutedSegment) -> None:
         """Commit a route, updating shared usage maps."""
         net = route.net
@@ -356,6 +475,7 @@ class CoarseGrid:
                     ivs = nv[key] = []
                 _bump_range(self._feed, g * nr - rl, lo, hi, ivs, 1)
                 ivs.append((lo, hi))
+                self._bump_w(g, lo, hi)
                 self._feed_view = None
                 self._row_index = None
         horiz = route.horiz
@@ -369,6 +489,7 @@ class CoarseGrid:
                     ivs = nh[key] = []
                 _bump_range(self._hus, (ch - rl) * self.ncols, g_lo, g_hi, ivs, 1)
                 ivs.append((g_lo, g_hi))
+                self._bump_w(self.ncols + (ch - rl), g_lo, g_hi)
                 self._hus_view = None
 
     def remove_route(self, route: RoutedSegment) -> None:
@@ -382,6 +503,7 @@ class CoarseGrid:
                 raise KeyError(f"vertical usage underflow at {(net, lo, g)}")
             ivs.remove((lo, hi))
             _bump_range(self._feed, g * self.nrows - self.row_lo, lo, hi, ivs, -1)
+            self._bump_w(g, lo, hi)
             self._feed_view = None
             self._row_index = None
         hr = self._horiz_range(route)
@@ -392,6 +514,7 @@ class CoarseGrid:
                 raise KeyError(f"horizontal usage underflow at {(net, ch, g_lo)}")
             ivs.remove((g_lo, g_hi))
             _bump_range(self._hus, (ch - self.row_lo) * self.ncols, g_lo, g_hi, ivs, -1)
+            self._bump_w(self.ncols + (ch - self.row_lo), g_lo, g_hi)
             self._hus_view = None
 
     # -- cost --------------------------------------------------------------
@@ -704,6 +827,14 @@ class CoarseGrid:
             _bump_range(hus, ci_new * nc, h_lo, h_hi, ivs_new, 1)
             ivs_new.append((h_lo, h_hi))
             self._hus_view = None
+        if pick_high != cur_is_high:
+            if ivs_vl is not None:
+                self._bump_w(gl, v_lo, v_hi)
+                self._bump_w(gh, v_lo, v_hi)
+            if ci_l >= 0:
+                self._bump_w(nc + ci_l, h_lo, h_hi)
+            if ci_h >= 0:
+                self._bump_w(nc + ci_h, h_lo, h_hi)
         return pick_high
 
     def make_flip_rec(
@@ -727,6 +858,8 @@ class CoarseGrid:
         net_vert = self._net_vert
         net_horiz = self._net_horiz
 
+        dummy = self._wdummy
+        wid_vl = wid_vh = dummy
         has_v = False
         v_lo = 1
         v_hi = 0
@@ -740,6 +873,8 @@ class CoarseGrid:
             v_hi = min(r_hi - 1, rl + nr - 1)
             if v_lo <= v_hi:
                 has_v = True
+                wid_vl = gl
+                wid_vh = gh
                 fb_l = gl * nr - rl
                 fb_h = gh * nr - rl
                 efpb_l = gl * (nr + 1) - rl
@@ -756,6 +891,7 @@ class CoarseGrid:
         h_lo = h_hi = 0
         ci_l = ci_h = -1
         hb_l = hb_h = ehpb_l = ehpb_h = 0
+        wid_hl = wid_hh = dummy
         ivs_hl = ivs_hh = None
         hl = low.horiz
         if hl is not None:
@@ -765,6 +901,7 @@ class CoarseGrid:
                 ci_l = ch_l - rl
                 hb_l = ci_l * nc
                 ehpb_l = ci_l * (nc + 1)
+                wid_hl = self.ncols + ci_l
                 key = (net, ch_l)
                 ivs_hl = net_horiz.get(key)
                 if ivs_hl is None:
@@ -773,6 +910,7 @@ class CoarseGrid:
                 ci_h = ch_h - rl
                 hb_h = ci_h * nc
                 ehpb_h = ci_h * (nc + 1)
+                wid_hh = self.ncols + ci_h
                 key = (net, ch_h)
                 ivs_hh = net_horiz.get(key)
                 if ivs_hh is None:
@@ -789,6 +927,7 @@ class CoarseGrid:
             ci_l, ci_h, hb_l, hb_h, h_lo, h_hi, (h_lo, h_hi), ivs_hl, ivs_hh,
             ehpb_l, ehpb_h,
             ops_lh,
+            (wid_vl, wid_vh, wid_hl, wid_hh),
         )
 
     def commit_segment(
@@ -810,6 +949,8 @@ class CoarseGrid:
         nc1 = self.ncols - 1
         rl = self.row_lo
         nr = self.nrows
+        bulk_fd = self._bulk_fd
+        bulk_hd = self._bulk_hd
         if ax == bx:  # vertical (or degenerate point)
             if ar == br:
                 return RoutedSegment(net=net), None, None
@@ -830,8 +971,12 @@ class CoarseGrid:
                 ivs = nv.get(key)
                 if ivs is None:
                     ivs = nv[key] = []
-                _bump_range(self._feed, g * nr - rl, clo, chi, ivs, 1)
+                if bulk_fd is not None:
+                    _defer_bump(bulk_fd, g * nr - rl, clo, chi, ivs, 1)
+                else:
+                    _bump_range(self._feed, g * nr - rl, clo, chi, ivs, 1)
                 ivs.append((clo, chi))
+                self._bump_w(g, clo, chi)
                 self._feed_view = None
                 self._row_index = None
             return route, None, None
@@ -849,8 +994,12 @@ class CoarseGrid:
                 ivs = nh.get(key)
                 if ivs is None:
                     ivs = nh[key] = []
-                _bump_range(self._hus, (ch - rl) * self.ncols, g_lo, g_hi, ivs, 1)
+                if bulk_hd is not None:
+                    _defer_bump(bulk_hd, (ch - rl) * self.ncols, g_lo, g_hi, ivs, 1)
+                else:
+                    _bump_range(self._hus, (ch - rl) * self.ncols, g_lo, g_hi, ivs, 1)
                 ivs.append((g_lo, g_hi))
+                self._bump_w(self.ncols + (ch - rl), g_lo, g_hi)
                 self._hus_view = None
             return route, None, None
         # diagonal
@@ -878,8 +1027,12 @@ class CoarseGrid:
             ivs_vl = nv.get(key)
             if ivs_vl is None:
                 ivs_vl = nv[key] = []
-            _bump_range(self._feed, gl * nr - rl, v_lo, v_hi, ivs_vl, 1)
+            if bulk_fd is not None:
+                _defer_bump(bulk_fd, gl * nr - rl, v_lo, v_hi, ivs_vl, 1)
+            else:
+                _bump_range(self._feed, gl * nr - rl, v_lo, v_hi, ivs_vl, 1)
             ivs_vl.append((v_lo, v_hi))
+            self._bump_w(gl, v_lo, v_hi)
             self._feed_view = None
             self._row_index = None
         in_l = rl <= ch_l <= rl + nr
@@ -890,8 +1043,12 @@ class CoarseGrid:
             ivs_hl = nh.get(key)
             if ivs_hl is None:
                 ivs_hl = nh[key] = []
-            _bump_range(self._hus, (ch_l - rl) * self.ncols, g_lo, g_hi, ivs_hl, 1)
+            if bulk_hd is not None:
+                _defer_bump(bulk_hd, (ch_l - rl) * self.ncols, g_lo, g_hi, ivs_hl, 1)
+            else:
+                _bump_range(self._hus, (ch_l - rl) * self.ncols, g_lo, g_hi, ivs_hl, 1)
             ivs_hl.append((g_lo, g_hi))
+            self._bump_w(self.ncols + (ch_l - rl), g_lo, g_hi)
             self._hus_view = None
         if not want_rec:
             return route_low, None, None
@@ -899,7 +1056,11 @@ class CoarseGrid:
         if self.strict:
             return route_low, route_high, None
         nc = self.ncols
+        dummy = self._wdummy
+        wid_vl = wid_vh = wid_hl = wid_hh = dummy
         if has_v:
+            wid_vl = gl
+            wid_vh = gh
             fb_l = gl * nr - rl
             fb_h = gh * nr - rl
             efpb_l = gl * (nr + 1) - rl
@@ -917,6 +1078,7 @@ class CoarseGrid:
             ci_l = ch_l - rl
             hb_l = ci_l * nc
             ehpb_l = ci_l * (nc + 1)
+            wid_hl = nc + ci_l
         else:
             ci_l = -1
             hb_l = ehpb_l = 0
@@ -924,6 +1086,7 @@ class CoarseGrid:
             ci_h = ch_h - rl
             hb_h = ci_h * nc
             ehpb_h = ci_h * (nc + 1)
+            wid_hh = nc + ci_h
             key = (net, ch_h)
             ivs_hh = nh.get(key)
             if ivs_hh is None:
@@ -943,6 +1106,7 @@ class CoarseGrid:
             ci_l, ci_h, hb_l, hb_h, g_lo, g_hi, (g_lo, g_hi), ivs_hl, ivs_hh,
             ehpb_l, ehpb_h,
             ops_lh,
+            (wid_vl, wid_vh, wid_hl, wid_hh),
         )
         return route_low, route_high, rec
 
@@ -959,7 +1123,7 @@ class CoarseGrid:
          efpb_l, efpb_h,
          ci_l, ci_h, hb_l, hb_h, h_lo, h_hi, ht, ivs_hl, ivs_hh,
          ehpb_l, ehpb_h,
-         ops_lh) = rec
+         ops_lh, wids) = rec
         feed = self._feed
         hus = self._hus
 
@@ -1063,6 +1227,13 @@ class CoarseGrid:
         # orientation changed: apply the real rip-up of the old side, then
         # the commit of the new one (same operation order as remove_route
         # followed by add_route)
+        if has_v:
+            self._bump_w(wids[0], v_lo, v_hi)
+            self._bump_w(wids[1], v_lo, v_hi)
+        if ci_l >= 0:
+            self._bump_w(wids[2], h_lo, h_hi)
+        if ci_h >= 0:
+            self._bump_w(wids[3], h_lo, h_hi)
         if cur_is_high:
             if has_v:
                 _bump_range(feed, fb_h, v_lo, v_hi, ivs_vh, -1)
@@ -1107,9 +1278,16 @@ class CoarseGrid:
          _efpb_l, _efpb_h,
          ci_l, ci_h, hb_l, hb_h, h_lo, h_hi, ht, ivs_hl, ivs_hh,
          _ehpb_l, _ehpb_h,
-         _ops_lh) = rec
+         _ops_lh, wids) = rec
         feed = self._feed
         hus = self._hus
+        if has_v:
+            self._bump_w(wids[0], v_lo, v_hi)
+            self._bump_w(wids[1], v_lo, v_hi)
+        if ci_l >= 0:
+            self._bump_w(wids[2], h_lo, h_hi)
+        if ci_h >= 0:
+            self._bump_w(wids[3], h_lo, h_hi)
         if cur_is_high:
             if has_v:
                 ivs_vh.remove(vt)
@@ -1181,6 +1359,17 @@ class CoarseGrid:
         number of orientation changes.
         """
         return self._backend.flip_wave(committed, diagonal_idx, order, counter)
+
+    def mark_flip_pass(self) -> None:
+        """Snapshot the backend's clean/dirty candidate tallies for the
+        coarse pass that just finished (see ``flip_pass_stats``)."""
+        self._backend.mark_pass()
+
+    def flip_pass_stats(self) -> List[Dict[str, int]]:
+        """Per-pass ``{"clean": n, "dirty": n}`` candidate splits recorded
+        by :meth:`mark_flip_pass` — the observable behind the
+        ``dirty_frac`` benchmark stat."""
+        return self._backend.pass_stats
 
     # -- aggregate views ----------------------------------------------------
 

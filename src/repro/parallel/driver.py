@@ -10,11 +10,11 @@ config/seed so quality ratios ("scaled tracks") are apples-to-apples.
 
 from __future__ import annotations
 
-import gc
 from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.circuits.model import Circuit, CircuitStats
+from repro.gcutil import gc_paused
 from repro.mpi.runtime import run_spmd
 from repro.perfmodel.machine import MachineModel, SPARCCENTER_1000
 from repro.perfmodel.memory import estimate_circuit_bytes
@@ -174,17 +174,14 @@ def route_parallel(
 
     # Same rationale as GlobalRouter.route_with_artifacts: the SPMD ranks'
     # working sets are cycle-free, so collector passes mid-run reclaim
-    # nothing — suspend collection for the bounded routing phase.
-    was_enabled = gc.isenabled()
-    gc.disable()
-    try:
+    # nothing — suspend collection for the bounded routing phase.  The
+    # shared guard restores the collector even when a fault-injected rank
+    # crash propagates out as RankError.
+    with gc_paused():
         spmd = run_spmd(
             nprocs, program, args=(circuit, config, pconfig), machine=machine,
             trace=trace, obs=obs, faults=faults,
         )
-    finally:
-        if was_enabled:
-            gc.enable()
     result: RoutingResult = spmd.values[0]
     if result is None:
         raise RuntimeError("rank 0 returned no result")

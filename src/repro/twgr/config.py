@@ -76,10 +76,13 @@ class RouterConfig:
             raise ValueError("switch_passes must be >= 0")
         if self.cell_height <= 0 or self.track_pitch <= 0:
             raise ValueError("area model pitches must be positive")
-        if self.backend not in ("auto", "python", "numpy"):
-            raise ValueError(
-                f"unknown backend {self.backend!r} (auto, python or numpy)"
-            )
+        # One authority for backend-name validation: the registry.  This
+        # fails fast at config-validation time with the registered-name
+        # list — including a bad REPRO_BACKEND environment value when the
+        # backend is "auto"/"" — instead of surfacing mid-route.
+        from repro.grid.backends import resolve_backend_name
+
+        resolve_backend_name(self.backend)
 
     def resolved_backend(self) -> str:
         """The congestion backend a run under this config will use."""

@@ -77,3 +77,6 @@ class StepArtifacts:
     spans: List[ChannelSpan] = field(default_factory=list)
     state: Optional[ChannelState] = None
     connect_stats: Any = None
+    #: per-pass clean/dirty gain-evaluation counts of step 5 (the
+    #: switchable optimizer's versioned-cache observability)
+    switch_stats: List[Dict[str, int]] = field(default_factory=list)

@@ -16,10 +16,10 @@ so traced and untraced runs are bit-identical.
 
 from __future__ import annotations
 
-import gc
 from typing import Optional, Tuple
 
 from repro.circuits.model import Circuit
+from repro.gcutil import gc_paused
 from repro.grid.channels import build_state
 from repro.grid.coarse import CoarseGrid
 from repro.obs.tracer import NULL_TRACER, Tracer
@@ -62,15 +62,9 @@ class GlobalRouter:
         # and span sets hold no back references), so every cyclic-GC pass
         # taken mid-route scans tens of thousands of live objects and
         # reclaims nothing.  Suspend collection for the bounded routing
-        # phase and restore the collector state afterwards; reference
-        # counting still frees all transients immediately.
-        was_enabled = gc.isenabled()
-        gc.disable()
-        try:
+        # phase; see repro.gcutil for the restore guarantees.
+        with gc_paused():
             return self._route_with_artifacts(circuit, counter, tracer)
-        finally:
-            if was_enabled:
-                gc.enable()
 
     def _route_with_artifacts(
         self,
@@ -137,7 +131,8 @@ class GlobalRouter:
             with tracer.span("step5_switch", step=5):
                 state = build_state(spans, 0, work.num_rows)
                 flips = optimize_switchable(
-                    spans, state, cfg.rng(5, 0), passes=cfg.switch_passes, counter=cnt
+                    spans, state, cfg.rng(5, 0), passes=cfg.switch_passes,
+                    counter=cnt, pass_stats=art.switch_stats,
                 )
                 art.state = state
 

@@ -33,6 +33,7 @@ def optimize_switchable(
     counter: WorkCounter = NULL_COUNTER,
     sync: Optional[Callable[[], None]] = None,
     syncs_per_pass: int = 0,
+    pass_stats: Optional[List[Dict[str, int]]] = None,
 ) -> int:
     """Improve channel placement of switchable spans in ``state``.
 
@@ -46,6 +47,10 @@ def optimize_switchable(
     spans it holds, so the callback may contain collectives (the net-wise
     density resynchronization, paper §5).  Early termination is disabled
     in that mode.
+
+    ``pass_stats``, when given, receives one ``{"clean": n, "dirty": m}``
+    dict per pass: how many gain evaluations were served from the
+    versioned cache versus recomputed.
     """
     candidates: List[ChannelSpan] = [s for s in spans if s.switchable]
     synced = sync is not None and syncs_per_pass > 0
@@ -60,21 +65,27 @@ def optimize_switchable(
     flip = state.flip
     span_count = state.span_count
     owns = state.owns
+    version = state.version
     # Gain memoization by channel version: a candidate's flip gain is a
     # pure function of its two channels' span profiles, so a cached gain
-    # stays exact until either channel is touched by a flip.  The cached
-    # work charge is replayed on every hit (both channels unchanged means
-    # the evaluation would have walked identical structures), keeping
-    # operation counts bit-identical to unmemoized passes.
-    ver: Dict[int, int] = {}
+    # stays exact while both channels' state versions are unchanged.  The
+    # versions live in the ChannelState itself and are bumped by *every*
+    # mutation path — flips, span edits, external resyncs — so the cache
+    # survives a sync() call and only the channels the sync actually
+    # touched go dirty.  The cached work charge is replayed on every hit
+    # (unchanged versions mean the evaluation would have walked identical
+    # structures and charged the same amount), keeping operation counts
+    # bit-identical to unmemoized passes.  eval_surcharge is part of the
+    # charge, so a hit additionally requires it unchanged.
     memo: Dict[int, Tuple] = {}
+    clean = dirty = 0
     for _ in range(max(passes, 0)):
         changed = 0
+        p_clean, p_dirty = clean, dirty
         order = rng.permutation(len(candidates)) if candidates else np.empty(0, dtype=np.int64)
         for chunk in split_chunks(order, syncs_per_pass if synced else 1):
             if synced:
                 sync()
-                memo.clear()  # fresh density snapshot: every gain is stale
             for k in chunk.tolist():
                 span = candidates[k]
                 src = span.channel
@@ -82,12 +93,14 @@ def optimize_switchable(
                 if (
                     m is not None
                     and m[0] == src
-                    and ver.get(src, 0) == m[1]
-                    and ver.get(m[4], 0) == m[2]
+                    and version(src) == m[1]
+                    and version(m[4]) == m[2]
+                    and m[6] == state.eval_surcharge
                 ):
                     gain = m[3]
                     if m[5] is not None:
                         counter.add("switch", m[5])
+                    clean += 1
                 else:
                     row = span.row
                     dst = row if src == row + 1 else row + 1
@@ -97,14 +110,17 @@ def optimize_switchable(
                         if owns(src) and owns(dst)
                         else None
                     )
-                    memo[k] = (src, ver.get(src, 0), ver.get(dst, 0), gain, dst, charge)
+                    memo[k] = (
+                        src, version(src), version(dst), gain, dst, charge,
+                        state.eval_surcharge,
+                    )
+                    dirty += 1
                 if gain > 0:
-                    flip(span)
+                    flip(span)  # bumps both channels' versions
                     changed += 1
-                    dst = span.channel  # flip() moved it here
-                    ver[src] = ver.get(src, 0) + 1
-                    ver[dst] = ver.get(dst, 0) + 1
         flips += changed
+        if pass_stats is not None:
+            pass_stats.append({"clean": clean - p_clean, "dirty": dirty - p_dirty})
         if changed == 0 and sync is None:
             break
     return flips

@@ -1,0 +1,84 @@
+"""Trajectory record bookkeeping in the benchmark harness.
+
+The cumulative ``BENCH_trajectory.json`` is the repo's long-term perf
+memory, so its dedupe rule matters: re-running the *same* measurement
+(commit, backend, and operating point) replaces its record, while a
+smoke run at another scale — or a run on a dirty worktree — must never
+clobber the committed full-scale record.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(REPO / "benchmarks"))
+
+from run_bench import TRAJECTORY_SCHEMA, append_trajectory  # noqa: E402
+
+
+def _report(commit="abc123", backend="numpy", scale=1.0, seed=1, rounds=5,
+            route_s=0.05):
+    return {
+        "commit": commit,
+        "unix_time": 1_786_000_000,
+        "python": "3.11",
+        "backend": backend,
+        "seed": seed,
+        "scale": scale,
+        "rounds": rounds,
+        "kernels": {"batched_eval": {"mean_s": 0.005}},
+        "circuits": {
+            "primary1": {
+                "route": {"mean_s": route_s, "min_s": route_s},
+                "total_tracks": 349,
+                "area": 1,
+                "num_feedthroughs": 2,
+                "dirty_frac": 0.84,
+            }
+        },
+    }
+
+
+def _records(path):
+    return json.loads(path.read_text())["records"]
+
+
+def test_same_measurement_replaces_its_record(tmp_path):
+    path = tmp_path / "traj.json"
+    append_trajectory(_report(route_s=0.05), path)
+    append_trajectory(_report(route_s=0.06), path)
+    recs = _records(path)
+    assert len(recs) == 1
+    assert recs[0]["circuits"]["primary1"]["route_mean_s"] == 0.06
+    assert recs[0]["schema"] == TRAJECTORY_SCHEMA
+
+
+def test_distinct_backends_and_commits_coexist(tmp_path):
+    path = tmp_path / "traj.json"
+    append_trajectory(_report(backend="numpy"), path)
+    append_trajectory(_report(backend="python"), path)
+    append_trajectory(_report(commit="def456", backend="numpy"), path)
+    assert len(_records(path)) == 3
+
+
+def test_dirty_worktree_record_does_not_replace_clean_one(tmp_path):
+    path = tmp_path / "traj.json"
+    append_trajectory(_report(commit="abc123"), path)
+    append_trajectory(_report(commit="abc123+dirty"), path)
+    assert [r["commit"] for r in _records(path)] == ["abc123", "abc123+dirty"]
+
+
+def test_smoke_scale_never_clobbers_full_scale_record(tmp_path):
+    path = tmp_path / "traj.json"
+    append_trajectory(_report(scale=1.0, route_s=0.05), path)
+    append_trajectory(_report(scale=0.2, route_s=0.009), path)
+    recs = _records(path)
+    assert [r["scale"] for r in recs] == [1.0, 0.2]
+    # and re-running the smoke point still replaces only the smoke record
+    append_trajectory(_report(scale=0.2, route_s=0.01), path)
+    recs = _records(path)
+    assert [r["scale"] for r in recs] == [1.0, 0.2]
+    assert recs[1]["circuits"]["primary1"]["route_mean_s"] == 0.01

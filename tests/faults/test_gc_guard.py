@@ -1,0 +1,67 @@
+"""The shared gc-pause guard is exception-safe.
+
+Both the serial router and the SPMD driver suspend the cyclic collector
+for the bounded routing phase through :func:`repro.gcutil.gc_paused`.
+The regression these tests pin: a fault-injected rank crash propagating
+out of ``route_parallel`` as :class:`~repro.mpi.runtime.RankError` must
+leave the collector re-enabled — a leaked ``gc.disable()`` would silently
+turn every later allocation-heavy phase of the process into a leak
+amplifier.
+"""
+
+from __future__ import annotations
+
+import gc
+
+import pytest
+
+from repro.circuits import mcnc
+from repro.faults import CrashFault, FaultPlan
+from repro.gcutil import gc_paused
+from repro.mpi.runtime import RankError
+from repro.parallel.driver import route_parallel
+from repro.perfmodel.machine import SPARCCENTER_1000
+from repro.twgr.config import RouterConfig
+
+
+def test_gc_paused_restores_on_exception():
+    assert gc.isenabled()
+    with pytest.raises(RuntimeError):
+        with gc_paused():
+            assert not gc.isenabled()
+            raise RuntimeError("boom")
+    assert gc.isenabled()
+
+
+def test_gc_paused_respects_caller_disabled_collector():
+    gc.disable()
+    try:
+        with gc_paused():
+            assert not gc.isenabled()
+        # the guard never enables a collector the caller had disabled
+        assert not gc.isenabled()
+    finally:
+        gc.enable()
+
+
+def test_gc_paused_nests():
+    with gc_paused():
+        with gc_paused():
+            assert not gc.isenabled()
+        # inner exit must not re-enable inside the outer pause
+        assert not gc.isenabled()
+    assert gc.isenabled()
+
+
+@pytest.mark.parametrize("step", ["step2_coarse", "step5_switch"])
+def test_collector_reenabled_after_injected_crash(step):
+    """A crash-step chaos plan aborts the run; the collector survives."""
+    circuit = mcnc.generate("primary1", scale=0.05, seed=1)
+    plan = FaultPlan(0, (CrashFault(rank=1, step=step),))
+    assert gc.isenabled()
+    with pytest.raises(RankError):
+        route_parallel(
+            circuit, algorithm="hybrid", nprocs=3, machine=SPARCCENTER_1000,
+            config=RouterConfig(seed=1), compute_baseline=False, faults=plan,
+        )
+    assert gc.isenabled()

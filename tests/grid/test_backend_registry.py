@@ -1,0 +1,99 @@
+"""Backend-name resolution: one registry, fail-fast everywhere.
+
+Every path that accepts a backend request — ``RouterConfig`` validation,
+the ``CoarseGrid`` constructor, the ``REPRO_BACKEND`` environment
+variable — resolves through :func:`repro.grid.backends.resolve_backend_name`,
+so an unknown name raises ``ValueError`` naming the registered backends
+instead of surfacing later as a ``KeyError`` deep in grid construction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grid.backends import (
+    BACKEND_ENV,
+    BACKEND_NAMES,
+    BACKENDS,
+    DEFAULT_BACKEND,
+    make_backend,
+    resolve_backend_name,
+)
+from repro.grid.coarse import CoarseGrid
+from repro.twgr.config import RouterConfig
+
+
+def test_registry_is_the_single_source_of_names():
+    assert BACKEND_NAMES == tuple(BACKENDS)
+    assert DEFAULT_BACKEND in BACKENDS
+
+
+def test_explicit_names_resolve(monkeypatch):
+    monkeypatch.delenv(BACKEND_ENV, raising=False)
+    for name in BACKEND_NAMES:
+        assert resolve_backend_name(name) == name
+    assert resolve_backend_name("NumPy") == "numpy"  # case-insensitive
+
+
+def test_auto_and_empty_fall_back_to_default(monkeypatch):
+    monkeypatch.delenv(BACKEND_ENV, raising=False)
+    for request in (None, "", "auto"):
+        assert resolve_backend_name(request) == DEFAULT_BACKEND
+
+
+def test_empty_env_value_falls_back_to_default(monkeypatch):
+    monkeypatch.setenv(BACKEND_ENV, "")
+    assert resolve_backend_name(None) == DEFAULT_BACKEND
+
+
+def test_env_choice_wins_over_default_but_not_argument(monkeypatch):
+    monkeypatch.setenv(BACKEND_ENV, "python")
+    assert resolve_backend_name(None) == "python"
+    assert resolve_backend_name("auto") == "python"
+    assert resolve_backend_name("numpy") == "numpy"
+
+
+def test_unknown_name_fails_fast_with_registered_list(monkeypatch):
+    monkeypatch.delenv(BACKEND_ENV, raising=False)
+    with pytest.raises(ValueError) as exc:
+        resolve_backend_name("cuda")
+    for name in BACKEND_NAMES:
+        assert name in str(exc.value)
+
+
+def test_unknown_env_value_fails_fast_naming_the_variable(monkeypatch):
+    monkeypatch.setenv(BACKEND_ENV, "fortran")
+    with pytest.raises(ValueError) as exc:
+        resolve_backend_name(None)
+    assert BACKEND_ENV in str(exc.value)
+    with pytest.raises(ValueError):
+        resolve_backend_name("")  # empty request consults the bad env too
+
+
+def test_make_backend_unknown_raises():
+    grid = CoarseGrid(ncols=4, nrows=4, col_width=8, backend="python")
+    with pytest.raises(ValueError):
+        make_backend("bogus", grid)
+
+
+def test_grid_constructor_fails_fast(monkeypatch):
+    monkeypatch.delenv(BACKEND_ENV, raising=False)
+    with pytest.raises(ValueError) as exc:
+        CoarseGrid(ncols=4, nrows=4, col_width=8, backend="bogus")
+    assert "bogus" in str(exc.value)
+
+
+def test_config_validation_delegates_to_registry(monkeypatch):
+    monkeypatch.delenv(BACKEND_ENV, raising=False)
+    RouterConfig(backend="python").validate()
+    RouterConfig(backend="auto").validate()
+    RouterConfig(backend="").validate()  # empty = auto
+    with pytest.raises(ValueError):
+        RouterConfig(backend="bogus").validate()
+
+
+def test_config_validation_vets_the_environment(monkeypatch):
+    monkeypatch.setenv(BACKEND_ENV, "fortran")
+    with pytest.raises(ValueError) as exc:
+        RouterConfig(backend="auto").validate()
+    assert BACKEND_ENV in str(exc.value)
