@@ -21,15 +21,20 @@ for reference and the sweep record's ``bit_identical`` flag is enforced —
 a historical sweep that was not bit-identical would mean the committed
 baseline itself is untrustworthy.
 
-Finally it gates the committed perf trajectory ``BENCH_trajectory.json``:
-the newest record of every backend must carry the incremental-engine
+Finally it gates the committed perf trajectory ``BENCH_trajectory.json``
+through the trend engine (:mod:`repro.analysis.trends`): records are
+schema-validated fail-fast, grouped into per-backend comparable chains
+(same scale/seed/rounds as the newest record), and **every adjacent
+pair** in every chain is checked — route_mean_s beyond
+``--route-threshold`` (default 5%) or any kernel mean beyond
+``--kernel-threshold`` (default 30%, host-noise calibrated) fails with a
+culprit report naming the kernel, backend, and both commits.  The newest
+record of every backend must additionally carry the incremental-engine
 observability stats (a ``batched_eval`` kernel mean and a per-circuit
-``dirty_frac``), and its end-to-end ``route_mean_s`` must not be more
-than ``--route-threshold`` (default 5%) slower than the previous
-committed record of the *same* backend at the same scale/seed.  This
-check reads committed records only — it never times anything itself, so
-it cannot flake with runner speed; it fails exactly when someone commits
-a measurably slower trajectory record.
+``dirty_frac``).  This check reads committed records only — it never
+times anything itself, so it cannot flake with runner speed; it fails
+exactly when someone commits a measurably slower trajectory record,
+even one buried behind a newer fast record.
 
 Usage::
 
@@ -46,6 +51,8 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 REPO = Path(__file__).resolve().parent.parent
+if str(REPO / "src") not in sys.path:  # direct function calls, not just main()
+    sys.path.insert(0, str(REPO / "src"))
 DEFAULT_REFERENCE = Path(__file__).resolve().parent / "PROFILE_smoke.json"
 
 SMOKE_FORMAT = "repro-profile-smoke-v1"
@@ -89,16 +96,23 @@ def load_reference(path: Path) -> Dict[str, Dict]:
 
 
 def check_bench_records(kernels_path: Path, sweep_path: Path) -> List[str]:
-    """Sanity-check the committed benchmark records; returns problems."""
+    """Sanity-check the committed benchmark records; returns problems.
+
+    The kernel report loads through the versioned fail-fast validator
+    (:func:`repro.analysis.records.load_kernels`), so a malformed record
+    is reported naming the offending kernel/circuit instead of surfacing
+    as a KeyError mid-gate.
+    """
+    from repro.analysis.records import BenchRecordError, load_kernels
+
     problems: List[str] = []
     try:
-        kernels = json.loads(kernels_path.read_text(encoding="utf-8"))
-        names = sorted(kernels.get("kernels", {}))
-        print(f"kernel baseline ({kernels_path.name}, commit {kernels.get('commit', '?')[:12]}):")
-        for name in names:
+        kernels = load_kernels(kernels_path)
+        print(f"kernel baseline ({kernels_path.name}, commit {kernels['commit'][:12]}):")
+        for name in sorted(kernels["kernels"]):
             k = kernels["kernels"][name]
             print(f"  {name:<28} {1e3 * k['mean_s']:9.3f} ms")
-    except (OSError, ValueError) as exc:
+    except (OSError, ValueError, BenchRecordError) as exc:
         problems.append(f"cannot read {kernels_path}: {exc}")
     try:
         sweep = json.loads(sweep_path.read_text(encoding="utf-8"))
@@ -121,74 +135,48 @@ def check_bench_records(kernels_path: Path, sweep_path: Path) -> List[str]:
 REQUIRED_KERNEL_STATS = ("batched_eval",)
 
 
-def check_trajectory(path: Path, route_threshold: float) -> List[str]:
-    """Gate the committed perf-trajectory records; returns problems.
+def check_trajectory(
+    path: Path,
+    route_threshold: float,
+    kernel_threshold: Optional[float] = None,
+) -> List[str]:
+    """Trend-aware gate over the committed perf-trajectory; returns problems.
 
-    Per backend present in the file: the newest record must have every
-    :data:`REQUIRED_KERNEL_STATS` kernel mean and a numeric ``dirty_frac``
-    for every circuit, and may not regress ``route_mean_s`` by more than
-    ``route_threshold`` against the previous comparable record (same
-    backend, scale, seed, and rounds — wall timings at different operating
-    points are not comparable).  Records written before the backend stamp
-    existed carry no ``backend`` key; they predate the gated stats and are
-    excluded rather than failed retroactively.
+    Delegates to :mod:`repro.analysis.trends`: records load through the
+    versioned fail-fast validator, are grouped into per-backend chains of
+    records comparable with the newest one (same scale/seed/rounds — wall
+    timings at different operating points are not comparable), and every
+    *adjacent pair* in every chain is checked, so a regression hidden in
+    the middle of history still fails.  Route means are gated at
+    ``route_threshold``, kernel means at ``kernel_threshold`` (default
+    :data:`repro.analysis.trends.KERNEL_THRESHOLD`).  The newest record
+    per backend must carry every :data:`REQUIRED_KERNEL_STATS` kernel
+    mean and a numeric per-circuit ``dirty_frac``.  Records written
+    before the backend stamp existed predate the gated stats and are
+    displayed but exempt.
     """
-    problems: List[str] = []
+    from repro.analysis.records import load_trajectory
+    from repro.analysis import trends
+
+    if kernel_threshold is None:
+        kernel_threshold = trends.KERNEL_THRESHOLD
     try:
-        records = json.loads(path.read_text(encoding="utf-8")).get("records", [])
-    except (OSError, ValueError) as exc:
+        records = load_trajectory(path)
+    except FileNotFoundError:
+        return [f"cannot read {path}: file not found"]
+    except (OSError, ValueError) as exc:  # BenchRecordError is a ValueError
         return [f"cannot read {path}: {exc}"]
-    legacy = sum(1 for rec in records if "backend" not in rec)
-    if legacy:
-        print(f"trajectory {path.name}: {legacy} legacy record(s) without a "
-              f"backend stamp excluded from the gate")
-    by_backend: Dict[str, List[Dict]] = {}
-    for rec in records:
-        if "backend" not in rec:
-            continue
-        by_backend.setdefault(rec.get("backend", ""), []).append(rec)
-    if not by_backend:
+    if not records:
         return [f"{path.name}: no trajectory records committed"]
-    for backend, recs in sorted(by_backend.items()):
-        latest = recs[-1]  # records are ordered oldest-first
-        tag = f"{path.name} [{backend or 'unset'}]"
-        for stat in REQUIRED_KERNEL_STATS:
-            if stat not in latest.get("kernels_mean_s", {}):
-                problems.append(f"{tag}: newest record lacks kernel stat {stat!r}")
-        for name, c in latest.get("circuits", {}).items():
-            if not isinstance(c.get("dirty_frac"), (int, float)):
-                problems.append(
-                    f"{tag}: newest record lacks dirty_frac for {name!r}"
-                )
-        key = (latest.get("scale"), latest.get("seed"), latest.get("rounds"))
-        prev = next(
-            (
-                r for r in reversed(recs[:-1])
-                if (r.get("scale"), r.get("seed"), r.get("rounds")) == key
-            ),
-            None,
-        )
-        if prev is None:
-            print(f"trajectory {tag}: no previous comparable record (gate skipped)")
-            continue
-        for name, c in latest.get("circuits", {}).items():
-            old = prev.get("circuits", {}).get(name, {}).get("route_mean_s")
-            new = c.get("route_mean_s")
-            if not old or not new:
-                continue
-            ratio = new / old
-            marker = "REGRESSED" if ratio > 1.0 + route_threshold else "ok"
-            print(
-                f"trajectory {tag} {name}: route_mean_s "
-                f"{1e3 * old:.1f} -> {1e3 * new:.1f} ms ({ratio:.3f}x) {marker}"
-            )
-            if ratio > 1.0 + route_threshold:
-                problems.append(
-                    f"{tag}: {name} route_mean_s regressed {ratio:.3f}x "
-                    f"(> +{route_threshold:.0%}) vs commit "
-                    f"{str(prev.get('commit'))[:12]}"
-                )
-    return problems
+    report = trends.build_trend_report(records)
+    problems, _culprits = trends.gate_trends(
+        report,
+        kernel_threshold=kernel_threshold,
+        route_threshold=route_threshold,
+        required_kernels=REQUIRED_KERNEL_STATS,
+    )
+    print(trends.render_text(report, problems=problems))
+    return [f"{path.name}: {p}" for p in problems]
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -207,8 +195,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     ap.add_argument("--trajectory", default=str(REPO / "BENCH_trajectory.json"))
     ap.add_argument(
         "--route-threshold", type=float, default=0.05,
-        help="route_mean_s regression threshold between committed "
+        help="route_mean_s regression threshold between adjacent committed "
         "trajectory records (fraction, default 0.05)",
+    )
+    ap.add_argument(
+        "--kernel-threshold", type=float, default=None,
+        help="per-kernel mean_s regression threshold between adjacent "
+        "committed trajectory records (fraction; default "
+        "repro.analysis.trends.KERNEL_THRESHOLD = 0.30, host-noise "
+        "calibrated)",
     )
     ap.add_argument(
         "--skip-bench-files", action="store_true",
@@ -216,7 +211,6 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = ap.parse_args(argv)
 
-    sys.path.insert(0, str(REPO / "src"))
     from repro.obs.profile import RunProfile, profile_diff
 
     fresh = {b: smoke_profiles(b) for b in SMOKE_BACKENDS}
@@ -233,7 +227,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     problems: List[str] = []
     if not args.skip_bench_files:
         problems += check_bench_records(Path(args.kernels), Path(args.sweep))
-        problems += check_trajectory(Path(args.trajectory), args.route_threshold)
+        problems += check_trajectory(
+            Path(args.trajectory), args.route_threshold, args.kernel_threshold
+        )
 
     # cross-backend bit-identity: every step's modeled seconds must agree
     # exactly between the two backends before either is gated

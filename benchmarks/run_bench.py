@@ -41,6 +41,7 @@ from typing import Callable, Dict, List
 
 import numpy as np
 
+from repro.analysis.records import load_trajectory, validate_trajectory_record
 from repro.circuits import mcnc
 from repro.grid.backends import BACKEND_NAMES, resolve_backend_name
 from repro.grid.channels import build_state
@@ -294,6 +295,10 @@ def append_trajectory(report: Dict, path: Path) -> Dict:
     mean route time against commit history is a single ``json.load``.
     Records carry only headline numbers — kernel means and end-to-end
     route stats — not the full sample distributions of the main report.
+    Both the existing file and the freshly built record pass through the
+    versioned fail-fast validator (:mod:`repro.analysis.records`), so a
+    hand-edited or corrupted trajectory is rejected before it is
+    silently rewritten.
     """
     record = {
         "schema": TRAJECTORY_SCHEMA,
@@ -328,11 +333,9 @@ def append_trajectory(report: Dict, path: Path) -> Dict:
             r.get("scale"), r.get("seed"), r.get("rounds"),
         )
 
+    validate_trajectory_record(record, f"{path}: new record")
     if path.exists():
-        trajectory = json.loads(path.read_text())
-        records = [
-            r for r in trajectory.get("records", ()) if _key(r) != _key(record)
-        ]
+        records = [r for r in load_trajectory(path) if _key(r) != _key(record)]
     else:
         records = []
     records.append(record)

@@ -23,6 +23,20 @@ Commands
 ``cache``
     Inspect or clear the on-disk run cache (``stats`` reports session
     and lifetime hit rates).
+``experiment``
+    Run a declarative experiment spec (TOML/JSON grid of circuits x
+    algorithms x backends x nprocs x fault plans) through the
+    fault-containing sweep engine; every record is stamped with its
+    spec coordinates.
+``trends``
+    Perf-trajectory analytics over the committed benchmark records:
+    per-kernel/per-circuit trend tables, ``--markdown`` for the
+    EXPERIMENTS.md block, ``--json``/``--html`` reports, and ``--gate``
+    for the trend-aware regression check.
+``metrics``
+    Export a MetricsRegistry snapshot in Prometheus text exposition
+    format (``export`` routes a small point first so the registry has
+    live counters and latency histograms).
 
 The routing commands (``route``, ``compare``, ``artifact``, ``profile``)
 execute through the sweep engine (:mod:`repro.exec`): ``--jobs`` fans
@@ -224,6 +238,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--threshold", type=float, default=0.25,
         help="regression threshold for --diff (fraction, default 0.25)",
     )
+    p_prof.add_argument(
+        "--strict-backend", action="store_true",
+        help="make a cross-backend --diff a hard error (exit 1) instead "
+        "of a warning",
+    )
     _add_engine(p_prof)
 
     p_st = sub.add_parser(
@@ -253,6 +272,84 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument(
         "--smoke", action="store_true",
         help="run the CI containment mini-suite (crash, delay replay, salvage)",
+    )
+
+    p_exp = sub.add_parser(
+        "experiment", help="run a declarative experiment spec (TOML/JSON)"
+    )
+    p_exp.add_argument("spec", help="spec file (.toml or .json; see benchmarks/specs/)")
+    p_exp.add_argument(
+        "--json", metavar="PATH",
+        help="write the stamped records + failure ledger as JSON",
+    )
+    p_exp.add_argument(
+        "--max-retries", type=int, default=1,
+        help="retries per failing cell before containment (default 1)",
+    )
+    _add_engine(p_exp)
+
+    p_trends = sub.add_parser(
+        "trends", help="perf-trajectory analytics over committed benchmark records"
+    )
+    p_trends.add_argument(
+        "--trajectory", default="BENCH_trajectory.json", metavar="PATH",
+        help="trajectory file (default BENCH_trajectory.json)",
+    )
+    p_trends.add_argument(
+        "--kernels", default="BENCH_kernels.json", metavar="PATH",
+        help="kernels report for per-call divisors (default BENCH_kernels.json)",
+    )
+    p_trends.add_argument(
+        "--sweep", default="BENCH_sweep.json", metavar="PATH",
+        help="sweep report for the speedup-vs-paper table (default BENCH_sweep.json)",
+    )
+    p_trends.add_argument(
+        "--markdown", action="store_true",
+        help="print the EXPERIMENTS.md trend block instead of text tables",
+    )
+    p_trends.add_argument(
+        "--json", metavar="PATH", help="write the trend report as JSON"
+    )
+    p_trends.add_argument(
+        "--html", metavar="PATH", help="write the static HTML/SVG report"
+    )
+    p_trends.add_argument(
+        "--gate", action="store_true",
+        help="apply the trend-aware regression gate; exit 1 on culprits",
+    )
+    p_trends.add_argument(
+        "--kernel-threshold", type=float, default=None, metavar="F",
+        help="per-kernel adjacent-pair threshold (default 0.30; host-noise "
+        "calibrated)",
+    )
+    p_trends.add_argument(
+        "--route-threshold", type=float, default=None, metavar="F",
+        help="end-to-end route_mean_s threshold (default 0.05)",
+    )
+
+    p_met = sub.add_parser(
+        "metrics", help="export MetricsRegistry snapshots (Prometheus text format)"
+    )
+    p_met.add_argument("action", choices=("export",))
+    p_met.add_argument(
+        "--snapshot", metavar="JSON",
+        help="render a saved snapshot file instead of routing a live point",
+    )
+    p_met.add_argument(
+        "--circuit", default="primary1",
+        help="circuit routed to populate the live registry (default primary1)",
+    )
+    p_met.add_argument("--scale", type=float, default=0.1)
+    p_met.add_argument("--seed", type=int, default=1)
+    p_met.add_argument(
+        "--backend", default="auto", choices=("auto", "python", "numpy"),
+    )
+    p_met.add_argument(
+        "--prefix", default="repro",
+        help="metric-name prefix (default 'repro')",
+    )
+    p_met.add_argument(
+        "--out", metavar="PATH", help="write the exposition to a file"
     )
 
     return parser
@@ -472,7 +569,13 @@ def cmd_profile(args: argparse.Namespace) -> int:
     import json as _json
 
     from repro.exec import SweepPoint, execute_point
-    from repro.obs import RunProfile, profile_diff, render_profile
+    from repro.obs import (
+        REGISTRY,
+        RunProfile,
+        profile_diff,
+        render_histograms,
+        render_profile,
+    )
 
     cache = _cache_from(args)
     point = SweepPoint(
@@ -493,6 +596,10 @@ def cmd_profile(args: argparse.Namespace) -> int:
         }
     log.info("%s%s", point.describe(), "  (cached)" if record.cached else "")
     print(render_profile(profile))
+    histograms = render_histograms(REGISTRY.snapshot())
+    if histograms:
+        print()
+        print(histograms)
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
             _json.dump(profile.to_dict(), fh, indent=2)
@@ -500,7 +607,10 @@ def cmd_profile(args: argparse.Namespace) -> int:
     if args.diff:
         with open(args.diff, "r", encoding="utf-8") as fh:
             old = RunProfile.from_dict(_json.load(fh))
-        diff = profile_diff(old, profile, threshold=args.threshold)
+        diff = profile_diff(
+            old, profile, threshold=args.threshold,
+            strict_backend=args.strict_backend,
+        )
         print()
         print(diff.render())
         if not diff.ok:
@@ -693,6 +803,133 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return _chaos_spmd(args, plan)
 
 
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """Run a declarative experiment spec through the sweep engine.
+
+    Exit codes mirror the salvage engine: 0 when every cell completed,
+    ``DEGRADED_EXIT`` (3) when failures were contained, 1 for spec
+    errors.
+    """
+    import json as _json
+
+    from repro.analysis.specs import SpecError, load_spec, run_experiment
+
+    try:
+        spec = load_spec(args.spec)
+    except (SpecError, FileNotFoundError) as exc:
+        print(f"spec error: {exc}")
+        return 1
+    if spec.description:
+        log.info("%s — %s", spec.name, spec.description)
+    outcome = run_experiment(
+        spec, jobs=args.jobs, cache=_cache_from(args),
+        max_retries=args.max_retries,
+    )
+    print(outcome.table().render())
+    print(outcome.summary())
+    for failure in outcome.failures:
+        log.info("contained: %s", failure.describe())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(outcome.to_json(), fh, indent=2)
+        print(f"experiment report written to {args.json}")
+    return outcome.exit_code
+
+
+def cmd_trends(args: argparse.Namespace) -> int:
+    """Render perf-trajectory analytics; optionally apply the gate."""
+    import json as _json
+
+    from repro.analysis.records import BenchRecordError
+    from repro.analysis import trends
+
+    try:
+        records = trends.load_trajectory(args.trajectory)
+    except FileNotFoundError:
+        print(f"no trajectory file at {args.trajectory}")
+        return 1
+    except BenchRecordError as exc:
+        print(f"trajectory error: {exc}")
+        return 1
+    report = trends.build_trend_report(records)
+
+    kernels_report = None
+    try:
+        kernels_report = trends.load_kernels(args.kernels)
+    except FileNotFoundError:
+        log.info("no kernels report at %s; per-call table skipped", args.kernels)
+    except BenchRecordError as exc:
+        print(f"kernels error: {exc}")
+        return 1
+
+    problems = None
+    if args.gate:
+        kwargs = {}
+        if args.kernel_threshold is not None:
+            kwargs["kernel_threshold"] = args.kernel_threshold
+        if args.route_threshold is not None:
+            kwargs["route_threshold"] = args.route_threshold
+        problems, _culprits = trends.gate_trends(report, **kwargs)
+
+    if args.markdown:
+        print(trends.render_markdown(report, records, kernels_report))
+    else:
+        print(trends.render_text(report, problems))
+        try:
+            quality = trends.load_sweep_quality(args.sweep)
+        except FileNotFoundError:
+            quality = {}
+        if quality:
+            print()
+            print(trends.speedup_table(quality).render())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(trends.report_to_json(report), fh, indent=2)
+        print(f"trend report written to {args.json}")
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as fh:
+            fh.write(trends.render_html(report))
+        print(f"HTML report written to {args.html}")
+    if problems:
+        return 1
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Export a metrics snapshot in Prometheus text exposition format."""
+    import json as _json
+
+    from repro.obs import REGISTRY
+    from repro.obs.metrics import render_prometheus_snapshot
+
+    if args.snapshot:
+        with open(args.snapshot, "r", encoding="utf-8") as fh:
+            snap = _json.load(fh)
+    else:
+        # route one small point so the registry carries live cache
+        # counters and the engine's host-latency histogram
+        from repro.exec import SweepPoint, execute_point
+
+        point = SweepPoint(
+            circuit=args.circuit, scale=args.scale, circuit_seed=args.seed,
+            config=RouterConfig(seed=args.seed, backend=args.backend),
+        )
+        execute_point(point, compute_baseline=False)
+        log.info("routed %s to populate the registry", point.describe())
+        snap = REGISTRY.snapshot()
+    text = render_prometheus_snapshot(snap, prefix=args.prefix)
+    if not text:
+        print("# (empty registry: no instruments recorded)")
+        return 0
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"metrics written to {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
 COMMANDS = {
     "circuits": cmd_circuits,
     "route": cmd_route,
@@ -703,6 +940,9 @@ COMMANDS = {
     "profile": cmd_profile,
     "stats": cmd_stats,
     "chaos": cmd_chaos,
+    "experiment": cmd_experiment,
+    "trends": cmd_trends,
+    "metrics": cmd_metrics,
 }
 
 

@@ -67,6 +67,13 @@ class SweepPoint:
     machine: str = "SparcCenter-1000"
     config: RouterConfig = field(default_factory=RouterConfig)
     pconfig: ParallelConfig = field(default_factory=ParallelConfig)
+    #: named SPMD fault plan injected into the routed run ("" = none);
+    #: see :data:`repro.faults.NAMED_PLANS`.  Part of the point's
+    #: identity: a faulted run is a different deterministic computation,
+    #: so it gets its own cache entry.
+    fault_plan: str = ""
+    #: seed of the fault plan (which rank crashes, delay magnitudes)
+    fault_seed: int = 0
 
     def validate(self) -> None:
         """Raise early on specs the workers would reject later."""
@@ -83,6 +90,19 @@ class SweepPoint:
                 raise ValueError(
                     f"{machine.name} has only {machine.max_procs} processors, "
                     f"asked for {self.nprocs}"
+                )
+        if self.fault_plan:
+            from repro.faults import NAMED_PLANS
+
+            if self.fault_plan not in NAMED_PLANS:
+                raise ValueError(
+                    f"unknown fault plan {self.fault_plan!r}; "
+                    f"choose from {sorted(NAMED_PLANS)}"
+                )
+            if self.algorithm == "serial":
+                raise ValueError(
+                    "fault plans inject into the SPMD runtime; "
+                    "serial points cannot carry one"
                 )
         self.config.validate()
 
@@ -103,6 +123,11 @@ class SweepPoint:
         }
         if self.algorithm != "serial":
             spec["pconfig"] = dataclasses.asdict(self.pconfig)
+        if self.fault_plan:
+            # only faulted points carry the keys, so every pre-existing
+            # cache entry keeps its content address
+            spec["fault_plan"] = self.fault_plan
+            spec["fault_seed"] = self.fault_seed
         return spec
 
     def key(self) -> str:
@@ -110,19 +135,27 @@ class SweepPoint:
         return cache_key(self.spec())
 
     def baseline_point(self) -> "SweepPoint":
-        """The serial run this point's quality is scaled against."""
+        """The serial run this point's quality is scaled against.
+
+        Fault knobs are cleared: the baseline of a faulted run is the
+        clean serial route, so faulted and clean sweeps share it.
+        """
         return replace(
-            self, algorithm="serial", nprocs=1, pconfig=ParallelConfig()
+            self, algorithm="serial", nprocs=1, pconfig=ParallelConfig(),
+            fault_plan="", fault_seed=0,
         )
 
     def describe(self) -> str:
         """Short human-readable label (progress/benchmark output)."""
         if self.algorithm == "serial":
             return f"{self.circuit}@{self.scale:g} serial [{self.machine}]"
-        return (
+        label = (
             f"{self.circuit}@{self.scale:g} {self.algorithm} "
             f"p={self.nprocs} [{self.machine}]"
         )
+        if self.fault_plan:
+            label += f" +{self.fault_plan}"
+        return label
 
 
 def _full_scale_stats(name: str) -> CircuitStats:
@@ -163,6 +196,11 @@ def _execute(point: SweepPoint, baseline: Optional[RoutingResult]) -> RunRecord:
         )
         run_result = result
     else:
+        faults = None
+        if point.fault_plan:
+            from repro.faults import make_plan
+
+            faults = make_plan(point.fault_plan, point.nprocs, point.fault_seed)
         run = route_parallel(
             circuit,
             algorithm=point.algorithm,
@@ -173,6 +211,7 @@ def _execute(point: SweepPoint, baseline: Optional[RoutingResult]) -> RunRecord:
             baseline=baseline,
             compute_baseline=False,
             obs=tracer,
+            faults=faults,
         )
         run_result = run.result
     host_seconds = time.perf_counter() - t0
@@ -201,6 +240,23 @@ def _execute(point: SweepPoint, baseline: Optional[RoutingResult]) -> RunRecord:
         key=point.key(),
         host_seconds=host_seconds,
     )
+
+
+def _observe_record(record: RunRecord) -> RunRecord:
+    """Parent-side latency bookkeeping for freshly computed points.
+
+    Folds the point's host wall time into the process-wide
+    ``engine.point_host_ms`` histogram, which `repro profile` and
+    `repro metrics export` surface as p50/p95/p99 — cache replays never
+    count (their ``host_seconds`` is the replay cost, not a route).
+    """
+    from repro.obs.metrics import REGISTRY
+
+    if not record.cached:
+        REGISTRY.histogram("engine.point_host_ms").observe(
+            record.host_seconds * 1e3
+        )
+    return record
 
 
 def _worker(task: Tuple[SweepPoint, Optional[Dict[str, Any]]]) -> Dict[str, Any]:
@@ -295,7 +351,7 @@ def execute_point(
             baseline_record = execute_point(point.baseline_point(), cache=cache)
         if baseline_record is not None:
             baseline = baseline_record.routing_result()
-    record = _execute(point, baseline)
+    record = _observe_record(_execute(point, baseline))
     if cache is not None:
         cache.put(key, record.to_dict())
         cache.persist_stats()
@@ -346,7 +402,7 @@ def run_sweep(
     if missing:
         outputs = _map_tasks([(bp, None) for _, bp in missing], njobs)
         for (bkey, _bp), out in zip(missing, outputs):
-            rec = RunRecord.from_dict(out)
+            rec = _observe_record(RunRecord.from_dict(out))
             base_records[bkey] = rec
             if cache is not None:
                 cache.put(bkey, out)
@@ -364,7 +420,7 @@ def run_sweep(
     if tasks:
         outputs = _map_tasks(tasks, njobs)
         for i, out in zip(task_slots, outputs):
-            records[i] = RunRecord.from_dict(out)
+            records[i] = _observe_record(RunRecord.from_dict(out))
             if cache is not None:
                 cache.put(keys[i], out)
 
@@ -570,7 +626,7 @@ def run_sweep_salvage(
                 f"serial baseline failed: {lost.error_type}: {lost.message}"
             )
             continue
-        base_records[bkey] = RunRecord.from_dict(payload)
+        base_records[bkey] = _observe_record(RunRecord.from_dict(payload))
         _contained_put(bkey, payload)
 
     # -- phase 2: the remaining points ----------------------------------
@@ -627,7 +683,7 @@ def run_sweep_salvage(
             payload = _run_with_retries(i, p, bdict, first=first)
             if payload is None:
                 continue
-            records[i] = RunRecord.from_dict(payload)
+            records[i] = _observe_record(RunRecord.from_dict(payload))
             _contained_put(keys[i], payload)
 
     if cache is not None:

@@ -60,6 +60,10 @@ class RunRecord:
     #: transiently failing points; 1 everywhere else, including records
     #: predating the field)
     attempts: int = 1
+    #: coordinates of the experiment-spec cell that produced this run
+    #: (``{}`` for runs outside a declarative experiment); stamped
+    #: parent-side by :func:`repro.analysis.specs.run_experiment`
+    spec_coord: Dict[str, Any] = field(default_factory=dict)
 
     # -- reconstruction -------------------------------------------------
     def routing_result(self) -> RoutingResult:
@@ -112,8 +116,12 @@ class RunRecord:
 
     # -- serialization --------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-safe dict form (inverse of :meth:`from_dict`)."""
-        return {
+        """JSON-safe dict form (inverse of :meth:`from_dict`).
+
+        ``spec_coord`` is emitted only when set, so records produced
+        outside a declarative experiment keep their pre-field shape.
+        """
+        out = {
             "format": "repro-run-record-v1",
             "circuit": self.circuit,
             "scale": self.scale,
@@ -129,6 +137,9 @@ class RunRecord:
             "host_seconds": self.host_seconds,
             "attempts": self.attempts,
         }
+        if self.spec_coord:
+            out["spec_coord"] = self.spec_coord
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any], cached: bool = False) -> "RunRecord":
@@ -150,6 +161,7 @@ class RunRecord:
             cached=cached,
             host_seconds=0.0 if cached else data.get("host_seconds", 0.0),
             attempts=int(data.get("attempts", 1)),
+            spec_coord=dict(data.get("spec_coord", {})),
         )
 
 

@@ -20,7 +20,17 @@ and untraced runs produce bit-identical routing results
 (``tests/obs/test_identity.py`` enforces this).
 """
 
-from repro.obs.metrics import REGISTRY, Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    PERCENTILES,
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    quantile_from_buckets,
+    render_histograms,
+    render_prometheus_snapshot,
+)
 from repro.obs.profile import (
     ProfileDiff,
     RunProfile,
@@ -44,6 +54,7 @@ __all__ = [
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "PERCENTILES",
     "ProfileDiff",
     "REGISTRY",
     "RunProfile",
@@ -53,8 +64,11 @@ __all__ = [
     "chrome_trace",
     "profile_diff",
     "profile_from_tracer",
+    "quantile_from_buckets",
     "render_flamegraph",
+    "render_histograms",
     "render_profile",
+    "render_prometheus_snapshot",
     "write_chrome_trace",
     "write_jsonl",
 ]

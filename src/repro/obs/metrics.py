@@ -9,12 +9,66 @@ and the parent folds it back in with :meth:`MetricsRegistry.merge`.
 The module-level :data:`REGISTRY` is the default sink for subsystem
 counters (the run cache's hit/miss/store tallies, engine point counts);
 code that wants isolation creates its own registry.
+
+Snapshots can be rendered in the Prometheus text exposition format
+(:meth:`MetricsRegistry.render_prometheus` /
+:func:`render_prometheus_snapshot`): counters become ``*_total``
+counters, gauges stay gauges, and histograms are exposed as summaries
+with p50/p95/p99 quantile samples estimated from the power-of-2
+buckets, so a scrape target gets latency percentiles without the
+registry ever storing raw samples.
 """
 
 from __future__ import annotations
 
+import re
 import threading
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
+
+#: Quantiles exported on every histogram snapshot and summary.
+PERCENTILES = (0.5, 0.95, 0.99)
+
+
+def quantile_from_buckets(
+    count: int,
+    buckets: List[int],
+    q: float,
+    lo_bound: Optional[float] = None,
+    hi_bound: Optional[float] = None,
+) -> float:
+    """Estimate the ``q``-quantile of a power-of-2 bucketed distribution.
+
+    Bucket ``i`` holds observations with ``2**(i-1) < value <= 2**i``
+    (bucket 0: ``value <= 1``; the last bucket is the overflow).  The
+    estimate interpolates linearly within the containing bucket and is
+    clamped to the observed ``[lo_bound, hi_bound]`` range so a
+    single-observation histogram reports its exact value.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if count <= 0:
+        return 0.0
+    last = len(buckets) - 1
+    target = q * count
+    est = hi_bound if hi_bound is not None else float(1 << last)
+    cum = 0.0
+    for i, n in enumerate(buckets):
+        if not n:
+            continue
+        lo = 0.0 if i == 0 else float(1 << (i - 1))
+        if i < last:
+            hi = float(1 << i)
+        else:  # overflow bucket: cap at the observed max when known
+            hi = hi_bound if hi_bound is not None else lo * 2.0
+        if cum + n >= target:
+            est = lo + (hi - lo) * (target - cum) / n
+            break
+        cum += n
+    if lo_bound is not None:
+        est = max(est, lo_bound)
+    if hi_bound is not None:
+        est = min(est, hi_bound)
+    return est
 
 
 class Counter:
@@ -91,6 +145,18 @@ class Histogram:
         """Average observation (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0.0 when empty); see
+        :func:`quantile_from_buckets` for the estimator."""
+        with self._lock:
+            return quantile_from_buckets(
+                self.count, self.buckets, q, self.min, self.max
+            )
+
+    def percentiles(self) -> Dict[str, float]:
+        """The standard export quantiles as ``{"p50": ..., "p95": ..., "p99": ...}``."""
+        return {f"p{int(q * 100)}": self.quantile(q) for q in PERCENTILES}
+
 
 class MetricsRegistry:
     """Thread-safe named instruments with snapshot/merge value semantics."""
@@ -137,7 +203,14 @@ class MetricsRegistry:
                         "total": h.total,
                         "min": h.min,
                         "max": h.max,
+                        "mean": h.mean,
                         "buckets": list(h.buckets),
+                        **{
+                            f"p{int(q * 100)}": quantile_from_buckets(
+                                h.count, h.buckets, q, h.min, h.max
+                            )
+                            for q in PERCENTILES
+                        },
                     }
                     for k, h in self._histograms.items()
                 },
@@ -173,6 +246,105 @@ class MetricsRegistry:
             self._counters.clear()
             self._gauges.clear()
             self._histograms.clear()
+
+    def render_prometheus(self, prefix: str = "repro") -> str:
+        """This registry's state in Prometheus text exposition format."""
+        return render_prometheus_snapshot(self.snapshot(), prefix=prefix)
+
+
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(prefix: str, name: str) -> str:
+    """Sanitize a dotted instrument name into a legal metric name."""
+    metric = _PROM_BAD.sub("_", f"{prefix}_{name}" if prefix else name)
+    if metric and metric[0].isdigit():
+        metric = "_" + metric
+    return metric
+
+
+def _prom_value(value: float) -> str:
+    """Format a sample value so it round-trips through ``float()``."""
+    return repr(float(value))
+
+
+def render_prometheus_snapshot(snap: Dict[str, Any], prefix: str = "repro") -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` dict as Prometheus text.
+
+    Counters gain the conventional ``_total`` suffix, gauges map
+    one-to-one, and histograms are exposed as *summaries*: one sample
+    per export quantile (estimated from the power-of-2 buckets) plus
+    ``_sum`` and ``_count``.  Output is sorted by instrument name so
+    identical snapshots render byte-identically.
+    """
+    lines: List[str] = []
+    for name in sorted(snap.get("counters", {})):
+        metric = _prom_name(prefix, name) + "_total"
+        lines.append(f"# HELP {metric} counter {name!r}")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_prom_value(snap['counters'][name])}")
+    for name in sorted(snap.get("gauges", {})):
+        metric = _prom_name(prefix, name)
+        lines.append(f"# HELP {metric} gauge {name!r}")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_prom_value(snap['gauges'][name])}")
+    for name in sorted(snap.get("histograms", {})):
+        data = snap["histograms"][name]
+        metric = _prom_name(prefix, name)
+        lines.append(f"# HELP {metric} histogram {name!r}")
+        lines.append(f"# TYPE {metric} summary")
+        for q in PERCENTILES:
+            key = f"p{int(q * 100)}"
+            est = data.get(key)
+            if est is None:
+                est = quantile_from_buckets(
+                    data.get("count", 0), data.get("buckets", []),
+                    q, data.get("min"), data.get("max"),
+                )
+            lines.append(f'{metric}{{quantile="{q}"}} {_prom_value(est)}')
+        lines.append(f"{metric}_sum {_prom_value(data.get('total', 0.0))}")
+        lines.append(f"{metric}_count {int(data.get('count', 0))}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_histograms(snap: Dict[str, Any]) -> str:
+    """Text table of a snapshot's histograms (count/mean/percentiles).
+
+    Returns ``""`` when the snapshot holds no histogram observations;
+    ``repro profile`` appends this under its step table.
+    """
+    rows = []
+    for name in sorted(snap.get("histograms", {})):
+        data = snap["histograms"][name]
+        count = data.get("count", 0)
+        if not count:
+            continue
+        cells = [name, str(count)]
+        mean = data.get("mean", data.get("total", 0.0) / count)
+        for key, val in (("mean", mean), ("p50", None), ("p95", None),
+                         ("p99", None), ("max", data.get("max"))):
+            if val is None:
+                val = data.get(key)
+                if val is None:
+                    q = int(key[1:]) / 100.0
+                    val = quantile_from_buckets(
+                        count, data.get("buckets", []), q,
+                        data.get("min"), data.get("max"),
+                    )
+            cells.append(f"{val:.3f}")
+        rows.append(cells)
+    if not rows:
+        return ""
+    header = ["histogram", "count", "mean", "p50", "p95", "p99", "max"]
+    widths = [max(len(header[i]), *(len(r[i]) for r in rows))
+              for i in range(len(header))]
+    def fmt(cells: List[str]) -> str:
+        first = cells[0].ljust(widths[0])
+        rest = [c.rjust(w) for c, w in zip(cells[1:], widths[1:])]
+        return "  ".join([first] + rest).rstrip()
+    out = [fmt(header), fmt(["-" * w for w in widths])]
+    out.extend(fmt(r) for r in rows)
+    return "\n".join(out)
 
 
 #: Default process-wide registry.

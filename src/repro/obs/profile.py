@@ -58,6 +58,10 @@ class RunProfile:
     cache: Dict[str, Any] = field(default_factory=dict)
     total_wall_s: float = 0.0
     model_time: Optional[float] = None
+    #: coordinates of the experiment-spec cell that produced this run
+    #: (empty for runs outside a declarative experiment); see
+    #: :mod:`repro.analysis.specs`
+    spec_coord: Dict[str, Any] = field(default_factory=dict)
 
     def ordered_steps(self) -> List[str]:
         """Step names, pipeline steps first, extras after."""
@@ -76,8 +80,14 @@ class RunProfile:
 
     # -- serialization --------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-safe form (inverse of :meth:`from_dict`)."""
-        return {
+        """JSON-safe form (inverse of :meth:`from_dict`).
+
+        ``spec_coord`` is emitted only when set, so profiles outside a
+        declarative experiment serialize exactly as before the field
+        existed (committed references like ``PROFILE_smoke.json`` stay
+        byte-stable).
+        """
+        out = {
             "format": PROFILE_FORMAT,
             "circuit": self.circuit,
             "algorithm": self.algorithm,
@@ -93,6 +103,9 @@ class RunProfile:
             "total_wall_s": self.total_wall_s,
             "model_time": self.model_time,
         }
+        if self.spec_coord:
+            out["spec_coord"] = self.spec_coord
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "RunProfile":
@@ -113,6 +126,7 @@ class RunProfile:
             cache=dict(data.get("cache", {})),
             total_wall_s=data.get("total_wall_s", 0.0),
             model_time=data.get("model_time"),
+            spec_coord=dict(data.get("spec_coord", {})),
         )
 
 
@@ -300,17 +314,28 @@ class ProfileDiff:
     #: the diff is still valid (modeled seconds are backend-independent by
     #: the bit-identity contract) but never silently cross-backend
     backend_note: str = ""
+    #: when True a ``backend_note`` is a failure, not a warning
+    strict_backend: bool = False
+
+    @property
+    def backend_mismatch(self) -> bool:
+        """True when the two profiles resolved different backends."""
+        return bool(self.backend_note)
 
     @property
     def ok(self) -> bool:
-        """True when no step regressed beyond the threshold."""
+        """True when no step regressed beyond the threshold (and, under
+        ``strict_backend``, the two profiles share a backend)."""
+        if self.strict_backend and self.backend_mismatch:
+            return False
         return not self.regressions
 
     def render(self) -> str:
         """Human-readable comparison table."""
         lines = [f"profile diff (threshold {self.threshold:.0%})"]
         if self.backend_note:
-            lines.append(f"  WARNING: {self.backend_note}")
+            severity = "ERROR" if self.strict_backend else "WARNING"
+            lines.append(f"  {severity}: {self.backend_note}")
         width = max((len(d.step) for d in self.deltas), default=4)
         for d in self.deltas:
             flag = "  REGRESSED" if d in self.regressions else ""
@@ -319,12 +344,19 @@ class ProfileDiff:
                 f"  {d.step:<{width}}  {d.old_s:12.6f}s -> {d.new_s:12.6f}s"
                 f"  {ratio}{flag}"
             )
-        lines.append("status: " + ("OK" if self.ok else "REGRESSION"))
+        if self.regressions:
+            status = "REGRESSION"
+        elif self.strict_backend and self.backend_mismatch:
+            status = "BACKEND MISMATCH"
+        else:
+            status = "OK"
+        lines.append("status: " + status)
         return "\n".join(lines)
 
 
 def profile_diff(
-    old: RunProfile, new: RunProfile, threshold: float = 0.25
+    old: RunProfile, new: RunProfile, threshold: float = 0.25,
+    strict_backend: bool = False,
 ) -> ProfileDiff:
     """Compare two profiles step by step.
 
@@ -336,7 +368,9 @@ def profile_diff(
     When the two profiles ran under different congestion backends the
     diff carries a ``backend_note`` (rendered as a warning): modeled
     seconds are backend-independent by contract, so the comparison stays
-    meaningful, but it is never made silently.
+    meaningful, but it is never made silently.  Under
+    ``strict_backend=True`` the mismatch is a hard failure instead
+    (``ok`` turns False even with zero step regressions).
     """
     names = list(dict.fromkeys(old.ordered_steps() + new.ordered_steps()))
     deltas = [
@@ -356,5 +390,5 @@ def profile_diff(
         )
     return ProfileDiff(
         deltas=deltas, threshold=threshold, regressions=regressions,
-        backend_note=backend_note,
+        backend_note=backend_note, strict_backend=strict_backend,
     )

@@ -226,3 +226,151 @@ def test_verbose_flag_accepted(capsys):
     )
     assert code == 0
     assert "tracks=" in out
+
+
+def test_profile_diff_cross_backend_warn_vs_strict(capsys, tmp_path):
+    path = tmp_path / "ref.json"
+    base = ("profile", "primary1", "--scale", "0.05", "--algorithm", "serial")
+    code, _ = run(capsys, *base, "--backend", "python", "--json", str(path))
+    assert code == 0
+    # default: cross-backend diff warns but passes (bit-identity contract)
+    code, out = run(capsys, *base, "--backend", "numpy", "--diff", str(path))
+    assert code == 0
+    assert "WARNING" in out and "status: OK" in out
+    # --strict-backend: the same mismatch is a hard error
+    code, out = run(
+        capsys, *base, "--backend", "numpy", "--diff", str(path),
+        "--strict-backend",
+    )
+    assert code == 1
+    assert "ERROR" in out and "BACKEND MISMATCH" in out
+
+
+def test_profile_prints_histogram_percentiles(capsys):
+    from repro.obs.metrics import REGISTRY
+
+    REGISTRY.reset()
+    code, out = run(
+        capsys, "profile", "primary1", "--scale", "0.05",
+        "--algorithm", "serial",
+    )
+    assert code == 0
+    # the engine observes per-point host latency into the registry and
+    # the profile command renders the histogram summary table
+    assert "engine.point_host_ms" in out
+    assert "p50" in out and "p95" in out and "p99" in out
+
+
+def _trend_args():
+    from pathlib import Path
+
+    repo = Path(__file__).resolve().parent.parent.parent
+    return (
+        "--trajectory", str(repo / "BENCH_trajectory.json"),
+        "--kernels", str(repo / "BENCH_kernels.json"),
+        "--sweep", str(repo / "BENCH_sweep.json"),
+    )
+
+
+def test_trends_text_and_gate(capsys):
+    code, out = run(capsys, "trends", "--gate", *_trend_args())
+    assert code == 0
+    assert "backend numpy" in out
+    assert "kernel:batched_eval" in out
+    assert "trend gate: OK" in out
+    assert "speedup vs paper" in out
+
+
+def test_trends_gate_fails_at_tight_threshold(capsys):
+    code, out = run(
+        capsys, "trends", "--gate", "--kernel-threshold", "0.05",
+        *_trend_args(),
+    )
+    assert code == 1
+    assert "trend gate: FAILED" in out
+    assert "regressed" in out
+
+
+def test_trends_markdown_json_html(capsys, tmp_path):
+    import json
+
+    json_path = tmp_path / "trends.json"
+    html_path = tmp_path / "trends.html"
+    code, out = run(
+        capsys, "trends", "--markdown", "--json", str(json_path),
+        "--html", str(html_path), *_trend_args(),
+    )
+    assert code == 0
+    assert "repro-trends:begin" in out
+    assert "| metric |" in out
+    payload = json.loads(json_path.read_text())
+    assert "numpy" in payload["backends"]
+    html = html_path.read_text()
+    assert html.startswith("<!DOCTYPE html>") and "<svg" in html
+
+
+def test_trends_missing_trajectory_fails_cleanly(capsys, tmp_path):
+    code, out = run(
+        capsys, "trends", "--trajectory", str(tmp_path / "nope.json"),
+    )
+    assert code == 1
+    assert "nope.json" in out
+
+
+def test_metrics_export_from_snapshot(capsys, tmp_path):
+    import json
+
+    snap = {
+        "counters": {"cache.hit": 3},
+        "gauges": {},
+        "histograms": {},
+    }
+    path = tmp_path / "snap.json"
+    path.write_text(json.dumps(snap))
+    code, out = run(capsys, "metrics", "export", "--snapshot", str(path))
+    assert code == 0
+    assert "# TYPE repro_cache_hit_total counter" in out
+    assert "repro_cache_hit_total 3.0" in out
+
+
+def test_metrics_export_live_run(capsys, tmp_path):
+    out_path = tmp_path / "metrics.prom"
+    code, out = run(
+        capsys, "metrics", "export", "--scale", "0.05",
+        "--out", str(out_path),
+    )
+    assert code == 0
+    text = out_path.read_text()
+    assert "# TYPE repro_engine_point_host_ms summary" in text
+    assert 'quantile="0.95"' in text
+
+
+def test_experiment_command_runs_spec(capsys, tmp_path):
+    import json
+
+    spec = tmp_path / "mini.toml"
+    spec.write_text(
+        'schema = 1\nname = "mini"\n\n[grid]\ncircuits = ["primary1"]\n'
+        'algorithms = ["serial", "rowwise"]\nbackends = ["python"]\n'
+        'nprocs = [2]\n\n[fixed]\nscale = 0.06\nseed = 1\n'
+    )
+    out_path = tmp_path / "outcome.json"
+    code, out = run(
+        capsys, "experiment", str(spec), "--jobs", "1",
+        "--json", str(out_path),
+    )
+    assert code == 0
+    assert "experiment 'mini'" in out
+    assert "2 cell(s), 2 completed, 0 failed" in out
+    payload = json.loads(out_path.read_text())
+    assert payload["spec"]["name"] == "mini"
+    assert len(payload["records"]) == 2
+    assert payload["records"][0]["spec_coord"]["experiment"] == "mini"
+
+
+def test_experiment_command_rejects_bad_spec(capsys, tmp_path):
+    spec = tmp_path / "bad.toml"
+    spec.write_text('schema = 1\nname = "bad"\n\n[grid]\ncircuits = ["nope"]\n')
+    code, out = run(capsys, "experiment", str(spec))
+    assert code == 1
+    assert "unknown circuit" in out

@@ -1,0 +1,232 @@
+"""Trend engine: chains, series, the adjacent-pair gate, renderings."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.trends import (
+    KERNEL_THRESHOLD,
+    ROUTE_THRESHOLD,
+    TRENDS_BEGIN_MARK,
+    TRENDS_END_MARK,
+    build_trend_report,
+    gate_trends,
+    kernel_table_markdown,
+    load_kernels_report,
+    load_sweep_quality,
+    load_trajectory,
+    render_html,
+    render_markdown,
+    render_text,
+    report_to_json,
+    speedup_table,
+)
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+
+def _rec(commit, backend="numpy", scale=1.0, kernels=None, routes=None,
+         dirty=0.8):
+    return {
+        "schema": 1,
+        "commit": commit,
+        "backend": backend,
+        "scale": scale,
+        "seed": 1,
+        "rounds": 5,
+        "kernels_mean_s": kernels or {"batched_eval": 0.005},
+        "circuits": {
+            name: {"route_mean_s": t, "dirty_frac": dirty}
+            for name, t in (routes or {"primary1": 0.05}).items()
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# chain construction
+# ---------------------------------------------------------------------------
+
+def test_chains_group_by_backend_and_operating_point():
+    records = [
+        _rec("c1", scale=0.1),  # different scale: not comparable w/ newest
+        _rec("c2"),
+        _rec("c3"),
+        _rec("c4", backend="python"),
+    ]
+    report = build_trend_report(records)
+    assert report.commits("numpy") == ["c2", "c3"]
+    assert report.commits("python") == ["c4"]
+    assert report.total_records == 4
+    assert report.operating_point("numpy") == "scale 1, seed 1, rounds 5"
+
+
+def test_series_align_with_gaps():
+    records = [
+        _rec("c1", kernels={"batched_eval": 0.004}),
+        _rec("c2", kernels={"batched_eval": 0.005, "eval_cost": 0.001}),
+    ]
+    report = build_trend_report(records)
+    by_metric = {s.metric: s for s in report.series["numpy"]
+                 if s.kind == "kernel"}
+    assert by_metric["batched_eval"].values == [0.004, 0.005]
+    assert by_metric["eval_cost"].values == [None, 0.001]
+    # a gap means the only adjacent pair is the defined one
+    assert by_metric["eval_cost"].deltas(report.commits("numpy")) == []
+
+
+# ---------------------------------------------------------------------------
+# the gate
+# ---------------------------------------------------------------------------
+
+def test_gate_passes_clean_history():
+    records = [_rec("c1"), _rec("c2")]
+    problems, culprits = gate_trends(build_trend_report(records))
+    assert problems == [] and culprits == []
+
+
+def test_gate_catches_kernel_regression_with_culprit_report():
+    """The acceptance scenario: a synthetic >5% kernel regression is
+    caught at a 5% threshold with a report naming the kernel, the
+    backend, and both commits."""
+    records = [
+        _rec("aaa111222333", kernels={"batched_eval": 0.005}),
+        _rec("bbb444555666", kernels={"batched_eval": 0.0054}),  # +8%
+    ]
+    problems, culprits = gate_trends(
+        build_trend_report(records), kernel_threshold=0.05
+    )
+    assert len(culprits) == 1
+    culprit = culprits[0]
+    assert culprit.metric == "batched_eval"
+    assert culprit.backend == "numpy"
+    assert culprit.ratio == pytest.approx(1.08)
+    line = problems[0]
+    assert "batched_eval" in line
+    assert "numpy" in line
+    assert "aaa111222333" in line and "bbb444555666" in line
+    # the same history passes at the default (host-noise) threshold
+    assert gate_trends(build_trend_report(records)) == ([], [])
+
+
+def test_gate_checks_every_adjacent_pair_not_just_newest():
+    # regression hidden mid-history behind a newer fast record
+    records = [
+        _rec("c1", routes={"primary1": 0.050}),
+        _rec("c2", routes={"primary1": 0.070}),  # +40%
+        _rec("c3", routes={"primary1": 0.050}),  # recovered
+    ]
+    problems, culprits = gate_trends(build_trend_report(records))
+    assert len(culprits) == 1
+    assert culprits[0].old_commit == "c1" and culprits[0].new_commit == "c2"
+    assert "route" in problems[0] and "primary1" in problems[0]
+
+
+def test_gate_requires_kernel_stats_and_dirty_frac_on_newest():
+    records = [_rec("c1", kernels={"eval_cost": 0.001}, dirty=None)]
+    problems, _ = gate_trends(build_trend_report(records))
+    assert any("batched_eval" in p for p in problems)
+    assert any("dirty_frac" in p for p in problems)
+
+
+def test_gate_exempts_legacy_backendless_records():
+    records = [
+        _rec("c1", backend="", routes={"primary1": 0.05}),
+        _rec("c2", backend="", routes={"primary1": 0.09}),  # would fail
+        _rec("c3"),
+    ]
+    problems, culprits = gate_trends(build_trend_report(records))
+    assert problems == [] and culprits == []
+
+
+def test_committed_trajectory_passes_default_gate():
+    records = load_trajectory(REPO / "BENCH_trajectory.json")
+    report = build_trend_report(records)
+    problems, culprits = gate_trends(
+        report,
+        kernel_threshold=KERNEL_THRESHOLD,
+        route_threshold=ROUTE_THRESHOLD,
+    )
+    assert problems == [], problems
+    assert culprits == []
+
+
+# ---------------------------------------------------------------------------
+# renderings
+# ---------------------------------------------------------------------------
+
+def test_render_text_shows_chains_and_verdict():
+    records = [_rec("c1"), _rec("c2")]
+    report = build_trend_report(records)
+    text = render_text(report, problems=[])
+    assert "backend numpy" in text
+    assert "kernel:batched_eval" in text
+    assert "trend gate: OK" in text
+    text = render_text(report, problems=["backend numpy: kernel ..."])
+    assert "trend gate: FAILED" in text
+
+
+def test_report_to_json_schema():
+    records = [_rec("c1"), _rec("c2")]
+    payload = report_to_json(build_trend_report(records))
+    json.dumps(payload)  # JSON-safe
+    backend = payload["backends"]["numpy"]
+    assert backend["commits"] == ["c1", "c2"]
+    kinds = {s["kind"] for s in backend["series"]}
+    assert kinds == {"kernel", "route", "dirty_frac"}
+    last = next(s["last_delta"] for s in backend["series"]
+                if s["kind"] == "kernel")
+    assert last["old_commit"] == "c1" and last["new_commit"] == "c2"
+
+
+def test_markdown_block_reproduces_committed_experiments_table():
+    """Acceptance: `repro trends --markdown` output from the committed
+    JSON alone must equal the block embedded in EXPERIMENTS.md
+    bit-identically."""
+    records = load_trajectory(REPO / "BENCH_trajectory.json")
+    kernels = load_kernels_report(REPO / "BENCH_kernels.json")
+    report = build_trend_report(records)
+    block = render_markdown(report, records, kernels)
+
+    text = (REPO / "EXPERIMENTS.md").read_text(encoding="utf-8")
+    assert TRENDS_BEGIN_MARK in text and TRENDS_END_MARK in text
+    begin = text.index(TRENDS_BEGIN_MARK)
+    end = text.index(TRENDS_END_MARK) + len(TRENDS_END_MARK)
+    assert text[begin:end] == block
+
+
+def test_kernel_table_markdown_divides_per_call():
+    records = load_trajectory(REPO / "BENCH_trajectory.json")
+    kernels = load_kernels_report(REPO / "BENCH_kernels.json")
+    table = kernel_table_markdown(records, kernels)
+    newest = [r for r in records if r.get("backend") == "numpy"][-1]
+    per_pair = (
+        newest["kernels_mean_s"]["batched_eval"]
+        / kernels["kernels"]["batched_eval"]["calls_per_round"]
+    )
+    assert f"{per_pair * 1e6:.2f} µs" in table
+    assert "numpy backend" in table and "python backend" in table
+    # round-level stats without calls_per_round are per-call-less: skipped
+    assert "`prim_mst` (" not in table
+
+
+def test_speedup_table_against_paper():
+    quality = load_sweep_quality(REPO / "BENCH_sweep.json")
+    table = speedup_table(quality, nprocs=8)
+    text = table.render()
+    assert "rowwise" in text and "netwise" in text and "hybrid" in text
+    assert "paper @8p" in text
+    assert "~3.5x" in text  # the paper's rowwise claim
+
+
+def test_render_html_is_selfcontained():
+    records = [_rec("c1"), _rec("c2"), _rec("c3", backend="python")]
+    html = render_html(build_trend_report(records))
+    assert html.startswith("<!DOCTYPE html>")
+    assert "<svg" in html and "<table" in html
+    assert "prefers-color-scheme" in html  # dark mode is selected, not flipped
+    assert "--series-numpy" in html
+    assert "c1" in html and "c2" in html
+    assert "<script" not in html  # static: safe as a CI artifact

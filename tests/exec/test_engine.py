@@ -270,3 +270,71 @@ def test_profile_model_time_matches_record(tmp_path):
     record = execute_point(POINT, cache=RunCache(tmp_path / "c"))
     prof = record.run_profile()
     assert prof.model_time == pytest.approx(record.quality[3])
+
+
+# ---------------------------------------------------------------------------
+# the fault axis (experiment specs inject SPMD fault plans per point)
+# ---------------------------------------------------------------------------
+
+def test_validate_rejects_unknown_or_serial_fault_plans():
+    with pytest.raises(ValueError):
+        SweepPoint(
+            circuit="primary1", algorithm="hybrid", nprocs=2,
+            fault_plan="gremlins",
+        ).validate()
+    with pytest.raises(ValueError):
+        SweepPoint(circuit="primary1", fault_plan="crash-step3").validate()
+
+
+def test_fault_plan_changes_cache_key_only_when_set():
+    clean = SweepPoint(
+        circuit="primary1", algorithm="hybrid", nprocs=2, scale=0.05,
+        circuit_seed=1, config=CFG,
+    )
+    # fault-free points keep the pre-fault-axis spec (cache keys stable)
+    assert "fault_plan" not in clean.spec()
+    assert "fault_seed" not in clean.spec()
+    faulted = SweepPoint(
+        circuit="primary1", algorithm="hybrid", nprocs=2, scale=0.05,
+        circuit_seed=1, config=CFG, fault_plan="message-delay", fault_seed=7,
+    )
+    assert faulted.spec()["fault_plan"] == "message-delay"
+    assert faulted.spec()["fault_seed"] == 7
+    assert faulted.key() != clean.key()
+    assert "+message-delay" in faulted.describe()
+
+
+def test_baseline_point_clears_faults():
+    faulted = SweepPoint(
+        circuit="primary1", algorithm="hybrid", nprocs=2, scale=0.05,
+        circuit_seed=1, config=CFG, fault_plan="message-delay", fault_seed=7,
+    )
+    base = faulted.baseline_point()
+    assert base.algorithm == "serial"
+    assert base.fault_plan == "" and base.fault_seed == 0
+    # the faulted parallel point shares the clean serial baseline key
+    clean = SweepPoint(
+        circuit="primary1", algorithm="hybrid", nprocs=2, scale=0.05,
+        circuit_seed=1, config=CFG,
+    )
+    assert base.key() == clean.baseline_point().key()
+
+
+def test_benign_fault_plan_executes_and_is_observed():
+    from repro.obs.metrics import REGISTRY
+
+    REGISTRY.reset()
+    point = SweepPoint(
+        circuit="primary1", algorithm="hybrid", nprocs=2, scale=0.05,
+        circuit_seed=1, config=RouterConfig(seed=1, backend="python"),
+        fault_plan="message-delay", fault_seed=3,
+    )
+    record = execute_point(point, compute_baseline=False)
+    # delays perturb timing, never routed quality (determinism contract)
+    clean = execute_point(
+        point.baseline_point(), compute_baseline=False
+    )
+    assert record.result["total_tracks"] == clean.result["total_tracks"]
+    # fresh executions observe per-point host latency into the registry
+    snap = REGISTRY.snapshot()
+    assert snap["histograms"]["engine.point_host_ms"]["count"] == 2

@@ -131,3 +131,45 @@ def test_diff_ignores_vanished_steps():
     old = _prof({"step1_steiner": 1.0, "step2_coarse": 1.0})
     new = _prof({"step1_steiner": 1.0})
     assert profile_diff(old, new).ok
+
+
+def _backend_prof(steps, backend):
+    prof = _prof(steps)
+    prof.backend = backend
+    return prof
+
+
+def test_diff_cross_backend_warns_by_default():
+    old = _backend_prof({"step1_steiner": 1.0}, "python")
+    new = _backend_prof({"step1_steiner": 1.0}, "numpy")
+    diff = profile_diff(old, new)
+    assert diff.backend_mismatch
+    assert diff.ok  # a warning, not a failure
+    text = diff.render()
+    assert "WARNING" in text and "ERROR" not in text
+    assert "status: OK" in text
+
+
+def test_diff_cross_backend_strict_is_hard_error():
+    old = _backend_prof({"step1_steiner": 1.0}, "python")
+    new = _backend_prof({"step1_steiner": 1.0}, "numpy")
+    diff = profile_diff(old, new, strict_backend=True)
+    assert diff.backend_mismatch
+    assert not diff.ok  # hard error even with zero step regressions
+    text = diff.render()
+    assert "ERROR" in text
+    assert "BACKEND MISMATCH" in text
+
+
+def test_diff_strict_backend_passes_when_backends_match():
+    old = _backend_prof({"step1_steiner": 1.0}, "numpy")
+    new = _backend_prof({"step1_steiner": 1.0}, "numpy")
+    assert profile_diff(old, new, strict_backend=True).ok
+
+
+def test_spec_coord_round_trips_and_stays_out_of_clean_dicts():
+    prof = _prof({"step1_steiner": 1.0})
+    assert "spec_coord" not in prof.to_dict()  # committed refs stay stable
+    prof.spec_coord = {"experiment": "smoke", "nprocs": 4}
+    again = RunProfile.from_dict(prof.to_dict())
+    assert again.spec_coord == {"experiment": "smoke", "nprocs": 4}

@@ -97,3 +97,96 @@ def test_flamegraph_renders_tree():
 
 def test_flamegraph_empty():
     assert render_flamegraph(Tracer()) == "(no spans)"
+
+
+# ---------------------------------------------------------------------------
+# edge cases: empty traces, flush boundaries, ordering, zero durations
+# ---------------------------------------------------------------------------
+
+def test_jsonl_empty_trace(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    assert write_jsonl(path, Tracer()) == 0
+    assert path.read_text() == ""
+
+
+def test_chrome_trace_empty_trace(tmp_path):
+    payload = chrome_trace(Tracer())
+    assert payload["traceEvents"] == []
+    path = tmp_path / "empty.json"
+    assert write_chrome_trace(path, Tracer()) == 0
+    assert json.loads(path.read_text())["traceEvents"] == []
+
+
+def test_nested_spans_crossing_sink_flush(tmp_path):
+    """A sink flushed mid-span sees only *finished* roots; a later flush
+    of the same tracer sees the whole nested tree (roots hold completed
+    top-level spans only, so a half-open tree never leaks)."""
+    tr = Tracer()
+    path = tmp_path / "trace.jsonl"
+    with tr.span("outer", rank=0):
+        with tr.span("inner"):
+            tr.add_metric("ops.x", 1)
+        # outer is still open: nothing is flushable yet
+        assert write_jsonl(path, tr) == 0
+        assert chrome_trace(tr)["traceEvents"] == []
+    # after the outer span closes, the full nested tree flushes
+    n = write_jsonl(path, tr)
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert n == len(lines) == 2
+    assert [l["depth"] for l in lines] == [0, 1]
+    assert lines[1]["name"] == "inner"
+    assert lines[1]["metrics"] == {"ops.x": 1.0}
+
+
+def test_jsonl_depth_of_deeply_nested_spans(tmp_path):
+    tr = Tracer()
+    with tr.span("d0"):
+        with tr.span("d1"):
+            with tr.span("d2"):
+                with tr.span("d3"):
+                    pass
+    path = tmp_path / "deep.jsonl"
+    write_jsonl(path, tr)
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [l["depth"] for l in lines] == [0, 1, 2, 3]
+    assert [l["name"] for l in lines] == ["d0", "d1", "d2", "d3"]
+
+
+def test_chrome_trace_event_ordering():
+    """Events are emitted preorder (parent before child) and the shifted
+    timestamps are non-negative with every parent starting no later than
+    its children — the invariant Perfetto's span nesting relies on."""
+    tr = _traced_run()
+    events = chrome_trace(tr)["traceEvents"]
+    names = [e["name"] for e in events]
+    # preorder per root: rank precedes its step children
+    assert names.index("rank") < names.index("step1_steiner")
+    assert names.index("step1_steiner") < names.index("step2_coarse")
+    assert min(e["ts"] for e in events) == 0.0  # shifted to the earliest span
+    # parent interval contains each child's start
+    rank0 = events[0]
+    for child in events[1:3]:
+        assert rank0["ts"] <= child["ts"]
+        assert child["ts"] + child["dur"] <= rank0["ts"] + rank0["dur"] + 1e-6
+
+
+def test_flamegraph_zero_duration_spans():
+    """Zero-duration spans (a static simulated clock) render without a
+    division by zero: 0.0% share, no bar, and the tree stays intact."""
+
+    class Clock:
+        time = 0.0
+
+    tr = Tracer()
+    tr.bind_clock(Clock())
+    with tr.span("root", rank=0):
+        with tr.span("leaf"):
+            pass
+    tr.bind_clock(None)
+    assert all(s.sim_s == 0.0 for s in tr.walk())
+    text = render_flamegraph(tr)
+    assert "simulated" in text
+    assert "leaf" in text
+    for line in text.splitlines()[1:]:
+        assert "0.0%" in line
+        assert line.rstrip().endswith("|")  # no bar for zero duration
