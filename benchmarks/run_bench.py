@@ -13,6 +13,13 @@ It also times the sweep execution engine (``repro.exec``) on a
 fan-out and cold vs warm run cache — and writes ``BENCH_sweep.json``
 (skip with ``--no-sweep``).
 
+``--transport-bench`` measures real wall-clock speedups on the
+multiprocess SPMD transport (serial route vs ``--transport-nprocs``
+rank processes, per algorithm) and appends a transport-stamped record
+to the trajectory; the measured numbers are honest host numbers —
+on a single-core runner they sit *below* 1x and are reported as such,
+never gated (see EXPERIMENTS.md).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py                 # full run
@@ -282,8 +289,82 @@ def bench_sweep(
     }
 
 
+def bench_transport(
+    scale: float, seed: int, nprocs: int, backend: str = "auto"
+) -> Dict:
+    """Measured wall-clock speedups on the multiprocess SPMD transport.
+
+    Routes ``primary1`` once per parallel algorithm with ``nprocs`` real
+    rank processes (``transport="multiprocess"``) plus the serial
+    baseline in-process, and reports
+    ``measured = serial_wall / parallel_wall`` next to the modeled
+    logical-clock speedup.  The measured number includes process
+    startup and message pickling and cannot exceed the host's core
+    count — ``host_cpus`` is recorded so a sub-1x result on a one-core
+    runner reads as the platform fact it is, not a regression.
+    """
+    from repro.parallel.driver import route_parallel
+
+    circuit_name = "primary1"
+    circuit = mcnc.generate(circuit_name, scale=scale, seed=seed)
+    cfg = RouterConfig(seed=seed, backend=backend)
+    by_algo: Dict[str, Dict] = {}
+    walls: List[float] = []
+    for algo in SWEEP_ALGORITHMS:
+        run = route_parallel(
+            circuit, algorithm=algo, nprocs=nprocs, config=cfg,
+            transport="multiprocess",
+        )
+        t = run.timing
+        walls.append(t.measured_wall_s or 0.0)
+        by_algo[algo] = {
+            "measured": (
+                round(t.measured_speedup, 4)
+                if t.measured_speedup is not None else None
+            ),
+            "modeled": round(t.speedup, 4) if t.speedup is not None else None,
+            "serial_wall_s": round(t.measured_serial_s or 0.0, 4),
+            "parallel_wall_s": round(t.measured_wall_s or 0.0, 4),
+            "total_tracks": run.result.total_tracks,
+        }
+    return {
+        "circuit": circuit_name,
+        "scale": scale,
+        "seed": seed,
+        "nprocs": nprocs,
+        "host_cpus": os.cpu_count(),
+        "by_algorithm": by_algo,
+        "mean_parallel_wall_s": round(sum(walls) / len(walls), 4),
+    }
+
+
 #: version of the per-commit trajectory record layout
 TRAJECTORY_SCHEMA = 1
+
+
+def merge_trajectory_record(record: Dict, path: Path) -> Dict:
+    """Validate ``record`` and fold it into the trajectory file.
+
+    Dedupe key is ``(commit, backend, transport, scale, seed, rounds)``:
+    re-running the same measurement replaces its record, but a record on
+    another backend, transport, or operating point never clobbers an
+    existing one.
+    """
+    def _key(r):
+        return (
+            r.get("commit"), r.get("backend", ""), r.get("transport", ""),
+            r.get("scale"), r.get("seed"), r.get("rounds"),
+        )
+
+    validate_trajectory_record(record, f"{path}: new record")
+    if path.exists():
+        records = [r for r in load_trajectory(path) if _key(r) != _key(record)]
+    else:
+        records = []
+    records.append(record)
+    trajectory = {"schema": TRAJECTORY_SCHEMA, "records": records}
+    path.write_text(json.dumps(trajectory, indent=2) + "\n")
+    return record
 
 
 def append_trajectory(report: Dict, path: Path) -> Dict:
@@ -324,24 +405,41 @@ def append_trajectory(report: Dict, path: Path) -> Dict:
             for name, c in report["circuits"].items()
         },
     }
-    # dedupe on commit + backend + operating point: re-running the same
-    # measurement replaces its record, but a smoke run at another scale
-    # must never clobber the committed full-scale record
-    def _key(r):
-        return (
-            r.get("commit"), r.get("backend", ""),
-            r.get("scale"), r.get("seed"), r.get("rounds"),
-        )
+    return merge_trajectory_record(record, path)
 
-    validate_trajectory_record(record, f"{path}: new record")
-    if path.exists():
-        records = [r for r in load_trajectory(path) if _key(r) != _key(record)]
-    else:
-        records = []
-    records.append(record)
-    trajectory = {"schema": TRAJECTORY_SCHEMA, "records": records}
-    path.write_text(json.dumps(trajectory, indent=2) + "\n")
-    return record
+
+def transport_trajectory_record(transport_report: Dict, backend: str) -> Dict:
+    """A slim transport-stamped trajectory record from a transport bench.
+
+    Carries the measured parallel route wall as ``route_mean_s`` (so the
+    ``backend@multiprocess`` chain trends it across commits) and the full
+    per-algorithm speedup block under ``speedups``.  No kernel stats:
+    kernels are transport-independent and already trended by the main
+    record.
+    """
+    sp = transport_report
+    return {
+        "schema": TRAJECTORY_SCHEMA,
+        "commit": git_commit(),
+        "unix_time": int(time.time()),
+        "python": sys.version.split()[0],
+        "backend": backend,
+        "transport": "multiprocess",
+        "seed": sp["seed"],
+        "scale": sp["scale"],
+        "rounds": 1,
+        "kernels_mean_s": {},
+        "circuits": {
+            sp["circuit"]: {
+                "route_mean_s": sp["mean_parallel_wall_s"],
+            },
+        },
+        "speedups": {
+            "nprocs": sp["nprocs"],
+            "host_cpus": sp["host_cpus"],
+            "by_algorithm": sp["by_algorithm"],
+        },
+    }
 
 
 def git_commit() -> str:
@@ -402,11 +500,56 @@ def main(argv: List[str] | None = None) -> int:
         default=str(Path(__file__).resolve().parent.parent / "BENCH_trajectory.json"),
         help="cumulative per-commit trajectory file (empty string to skip)",
     )
+    ap.add_argument(
+        "--transport-bench", action="store_true",
+        help="measure wall-clock speedups on the multiprocess transport "
+        "and append a transport-stamped trajectory record",
+    )
+    ap.add_argument(
+        "--transport-nprocs", type=int, default=4,
+        help="rank processes for the transport bench (default 4)",
+    )
+    ap.add_argument(
+        "--transport-scale", type=float, default=0.15,
+        help="circuit scale for the transport bench (default 0.15)",
+    )
+    ap.add_argument(
+        "--transport-only", action="store_true",
+        help="run only the transport bench (implies --transport-bench, "
+        "skips kernels/end-to-end/sweep)",
+    )
     args = ap.parse_args(argv)
     if args.rounds < 1:
         ap.error("--rounds must be >= 1")
 
     backend = resolve_backend_name(args.backend)
+
+    def run_transport_bench() -> None:
+        sp = bench_transport(
+            args.transport_scale, args.seed, args.transport_nprocs, backend
+        )
+        print(
+            f"transport bench (multiprocess, p={sp['nprocs']}, "
+            f"{sp['host_cpus']} cpu(s), {sp['circuit']}@{sp['scale']:g}):"
+        )
+        for algo, entry in sp["by_algorithm"].items():
+            measured = entry["measured"]
+            modeled = entry["modeled"]
+            print(
+                f"  {algo:<8} serial {entry['serial_wall_s']:.3f}s, "
+                f"parallel {entry['parallel_wall_s']:.3f}s, measured "
+                f"{f'{measured:.2f}x' if measured is not None else 'n/a'} "
+                f"(modeled {f'{modeled:.2f}x' if modeled is not None else 'n/a'})"
+            )
+        if args.trajectory:
+            record = transport_trajectory_record(sp, backend)
+            merge_trajectory_record(record, Path(args.trajectory))
+            print(f"appended transport record to {args.trajectory}")
+
+    if args.transport_only:
+        run_transport_bench()
+        return 0
+
     t0 = time.perf_counter()
     kernels = bench_kernels(args.kernel_scale, args.seed, args.rounds, backend)
     circuits = bench_end_to_end(args.scale, args.seed, args.rounds, backend)
@@ -475,6 +618,9 @@ def main(argv: List[str] | None = None) -> int:
         )
         print(f"  bit-identical across all three: {sweep['bit_identical']}")
         print(f"wrote {args.sweep_out}")
+
+    if args.transport_bench:
+        run_transport_bench()
     return 0
 
 

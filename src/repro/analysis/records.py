@@ -67,6 +67,8 @@ def validate_trajectory_record(rec: Any, where: str) -> None:
              "missing or empty 'commit'")
     _require(isinstance(rec.get("backend", ""), str), where,
              "'backend' must be a string")
+    _require(isinstance(rec.get("transport", ""), str), where,
+             "'transport' must be a string")
     for field in ("scale", "seed", "rounds"):
         _require(_numeric(rec.get(field)), where,
                  f"missing or non-numeric {field!r}")
@@ -87,6 +89,21 @@ def validate_trajectory_record(rec: Any, where: str) -> None:
         dirty = circ.get("dirty_frac")
         _require(dirty is None or _numeric(dirty), cwhere,
                  "'dirty_frac' must be numeric or null")
+    speedups = rec.get("speedups")
+    if speedups is not None:
+        swhere = f"{where} 'speedups'"
+        _require(isinstance(speedups, dict), swhere, "must be an object")
+        _require(_numeric(speedups.get("nprocs")), swhere,
+                 "missing or non-numeric 'nprocs'")
+        by_algo = speedups.get("by_algorithm")
+        _require(isinstance(by_algo, dict) and by_algo, swhere,
+                 "missing or empty 'by_algorithm' object")
+        for algo, entry in by_algo.items():
+            awhere = f"{swhere} algorithm {algo!r}"
+            _require(isinstance(entry, dict), awhere, "entry is not an object")
+            measured = entry.get("measured")
+            _require(measured is None or _numeric(measured), awhere,
+                     "'measured' must be numeric or null")
 
 
 def load_trajectory(path: Union[str, Path]) -> List[Dict[str, Any]]:
@@ -189,8 +206,16 @@ def result_from_dict(data: Dict[str, Any]) -> RoutingResult:
 
 
 def timing_to_dict(timing: TimingReport) -> Dict[str, Any]:
-    """Plain-dict form of a timing report (JSON-safe)."""
-    return {
+    """Plain-dict form of a timing report (JSON-safe).
+
+    Measured wall-clock fields are emitted only for real-parallelism
+    transports: the in-process transport's walls are host-noise thread
+    times in one interpreter, and persisting them would break the
+    bit-identity contract between jobs=1/jobs=N/cache-replay records.
+    Records written before the transport layer existed round-trip
+    byte-identically.
+    """
+    out = {
         "machine": timing.machine,
         "nprocs": timing.nprocs,
         "rank_times": list(timing.rank_times),
@@ -202,6 +227,15 @@ def timing_to_dict(timing: TimingReport) -> Dict[str, Any]:
         "elapsed": timing.elapsed,
         "speedup": timing.speedup,
     }
+    if timing.transport != "inprocess":
+        out["transport"] = timing.transport
+    if timing.transport != "inprocess" and timing.measured_wall_s is not None:
+        out["measured_wall_s"] = timing.measured_wall_s
+        out["measured_rank_s"] = list(timing.measured_rank_s)
+        if timing.measured_serial_s is not None:
+            out["measured_serial_s"] = timing.measured_serial_s
+        out["measured_speedup"] = timing.measured_speedup
+    return out
 
 
 def timing_from_dict(data: Dict[str, Any]) -> TimingReport:
@@ -215,6 +249,10 @@ def timing_from_dict(data: Dict[str, Any]) -> TimingReport:
         rank_idle=list(data.get("rank_idle", [])),
         serial_time=data.get("serial_time"),
         serial_oom=data.get("serial_oom", False),
+        transport=data.get("transport", "inprocess"),
+        measured_rank_s=list(data.get("measured_rank_s", [])),
+        measured_wall_s=data.get("measured_wall_s"),
+        measured_serial_s=data.get("measured_serial_s"),
     )
 
 

@@ -57,6 +57,7 @@ from typing import List, Optional
 
 from repro.analysis.records import save_results
 from repro.circuits import mcnc
+from repro.mpi.transports import TRANSPORT_NAMES
 from repro.perfmodel.machine import MACHINES, SPARCCENTER_1000
 from repro.twgr.config import RouterConfig
 
@@ -108,6 +109,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--backend", default="auto", choices=("auto", "python", "numpy"),
         help="congestion-core backend (auto = REPRO_BACKEND env, else numpy; "
         "bit-identical results either way)",
+    )
+    parser.add_argument(
+        "--transport", default="auto", choices=("auto",) + TRANSPORT_NAMES,
+        help="SPMD transport (auto = REPRO_TRANSPORT env, else inprocess; "
+        "bit-identical results either way, only measured times differ)",
     )
 
 
@@ -228,6 +234,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", default="auto", choices=("auto", "python", "numpy"),
         help="congestion-core backend (recorded in the profile; --diff "
         "warns when comparing across backends)",
+    )
+    p_prof.add_argument(
+        "--transport", default="auto", choices=("auto",) + TRANSPORT_NAMES,
+        help="SPMD transport (recorded in the profile when not the "
+        "in-process default)",
     )
     p_prof.add_argument("--json", metavar="PATH", help="save the profile as JSON")
     p_prof.add_argument(
@@ -377,7 +388,9 @@ def cmd_route(args: argparse.Namespace) -> int:
         circuit=args.circuit, algorithm=args.algorithm,
         nprocs=1 if args.algorithm == "serial" else args.nprocs,
         scale=args.scale, circuit_seed=args.seed, machine=args.machine,
-        config=RouterConfig(seed=args.seed, backend=args.backend),
+        config=RouterConfig(
+            seed=args.seed, backend=args.backend, transport=args.transport
+        ),
     )
     record = execute_point(point, cache=cache)
     suffix = "  (cached)" if record.cached else ""
@@ -404,7 +417,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
     cache = _cache_from(args)
     circuit = mcnc.generate(args.circuit, scale=args.scale, seed=args.seed)
     machine = MACHINES[args.machine]
-    config = RouterConfig(seed=args.seed, backend=args.backend)
+    config = RouterConfig(
+        seed=args.seed, backend=args.backend, transport=args.transport
+    )
     algorithms = ("rowwise", "netwise", "hybrid")
 
     def point(algo: str, p: int = 1) -> SweepPoint:
@@ -533,7 +548,9 @@ def cmd_trace(args: argparse.Namespace) -> int:
     from repro.parallel.driver import route_parallel
 
     circuit = mcnc.generate(args.circuit, scale=args.scale, seed=args.seed)
-    config = RouterConfig(seed=args.seed, backend=args.backend)
+    config = RouterConfig(
+        seed=args.seed, backend=args.backend, transport=args.transport
+    )
     machine = MACHINES[args.machine]
     recorder = TraceRecorder()
     tracer = Tracer()
@@ -582,7 +599,9 @@ def cmd_profile(args: argparse.Namespace) -> int:
         circuit=args.circuit, algorithm=args.algorithm,
         nprocs=1 if args.algorithm == "serial" else args.nprocs,
         scale=args.scale, circuit_seed=args.seed, machine=args.machine,
-        config=RouterConfig(seed=args.seed, backend=args.backend),
+        config=RouterConfig(
+            seed=args.seed, backend=args.backend, transport=args.transport
+        ),
     )
     record = execute_point(point, cache=cache, compute_baseline=False)
     profile = record.run_profile()
@@ -635,7 +654,9 @@ def cmd_stats(args: argparse.Namespace) -> int:
     print()
     print(degree_histogram_text(circuit))
     print()
-    _, art = GlobalRouter(RouterConfig(seed=args.seed, backend=args.backend)).route_with_artifacts(circuit)
+    _, art = GlobalRouter(
+        RouterConfig(seed=args.seed, backend=args.backend, transport=args.transport)
+    ).route_with_artifacts(circuit)
     print(report(art.spans, circuit.num_rows + 1, top=args.top))
     return 0
 
@@ -666,7 +687,10 @@ def _chaos_spmd(args: argparse.Namespace, plan) -> int:
     try:
         run = route_parallel(
             circuit, algorithm=args.algorithm, nprocs=args.nprocs,
-            machine=machine, config=RouterConfig(seed=args.seed, backend=args.backend),
+            machine=machine,
+            config=RouterConfig(
+                seed=args.seed, backend=args.backend, transport=args.transport
+            ),
             compute_baseline=False, faults=plan,
         )
     except RankError as exc:
@@ -689,7 +713,9 @@ def _chaos_sweep(args: argparse.Namespace, plan) -> int:
     from repro.exec import RunCache, SweepPoint, run_sweep_salvage
     from repro.faults.plan import CacheIOFault
 
-    config = RouterConfig(seed=args.seed, backend=args.backend)
+    config = RouterConfig(
+        seed=args.seed, backend=args.backend, transport=args.transport
+    )
     points = [
         SweepPoint(
             circuit=args.circuit, algorithm="serial", scale=args.scale,
@@ -728,7 +754,9 @@ def _chaos_smoke(args: argparse.Namespace) -> int:
     from repro.parallel.driver import route_parallel
 
     machine = MACHINES[args.machine]
-    config = RouterConfig(seed=args.seed, backend=args.backend)
+    config = RouterConfig(
+        seed=args.seed, backend=args.backend, transport=args.transport
+    )
     circuit = mcnc.generate(args.circuit, scale=args.scale, seed=args.seed)
 
     def spmd(plan):
@@ -881,7 +909,7 @@ def cmd_trends(args: argparse.Namespace) -> int:
             quality = {}
         if quality:
             print()
-            print(trends.speedup_table(quality).render())
+            print(trends.speedup_table(quality, records=records).render())
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
             _json.dump(trends.report_to_json(report), fh, indent=2)

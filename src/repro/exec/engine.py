@@ -215,6 +215,13 @@ def _execute(point: SweepPoint, baseline: Optional[RoutingResult]) -> RunRecord:
         )
         run_result = run.result
     host_seconds = time.perf_counter() - t0
+    # stamp the transport only when it is a real-parallelism one: serial
+    # points have no transport, and the in-process default stays implicit
+    # so profiles recorded before the transport layer stay byte-stable
+    transport = (
+        "" if point.algorithm == "serial"
+        else point.config.resolved_transport()
+    )
     profile = profile_from_tracer(
         tracer,
         circuit=point.circuit,
@@ -224,6 +231,7 @@ def _execute(point: SweepPoint, baseline: Optional[RoutingResult]) -> RunRecord:
         seed=point.circuit_seed,
         machine=machine,
         backend=point.config.resolved_backend(),
+        transport="" if transport == "inprocess" else transport,
         model_time=run_result.model_time,
     )
     if point.algorithm == "serial":

@@ -1,12 +1,22 @@
-"""SPMD execution of rank programs on threads.
+"""SPMD execution of rank programs.
 
-:func:`run_spmd` launches ``nprocs`` threads, each running the same
-function with its own :class:`~repro.mpi.comm.Communicator`.  Messages
-travel through an in-process mailbox router; a receive blocks (with an
-abort check) until the matching message arrives.  Threads are not a
-performance device here — the host has one core — they only provide MPI's
-blocking-receive control flow; modeled speedups come from the logical
-clocks, not from wall time.
+:func:`run_spmd` runs ``nprocs`` ranks of the same function, each with
+its own :class:`~repro.mpi.comm.Communicator`, over one of the
+registered transports (:mod:`repro.mpi.transports`):
+
+* ``inprocess`` (default, implemented here by :func:`run_inprocess`) —
+  one thread per rank over an in-process mailbox router.  Threads are
+  not a performance device; they only provide MPI's blocking-receive
+  control flow.  Modeled speedups come from the logical clocks, and the
+  run is fully deterministic — this is the correctness oracle.
+* ``multiprocess`` (:mod:`repro.mpi.multiproc`) — one OS process per
+  rank over pipe channels, producing *measured* per-rank wall-clock
+  times on real cores with bit-identical routing results.
+
+Both transports fill ``SpmdResult.measured_rank_s`` /
+``measured_wall_s`` with real ``time.perf_counter`` readings; only the
+multiprocess numbers reflect genuine parallelism (in-process ranks share
+the GIL).
 
 Failure semantics: if any rank raises, the run aborts — pending and
 future receives in other ranks raise :class:`RankError` so no thread
@@ -33,7 +43,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.faults.plan import NULL_FAULT_PLAN
@@ -320,6 +330,14 @@ class SpmdResult:
     clocks: List[Optional[LogicalClock]]
     message_count: int = 0
     byte_count: int = 0
+    #: transport the run actually executed on (registry name)
+    transport: str = "inprocess"
+    #: measured per-rank wall seconds (rank program entry to exit);
+    #: trustworthy as parallel times only on the multiprocess transport
+    measured_rank_s: List[float] = field(default_factory=list)
+    #: measured wall seconds for the whole parallel section (launch of
+    #: the first rank to completion of the last)
+    measured_wall_s: float = 0.0
 
     @property
     def rank_times(self) -> List[float]:
@@ -397,6 +415,7 @@ def run_spmd(
     trace: Optional[Any] = None,
     obs: Optional[Any] = None,
     faults: Optional[Any] = None,
+    transport: Optional[str] = None,
 ) -> SpmdResult:
     """Run ``fn(comm, *args, **kwargs)`` on ``nprocs`` ranks.
 
@@ -410,6 +429,51 @@ def run_spmd(
     A :class:`~repro.faults.plan.FaultPlan` passed as ``faults`` injects
     its scheduled failures; on abort, the raised :class:`RankError`
     carries a :class:`~repro.faults.report.RunFailure` report.
+
+    ``transport`` picks the execution substrate by registry name
+    (``None``/``"auto"`` resolve through ``REPRO_TRANSPORT`` to the
+    in-process default).  Every transport honours the same contract —
+    same values, same modeled clocks, same failure reports — so callers
+    never branch on it; they only read the measured times it adds.
+    """
+    from repro.mpi.transports import get_transport, resolve_transport_name
+    from repro.obs.metrics import REGISTRY
+
+    resolved = resolve_transport_name(transport)
+    runner = get_transport(resolved)
+    result: SpmdResult = runner(
+        nprocs,
+        fn,
+        args=args,
+        kwargs=kwargs,
+        machine=machine,
+        deadlock_timeout=deadlock_timeout,
+        trace=trace,
+        obs=obs,
+        faults=faults,
+    )
+    hist = REGISTRY.histogram(f"spmd.rank_wall_ms.{resolved}")
+    for seconds in result.measured_rank_s:
+        hist.observe(seconds * 1e3)
+    return result
+
+
+def run_inprocess(
+    nprocs: int,
+    fn: Callable[..., Any],
+    args: Sequence[Any] = (),
+    kwargs: Optional[Dict[str, Any]] = None,
+    machine: Optional[MachineModel] = None,
+    deadlock_timeout: float = 60.0,
+    trace: Optional[Any] = None,
+    obs: Optional[Any] = None,
+    faults: Optional[Any] = None,
+) -> SpmdResult:
+    """The ``inprocess`` transport: one thread per rank, mailbox router.
+
+    This is the deterministic reference implementation every other
+    transport is measured against; see the module docstring for the
+    semantics it defines.
     """
     from repro.obs.tracer import NULL_TRACER
 
@@ -448,6 +512,8 @@ def run_spmd(
 
     bound = _BoundRouter(router)
 
+    measured = [0.0] * nprocs
+
     def runner(rank: int) -> None:
         robs = rank_obs[rank]
         comm = Communicator(
@@ -455,6 +521,7 @@ def run_spmd(
             faults=faults,
         )
         robs.bind_clock(clocks[rank])
+        t_start = time.perf_counter()
         try:
             with robs.span("rank", rank=rank, nprocs=nprocs):
                 values[rank] = fn(comm, *args, **kwargs)
@@ -465,8 +532,10 @@ def run_spmd(
             errors[rank] = err
             router.abort(err)
         finally:
+            measured[rank] = time.perf_counter() - t_start
             robs.bind_clock(None)
 
+    wall_start = time.perf_counter()
     if nprocs == 1:
         runner(0)
     else:
@@ -478,6 +547,7 @@ def run_spmd(
             t.start()
         for t in threads:
             t.join()
+    wall_s = time.perf_counter() - wall_start
 
     failure = router.aborted
     if failure is None:
@@ -493,4 +563,7 @@ def run_spmd(
         clocks=clocks,
         message_count=router.message_count,
         byte_count=router.byte_count,
+        transport="inprocess",
+        measured_rank_s=measured,
+        measured_wall_s=wall_s,
     )

@@ -47,6 +47,9 @@ class RunProfile:
     #: congestion-core backend the run resolved to ("python"/"numpy";
     #: empty on profiles recorded before the field existed)
     backend: str = ""
+    #: SPMD transport the run executed on; empty for serial runs,
+    #: in-process runs, and profiles recorded before the field existed
+    transport: str = ""
     #: step name -> {count, wall_sum_s, wall_max_s, [sim_sum_s, sim_max_s,]
     #: model_s, ops: {kind: units}, messages, bytes, collectives}
     steps: Dict[str, Dict[str, Any]] = field(default_factory=dict)
@@ -82,10 +85,11 @@ class RunProfile:
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe form (inverse of :meth:`from_dict`).
 
-        ``spec_coord`` is emitted only when set, so profiles outside a
-        declarative experiment serialize exactly as before the field
-        existed (committed references like ``PROFILE_smoke.json`` stay
-        byte-stable).
+        ``spec_coord`` and ``transport`` are emitted only when set, so
+        profiles outside a declarative experiment — and runs on the
+        default in-process transport — serialize exactly as before the
+        fields existed (committed references like ``PROFILE_smoke.json``
+        stay byte-stable).
         """
         out = {
             "format": PROFILE_FORMAT,
@@ -103,6 +107,8 @@ class RunProfile:
             "total_wall_s": self.total_wall_s,
             "model_time": self.model_time,
         }
+        if self.transport:
+            out["transport"] = self.transport
         if self.spec_coord:
             out["spec_coord"] = self.spec_coord
         return out
@@ -120,6 +126,7 @@ class RunProfile:
             seed=data.get("seed", 0),
             machine=data.get("machine", ""),
             backend=data.get("backend", ""),
+            transport=data.get("transport", ""),
             steps=dict(data.get("steps", {})),
             ops=dict(data.get("ops", {})),
             comm=dict(data.get("comm", {})),
@@ -140,6 +147,7 @@ def profile_from_tracer(
     machine: Optional[MachineModel] = None,
     machine_name: str = "",
     backend: str = "",
+    transport: str = "",
     model_time: Optional[float] = None,
     cache_stats: Optional[Dict[str, Any]] = None,
 ) -> RunProfile:
@@ -206,6 +214,7 @@ def profile_from_tracer(
         seed=seed,
         machine=machine.name if machine is not None else machine_name,
         backend=backend,
+        transport=transport,
         steps=steps,
         ops=total_ops,
         comm=comm,
@@ -227,6 +236,8 @@ def render_profile(profile: RunProfile) -> str:
     )
     if profile.backend:
         header += f" backend={profile.backend}"
+    if profile.transport:
+        header += f" transport={profile.transport}"
     names = profile.ordered_steps()
     total_s = sum(profile.step_seconds(n) for n in names) or 1.0
     rows = [

@@ -82,6 +82,27 @@ class Span:
             out["children"] = [c.to_dict() for c in self.children]
         return out
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Span":
+        """Rebuild a span tree from :meth:`to_dict` output.
+
+        The multiprocess SPMD transport ships each rank's finished span
+        tree to the parent this way (spans hold locks' worth of nothing —
+        plain data — but the tracer that owns them does not cross the
+        process boundary).  Derived fields (``wall_s``, ``sim_s``) are
+        recomputed, not read.
+        """
+        return cls(
+            name=data["name"],
+            t0=data.get("t0", 0.0),
+            t1=data.get("t1", 0.0),
+            sim_t0=data.get("sim_t0"),
+            sim_t1=data.get("sim_t1"),
+            tags=dict(data.get("tags", {})),
+            metrics=dict(data.get("metrics", {})),
+            children=[cls.from_dict(c) for c in data.get("children", [])],
+        )
+
 
 class _SpanContext:
     """Context manager returned by :meth:`Tracer.span`."""
@@ -205,6 +226,19 @@ class Tracer:
             with self._lock:
                 self.roots.append(span)
 
+    def adopt(self, spans: List[Span]) -> None:
+        """Append already-finished span trees as roots.
+
+        Used by the multiprocess SPMD transport to merge the span trees
+        shipped back from rank processes into the parent's tracer, so
+        profiles and ``repro trace`` see one tree regardless of
+        transport.
+        """
+        if not spans:
+            return
+        with self._lock:
+            self.roots.extend(spans)
+
     # -- queries ------------------------------------------------------------
     def walk(self) -> Iterator[Span]:
         """Every recorded span (finished roots only), preorder."""
@@ -279,6 +313,10 @@ class NullTracer:
     def wrap_counter(self, sink: WorkCounter) -> WorkCounter:
         """Identity — untraced runs keep their original counter object."""
         return sink
+
+    def adopt(self, spans: List[Span]) -> None:
+        """No-op adoption."""
+        return None
 
     def walk(self) -> Iterator[Span]:
         """Nothing recorded."""

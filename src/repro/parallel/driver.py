@@ -10,12 +10,14 @@ config/seed so quality ratios ("scaled tracks") are apples-to-apples.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.circuits.model import Circuit, CircuitStats
 from repro.gcutil import gc_paused
 from repro.mpi.runtime import run_spmd
+from repro.mpi.transports import resolve_transport_name
 from repro.perfmodel.machine import MachineModel, SPARCCENTER_1000
 from repro.perfmodel.memory import estimate_circuit_bytes
 from repro.perfmodel.report import TimingReport
@@ -148,6 +150,7 @@ def route_parallel(
     trace: Optional[object] = None,
     obs: Optional[object] = None,
     faults: Optional[object] = None,
+    transport: Optional[str] = None,
 ) -> ParallelRun:
     """Route ``circuit`` with ``nprocs`` ranks of ``algorithm``.
 
@@ -161,6 +164,10 @@ def route_parallel(
     ``faults`` a :class:`~repro.faults.plan.FaultPlan` for deterministic
     fault injection (a crash surfaces as
     :class:`~repro.mpi.runtime.RankError` with a containment report).
+    ``transport`` overrides ``config.transport`` (``None`` defers to the
+    config, which defers to ``REPRO_TRANSPORT``, which defaults to the
+    deterministic in-process transport).  Results are transport-
+    independent; only the ``measured_*`` timing fields change.
     """
     if nprocs < 1:
         raise ValueError("nprocs must be >= 1")
@@ -171,6 +178,10 @@ def route_parallel(
     config = config or RouterConfig()
     pconfig = pconfig or ParallelConfig()
     program = _program_for(algorithm)
+    resolved_transport = (
+        config.resolved_transport() if transport is None
+        else resolve_transport_name(transport)
+    )
 
     # Same rationale as GlobalRouter.route_with_artifacts: the SPMD ranks'
     # working sets are cycle-free, so collector passes mid-run reclaim
@@ -180,17 +191,20 @@ def route_parallel(
     with gc_paused():
         spmd = run_spmd(
             nprocs, program, args=(circuit, config, pconfig), machine=machine,
-            trace=trace, obs=obs, faults=faults,
+            trace=trace, obs=obs, faults=faults, transport=resolved_transport,
         )
     result: RoutingResult = spmd.values[0]
     if result is None:
         raise RuntimeError("rank 0 returned no result")
     result.model_time = spmd.elapsed
 
+    measured_serial_s: Optional[float] = None
     if baseline is None and compute_baseline:
+        t0 = time.perf_counter()
         baseline = serial_baseline(
             circuit, config, machine=machine, memory_stats=memory_stats
         )
+        measured_serial_s = time.perf_counter() - t0
 
     timing = TimingReport(
         machine=machine.name,
@@ -201,5 +215,9 @@ def route_parallel(
         rank_idle=[c.idle_seconds if c else 0.0 for c in spmd.clocks],
         serial_time=baseline.model_time if baseline is not None else None,
         serial_oom=(baseline is not None and baseline.model_time is None),
+        transport=spmd.transport,
+        measured_rank_s=list(spmd.measured_rank_s),
+        measured_wall_s=spmd.measured_wall_s or None,
+        measured_serial_s=measured_serial_s,
     )
     return ParallelRun(result=result, timing=timing, baseline=baseline)

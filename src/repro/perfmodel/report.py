@@ -9,7 +9,15 @@ from typing import Dict, List, Optional, Sequence
 
 @dataclass(slots=True)
 class TimingReport:
-    """Modeled timing of one parallel run."""
+    """Timing of one parallel run.
+
+    The ``rank_*``/``serial_time`` fields are *modeled* — logical-clock
+    seconds on the configured machine, identical across transports.  The
+    ``measured_*`` fields are real ``time.perf_counter`` seconds from the
+    host that ran the ranks; they are only meaningful as parallel times
+    when ``transport`` is a real-parallelism transport (the in-process
+    transport shares one interpreter across ranks).
+    """
 
     machine: str
     nprocs: int
@@ -19,6 +27,15 @@ class TimingReport:
     rank_idle: List[float] = field(default_factory=list)
     serial_time: Optional[float] = None
     serial_oom: bool = False
+    #: SPMD transport the run executed on (registry name)
+    transport: str = "inprocess"
+    #: measured per-rank wall seconds (empty when not recorded)
+    measured_rank_s: List[float] = field(default_factory=list)
+    #: measured wall seconds of the whole parallel section
+    measured_wall_s: Optional[float] = None
+    #: measured wall seconds of the serial baseline route, when it was
+    #: computed in the same process (None when the baseline was reused)
+    measured_serial_s: Optional[float] = None
 
     @property
     def elapsed(self) -> float:
@@ -32,6 +49,19 @@ class TimingReport:
         if self.serial_time is None or self.elapsed == 0.0:
             return None
         return self.serial_time / self.elapsed
+
+    @property
+    def measured_speedup(self) -> Optional[float]:
+        """Measured wall-clock speedup over the measured serial route.
+
+        ``None`` unless both walls were measured in this run.  Unlike the
+        modeled :attr:`speedup`, this number is host-dependent: it
+        includes process startup and message serialization, and it cannot
+        exceed the core count of the machine that produced it.
+        """
+        if not self.measured_serial_s or not self.measured_wall_s:
+            return None
+        return self.measured_serial_s / self.measured_wall_s
 
     @property
     def efficiency(self) -> Optional[float]:
@@ -52,10 +82,21 @@ class TimingReport:
         """One-line human-readable timing summary."""
         sp = self.speedup
         sp_s = f"{sp:.2f}x" if sp is not None else "n/a (serial OOM)" if self.serial_oom else "n/a"
-        return (
+        line = (
             f"{self.machine} p={self.nprocs}: elapsed={self.elapsed:.2f}s, "
             f"speedup={sp_s}, imbalance={self.load_imbalance:.2f}"
         )
+        # the in-process transport's wall is thread time in one
+        # interpreter — not a parallel measurement worth headline space
+        if self.transport != "inprocess" and self.measured_wall_s is not None:
+            line += (
+                f" | measured ({self.transport}): "
+                f"wall={self.measured_wall_s:.3f}s"
+            )
+            msp = self.measured_speedup
+            if msp is not None:
+                line += f", speedup={msp:.2f}x"
+        return line
 
 
 def speedup_table(reports: Sequence[TimingReport]) -> Dict[int, Optional[float]]:

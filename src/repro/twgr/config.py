@@ -51,6 +51,13 @@ class RouterConfig:
     #: never changes a routing result — only its speed.  Ignored when
     #: ``strict_kernels`` is set (the oracle always runs pure Python).
     backend: str = "auto"
+    #: SPMD transport: ``"inprocess"`` (deterministic threads — the test
+    #: oracle), ``"multiprocess"`` (one OS process per rank, measured
+    #: wall-clock times on real cores), or ``"auto"`` (the
+    #: ``REPRO_TRANSPORT`` environment variable, else inprocess).
+    #: Transports are result-identical by contract — this knob only
+    #: changes *how* ranks execute and which measured times exist.
+    transport: str = "auto"
 
     def rng(self, *stream: int) -> np.random.Generator:
         """A deterministic RNG for a named sub-stream.
@@ -83,6 +90,16 @@ class RouterConfig:
         from repro.grid.backends import resolve_backend_name
 
         resolve_backend_name(self.backend)
+        # Same single-authority rule for the SPMD transport registry.
+        from repro.mpi.transports import resolve_transport_name
+
+        resolve_transport_name(self.transport)
+
+    def resolved_transport(self) -> str:
+        """The SPMD transport a run under this config will use."""
+        from repro.mpi.transports import resolve_transport_name
+
+        return resolve_transport_name(self.transport)
 
     def resolved_backend(self) -> str:
         """The congestion backend a run under this config will use."""

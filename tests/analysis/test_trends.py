@@ -201,7 +201,11 @@ def test_kernel_table_markdown_divides_per_call():
     records = load_trajectory(REPO / "BENCH_trajectory.json")
     kernels = load_kernels_report(REPO / "BENCH_kernels.json")
     table = kernel_table_markdown(records, kernels)
-    newest = [r for r in records if r.get("backend") == "numpy"][-1]
+    # transport-stamped records chain separately and carry no kernels
+    newest = [
+        r for r in records
+        if r.get("backend") == "numpy" and not r.get("transport")
+    ][-1]
     per_pair = (
         newest["kernels_mean_s"]["batched_eval"]
         / kernels["kernels"]["batched_eval"]["calls_per_round"]
@@ -219,6 +223,69 @@ def test_speedup_table_against_paper():
     assert "rowwise" in text and "netwise" in text and "hybrid" in text
     assert "paper @8p" in text
     assert "~3.5x" in text  # the paper's rowwise claim
+
+
+def _transport_rec(commit, measured=0.12):
+    """A slim transport-stamped record as the transport bench writes it."""
+    return {
+        "schema": 1,
+        "commit": commit,
+        "backend": "numpy",
+        "transport": "multiprocess",
+        "scale": 0.15,
+        "seed": 1,
+        "rounds": 1,
+        "kernels_mean_s": {},
+        "circuits": {"primary1": {"route_mean_s": 0.4}},
+        "speedups": {
+            "nprocs": 4,
+            "by_algorithm": {
+                "rowwise": {"measured": measured},
+                "netwise": {"measured": None},
+            },
+        },
+    }
+
+
+def test_transport_records_chain_separately():
+    records = [_rec("c1"), _rec("c2"), _transport_rec("c2")]
+    report = build_trend_report(records)
+    assert "numpy@multiprocess" in report.chains
+    # the measured record never pollutes the deterministic numpy chain
+    assert report.commits("numpy") == ["c1", "c2"]
+    assert report.commits("numpy@multiprocess") == ["c2"]
+
+
+def test_gate_exempts_measured_transport_chains():
+    # the transport record has no kernel stats and no dirty_frac — it
+    # would fail the completeness gate if it were not exempt
+    records = [_rec("c1"), _rec("c2"), _transport_rec("c2")]
+    problems, culprits = gate_trends(build_trend_report(records))
+    assert problems == []
+    assert culprits == []
+
+
+def test_kernel_table_markdown_excludes_transport_chains():
+    records = [_rec("c1"), _transport_rec("c2")]
+    kernels = {"kernels": {"batched_eval": {"calls_per_round": 10}}}
+    table = kernel_table_markdown(records, kernels)
+    assert "numpy backend" in table
+    assert "@multiprocess" not in table
+
+
+def test_speedup_table_measured_column_from_trajectory():
+    quality = load_sweep_quality(REPO / "BENCH_sweep.json")
+    records = [_rec("c1"), _transport_rec("c2")]
+    text = speedup_table(quality, records=records, nprocs=8).render()
+    assert "measured @4p (multiprocess)" in text
+    assert "0.12x" in text  # rowwise's honest sub-1x number is shown
+    assert "paper @8p" in text
+
+
+def test_speedup_table_gaps_without_measured_records():
+    quality = load_sweep_quality(REPO / "BENCH_sweep.json")
+    text = speedup_table(quality, nprocs=8).render()
+    assert "measured" in text  # column exists even with no data
 
 
 def test_render_html_is_selfcontained():
