@@ -1,0 +1,423 @@
+#!/usr/bin/env python
+"""Seeded load generator for the routing service.
+
+Drives a :class:`~repro.service.httpd.ServiceHost` (``--inprocess``) or
+an already-running ``repro serve`` instance (``--host/--port``) with a
+reproducible request stream and reports latency percentiles, throughput,
+and coalescing/cache effectiveness.  Everything is derived from
+``--seed``, so two runs against the same service state produce the same
+request sequence — the load test is an experiment, not a fuzzer.
+
+Workload model
+--------------
+* **Key population** — requests are drawn from ``--keys`` distinct
+  points (circuit fixed, seeds 1..K) with a Zipf-like hot-key skew
+  (``--skew``; 0 = uniform, larger = hotter head).  Skewed duplicates
+  are exactly what the service's in-flight coalescing and the run cache
+  exist to absorb, so the hit/coalesce counters are the interesting
+  output, not a nuisance.
+* **Closed loop** (default) — ``--clients`` concurrent clients, each
+  issuing its next request after a think time drawn from a seeded
+  exponential distribution (``--think-ms`` mean; 0 = back-to-back).
+  Offered load adapts to service speed, like interactive users.
+* **Open loop** (``--open``) — arrivals at a fixed ``--rps`` rate on a
+  seeded Poisson process, regardless of completions; a queueing-delay
+  probe.  With a single-core host the service saturates quickly: p99
+  then measures queue depth, not route time, which is the point.
+* **Ramp** (``--ramp``) — open-loop rate climbs linearly from 0 to
+  ``--rps`` over the run, exposing the knee.
+* **Burst** (``--burst K``) — before the main phases, K *identical*
+  requests are fired concurrently at an empty cache; the response
+  ``coalesced`` flags must show K-1 shares.  This is the CI evidence
+  that request coalescing works end-to-end over real sockets.
+
+Phases: the same stream runs twice — ``cold`` (empty cache) and
+``warm`` (every key cached) — so the report separates route cost from
+service overhead.
+
+Latencies land in the process-local
+:data:`~repro.obs.metrics.REGISTRY` under ``loadtest.request_ms`` (the
+service side observes ``service.request_ms``); ``--snapshot-out`` saves
+the merged snapshot for ``repro metrics export --snapshot`` and
+``--json-out`` saves the summary table.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/load_test.py --inprocess \\
+        --clients 4 --requests 40 --burst 6 --snapshot-out snap.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import math
+import random
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import REGISTRY
+from repro.service import RoutingService, ServiceConfig, ServiceHost
+from repro.service.client import AsyncServiceClient
+from repro.service.schema import request_from_point
+from repro.exec.engine import SweepPoint
+from repro.twgr.config import RouterConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    target = p.add_argument_group("target")
+    target.add_argument("--host", default="127.0.0.1")
+    target.add_argument("--port", type=int, default=0)
+    target.add_argument(
+        "--inprocess", action="store_true",
+        help="boot a ServiceHost in this process (ephemeral port, tmp cache)",
+    )
+    target.add_argument(
+        "--cache-dir", default=None,
+        help="run cache for --inprocess (default: a temporary directory)",
+    )
+    target.add_argument(
+        "--workers", type=int, default=2, help="service workers for --inprocess"
+    )
+    target.add_argument(
+        "--fault-plan", default="",
+        help="named fault plan for --inprocess (chaos mode)",
+    )
+
+    load = p.add_argument_group("workload")
+    load.add_argument("--seed", type=int, default=1)
+    load.add_argument("--circuit", default="primary1")
+    load.add_argument("--scale", type=float, default=0.05)
+    load.add_argument(
+        "--keys", type=int, default=8,
+        help="distinct request keys (circuit seeds 1..K)",
+    )
+    load.add_argument(
+        "--skew", type=float, default=1.0,
+        help="Zipf exponent for key popularity (0 = uniform)",
+    )
+    load.add_argument(
+        "--clients", type=int, default=4, help="closed-loop concurrent clients"
+    )
+    load.add_argument(
+        "--requests", type=int, default=40, help="total requests per phase"
+    )
+    load.add_argument(
+        "--think-ms", type=float, default=10.0,
+        help="mean exponential think time between a client's requests",
+    )
+    load.add_argument(
+        "--open", action="store_true",
+        help="open-loop arrivals at --rps instead of closed-loop clients",
+    )
+    load.add_argument(
+        "--rps", type=float, default=20.0, help="open-loop arrival rate"
+    )
+    load.add_argument(
+        "--ramp", action="store_true",
+        help="ramp the open-loop rate linearly from 0 to --rps",
+    )
+    load.add_argument(
+        "--burst", type=int, default=0,
+        help="fire N identical concurrent requests first (coalescing probe)",
+    )
+    load.add_argument(
+        "--skip-warm", action="store_true", help="run only the cold phase"
+    )
+
+    out = p.add_argument_group("output")
+    out.add_argument("--json-out", metavar="PATH", help="write the summary JSON")
+    out.add_argument(
+        "--snapshot-out", metavar="PATH",
+        help="write the metrics snapshot (for `repro metrics export --snapshot`)",
+    )
+    return p
+
+
+def make_points(args: argparse.Namespace) -> List[SweepPoint]:
+    """The K distinct request targets, fixed given the CLI knobs."""
+    return [
+        SweepPoint(
+            circuit=args.circuit, algorithm="serial", nprocs=1,
+            scale=args.scale, circuit_seed=seed,
+            config=RouterConfig(seed=seed),
+        )
+        for seed in range(1, args.keys + 1)
+    ]
+
+
+def zipf_weights(n: int, skew: float) -> List[float]:
+    weights = [1.0 / (rank ** skew) for rank in range(1, n + 1)]
+    total = sum(weights)
+    return [w / total for w in weights]
+
+
+def plan_requests(args: argparse.Namespace, phase_seed: int) -> List[int]:
+    """The seeded key index of every request in one phase."""
+    rng = random.Random(phase_seed)
+    weights = zipf_weights(args.keys, args.skew)
+    return rng.choices(range(args.keys), weights=weights, k=args.requests)
+
+
+class PhaseStats:
+    """Latency/outcome accounting for one phase."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.latencies_ms: List[float] = []
+        self.statuses: Dict[int, int] = {}
+        self.coalesced = 0
+        self.cached = 0
+        self.wall_s = 0.0
+
+    def observe(self, status: int, payload: Any, elapsed_ms: float) -> None:
+        self.latencies_ms.append(elapsed_ms)
+        self.statuses[status] = self.statuses.get(status, 0) + 1
+        if isinstance(payload, dict):
+            if payload.get("coalesced"):
+                self.coalesced += 1
+            if payload.get("cached"):
+                self.cached += 1
+        REGISTRY.histogram("loadtest.request_ms").observe(elapsed_ms)
+        REGISTRY.counter("loadtest.requests").inc()
+
+    def percentile(self, q: float) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        idx = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+        return ordered[idx]
+
+    def summary(self) -> Dict[str, Any]:
+        n = len(self.latencies_ms)
+        return {
+            "phase": self.name,
+            "requests": n,
+            "wall_s": round(self.wall_s, 4),
+            "throughput_rps": round(n / self.wall_s, 2) if self.wall_s else 0.0,
+            "p50_ms": round(self.percentile(0.50), 2),
+            "p95_ms": round(self.percentile(0.95), 2),
+            "p99_ms": round(self.percentile(0.99), 2),
+            "statuses": dict(sorted(self.statuses.items())),
+            "coalesced": self.coalesced,
+            "cached": self.cached,
+        }
+
+
+async def _timed_route(
+    client: AsyncServiceClient, body: Dict[str, Any], stats: PhaseStats
+) -> None:
+    t0 = time.perf_counter()
+    status, payload = await client.route(body)
+    stats.observe(status, payload, (time.perf_counter() - t0) * 1e3)
+
+
+async def run_burst(args: argparse.Namespace, host: str, port: int) -> Dict[str, Any]:
+    """K identical concurrent requests — the coalescing probe."""
+    stats = PhaseStats("burst")
+    body = request_from_point(make_points(args)[0])
+    clients = [AsyncServiceClient(host, port) for _ in range(args.burst)]
+    t0 = time.perf_counter()
+    try:
+        await asyncio.gather(
+            *(_timed_route(c, dict(body), stats) for c in clients)
+        )
+    finally:
+        for c in clients:
+            await c.close()
+    stats.wall_s = time.perf_counter() - t0
+    return stats.summary()
+
+
+async def run_closed_loop(
+    args: argparse.Namespace, host: str, port: int,
+    phase: str, phase_seed: int,
+) -> Dict[str, Any]:
+    stats = PhaseStats(phase)
+    points = make_points(args)
+    plan = plan_requests(args, phase_seed)
+    queue: "asyncio.Queue[int]" = asyncio.Queue()
+    for key_index in plan:
+        queue.put_nowait(key_index)
+
+    async def one_client(client_index: int) -> None:
+        # string seed: deterministic across processes (tuple seeds rely
+        # on hash(), which PYTHONHASHSEED randomizes)
+        rng = random.Random(f"{phase_seed}:think:{client_index}")
+        async with AsyncServiceClient(host, port) as client:
+            while True:
+                try:
+                    key_index = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                await _timed_route(
+                    client, request_from_point(points[key_index]), stats
+                )
+                if args.think_ms > 0:
+                    await asyncio.sleep(
+                        rng.expovariate(1.0 / (args.think_ms / 1e3))
+                    )
+
+    t0 = time.perf_counter()
+    await asyncio.gather(*(one_client(i) for i in range(args.clients)))
+    stats.wall_s = time.perf_counter() - t0
+    return stats.summary()
+
+
+async def run_open_loop(
+    args: argparse.Namespace, host: str, port: int,
+    phase: str, phase_seed: int,
+) -> Dict[str, Any]:
+    stats = PhaseStats(phase)
+    points = make_points(args)
+    plan = plan_requests(args, phase_seed)
+    rng = random.Random(f"{phase_seed}:arrivals")
+    tasks: List["asyncio.Task[None]"] = []
+
+    async def fire(key_index: int) -> None:
+        async with AsyncServiceClient(host, port) as client:
+            await _timed_route(
+                client, request_from_point(points[key_index]), stats
+            )
+
+    t0 = time.perf_counter()
+    for i, key_index in enumerate(plan):
+        if args.ramp:
+            # linear ramp: instantaneous rate grows with progress
+            progress = (i + 1) / len(plan)
+            rate = max(args.rps * progress, 0.1)
+        else:
+            rate = args.rps
+        await asyncio.sleep(rng.expovariate(rate))
+        tasks.append(asyncio.ensure_future(fire(key_index)))
+    await asyncio.gather(*tasks)
+    stats.wall_s = time.perf_counter() - t0
+    return stats.summary()
+
+
+async def drive(args: argparse.Namespace, host: str, port: int) -> Dict[str, Any]:
+    phases: List[Dict[str, Any]] = []
+    if args.burst > 0:
+        phases.append(await run_burst(args, host, port))
+    runner = run_open_loop if args.open else run_closed_loop
+    phases.append(await runner(args, host, port, "cold", args.seed * 7919 + 1))
+    if not args.skip_warm:
+        # same seeded stream: the warm phase replays the cold keys
+        phases.append(
+            await runner(args, host, port, "warm", args.seed * 7919 + 1)
+        )
+    # pull the service's own counters for the report
+    async with AsyncServiceClient(host, port) as client:
+        _, stats_body = await client.stats()
+    return {"phases": phases, "service": stats_body}
+
+
+def render_report(report: Dict[str, Any]) -> str:
+    lines = [
+        f"{'phase':<8} {'reqs':>5} {'wall_s':>7} {'rps':>7} "
+        f"{'p50_ms':>8} {'p95_ms':>8} {'p99_ms':>8} "
+        f"{'coalesced':>9} {'cached':>6}  statuses"
+    ]
+    for ph in report["phases"]:
+        lines.append(
+            f"{ph['phase']:<8} {ph['requests']:>5} {ph['wall_s']:>7.3f} "
+            f"{ph['throughput_rps']:>7.2f} {ph['p50_ms']:>8.2f} "
+            f"{ph['p95_ms']:>8.2f} {ph['p99_ms']:>8.2f} "
+            f"{ph['coalesced']:>9} {ph['cached']:>6}  {ph['statuses']}"
+        )
+    svc = report.get("service", {})
+    if isinstance(svc, dict) and "requests" in svc:
+        cache = svc.get("cache") or {}
+        lines.append(
+            f"service: requests={svc['requests']:.0f} "
+            f"coalesced={svc['coalesced']:.0f} degraded={svc['degraded']:.0f} "
+            f"cache_hits={cache.get('hits', 0)} cache_stores={cache.get('stores', 0)}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.keys < 1 or args.requests < 1 or args.clients < 1:
+        print("keys, requests, and clients must all be >= 1", file=sys.stderr)
+        return 1
+
+    host_ctx: Optional[ServiceHost] = None
+    tmp_ctx = None
+    try:
+        if args.inprocess:
+            cache_dir = args.cache_dir
+            if cache_dir is None:
+                import tempfile
+
+                tmp_ctx = tempfile.TemporaryDirectory(prefix="repro-loadtest-")
+                cache_dir = tmp_ctx.name
+            from repro.exec.cache import RunCache
+
+            service = RoutingService(
+                cache=RunCache(cache_dir),
+                config=ServiceConfig(
+                    workers=args.workers,
+                    max_retries=1,
+                    fault_plan=args.fault_plan,
+                    fault_seed=args.seed,
+                ),
+            )
+            host_ctx = ServiceHost(service).start()
+            host, port = host_ctx.host, host_ctx.port
+        else:
+            if args.port == 0:
+                print("--port is required without --inprocess", file=sys.stderr)
+                return 1
+            host, port = args.host, args.port
+
+        report = asyncio.run(drive(args, host, port))
+    finally:
+        if host_ctx is not None:
+            host_ctx.stop()
+        if tmp_ctx is not None:
+            tmp_ctx.cleanup()
+
+    report["config"] = {
+        "seed": args.seed, "circuit": args.circuit, "scale": args.scale,
+        "keys": args.keys, "skew": args.skew,
+        "mode": "open" if args.open else "closed",
+        "clients": args.clients, "requests": args.requests,
+        "think_ms": args.think_ms, "rps": args.rps if args.open else None,
+        "ramp": args.ramp, "burst": args.burst,
+        "inprocess": args.inprocess, "fault_plan": args.fault_plan or None,
+    }
+    print(render_report(report))
+
+    if args.snapshot_out:
+        with open(args.snapshot_out, "w") as fh:
+            json.dump(REGISTRY.snapshot(), fh, indent=2)
+        print(f"metrics snapshot written to {args.snapshot_out}")
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"summary written to {args.json_out}")
+
+    # a load test fails only when the service misbehaved: any 5xx in a
+    # fault-free run, or zero completed requests
+    total = sum(ph["requests"] for ph in report["phases"])
+    if total == 0:
+        return 1
+    if not args.fault_plan:
+        bad = sum(
+            count
+            for ph in report["phases"]
+            for status, count in ph["statuses"].items()
+            if int(status) >= 500
+        )
+        if bad:
+            print(f"{bad} server-error responses in a fault-free run", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

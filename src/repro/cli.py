@@ -37,6 +37,11 @@ Commands
     Export a MetricsRegistry snapshot in Prometheus text exposition
     format (``export`` routes a small point first so the registry has
     live counters and latency histograms).
+``serve``
+    Run the routing service: an asyncio HTTP front-end over a job queue
+    that coalesces duplicate in-flight requests through the run cache
+    and answers with embedded run records (``POST /route``), Prometheus
+    metrics (``GET /metrics``), and queue/cache stats (``GET /stats``).
 
 The routing commands (``route``, ``compare``, ``artifact``, ``profile``)
 execute through the sweep engine (:mod:`repro.exec`): ``--jobs`` fans
@@ -284,6 +289,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke", action="store_true",
         help="run the CI containment mini-suite (crash, delay replay, salvage)",
     )
+    p_chaos.add_argument(
+        "--service", action="store_true",
+        help="run the service-tier chaos scenario: boot the routing "
+        "service under a flaky fault plan and assert degraded (never "
+        "dropped) responses",
+    )
 
     p_exp = sub.add_parser(
         "experiment", help="run a declarative experiment spec (TOML/JSON)"
@@ -361,6 +372,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_met.add_argument(
         "--out", metavar="PATH", help="write the exposition to a file"
+    )
+
+    p_srv = sub.add_parser(
+        "serve", help="run the routing service (HTTP front-end over a job queue)"
+    )
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument(
+        "--port", type=int, default=8732,
+        help="listen port (0 = ephemeral; default 8732)",
+    )
+    p_srv.add_argument(
+        "--workers", type=int, default=2,
+        help="concurrent routing executions (default 2)",
+    )
+    p_srv.add_argument(
+        "--max-retries", type=int, default=1,
+        help="retries per failing point before a degraded response",
+    )
+    p_srv.add_argument(
+        "--request-timeout", type=float, default=600.0, metavar="S",
+        help="per-request ceiling in seconds before a 504 (default 600)",
+    )
+    p_srv.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="run cache directory (default .repro_cache / REPRO_CACHE_DIR)",
+    )
+    p_srv.add_argument(
+        "--no-cache", action="store_true",
+        help="serve without a run cache (every request recomputes)",
+    )
+    p_srv.add_argument(
+        "--fault-plan", default="", choices=("",) + tuple(sorted(NAMED_PLANS)),
+        help="inject a named fault plan into every execution (chaos mode)",
+    )
+    p_srv.add_argument("--fault-seed", type=int, default=0)
+    p_srv.add_argument(
+        "--no-admin", action="store_true",
+        help="disable the POST /shutdown endpoint",
     )
 
     return parser
@@ -810,6 +859,88 @@ def _chaos_smoke(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos_service(args: argparse.Namespace) -> int:
+    """Service-tier chaos: a faulted service degrades, it never drops.
+
+    Boots the routing service in-process under ``--plan`` (default
+    ``flaky-point`` when the chosen plan has no engine-level faults) and
+    asserts the contract the load balancer relies on: every request is
+    *answered* — structured 503s for injected failures, 200s once
+    retries salvage — and ``/healthz`` stays live throughout.
+    """
+    import tempfile
+
+    from repro.exec import RunCache
+    from repro.faults import make_plan
+    from repro.faults.plan import CacheIOFault, PointFault
+    from repro.service import (
+        RoutingService, ServiceClient, ServiceConfig, ServiceHost,
+    )
+
+    plan_name = args.plan
+    probe = make_plan(plan_name, 1, args.fault_seed)
+    if not any(
+        isinstance(f, (CacheIOFault, PointFault))
+        for f in getattr(probe, "faults", ())
+    ):
+        # SPMD-level plans never reach a serial service point; use the
+        # plan the service tier can actually feel
+        log.info("plan %r has no engine-level faults; using flaky-point", plan_name)
+        plan_name = "flaky-point"
+
+    body = {"circuit": args.circuit, "scale": args.scale, "seed": args.seed}
+    with tempfile.TemporaryDirectory(prefix="repro_chaos_svc_") as tmp:
+        # scenario 1: no retry budget — every injected failure must
+        # surface as a structured degraded answer, not a dropped socket
+        service = RoutingService(
+            cache=RunCache(tmp),
+            config=ServiceConfig(
+                workers=1, max_retries=0,
+                fault_plan=plan_name, fault_seed=args.fault_seed,
+            ),
+        )
+        with ServiceHost(service) as host:
+            with ServiceClient(host.host, host.port) as client:
+                status, payload = client.route(dict(body))
+                if status != 503 or payload.get("status") != "degraded":
+                    print(f"FAIL: expected structured 503, got {status} {payload}")
+                    return 1
+                if not payload.get("failures"):
+                    print("FAIL: degraded response carries no failure ledger")
+                    return 1
+                if client.healthz()[0] != 200:
+                    print("FAIL: /healthz died with the degraded worker")
+                    return 1
+        ledger = payload["failures"][0]
+        print(
+            f"ok: injected failure answered as structured 503 "
+            f"({ledger['error_type']}: {ledger['message'][:60]})"
+        )
+
+        # scenario 2: one retry — the same plan is salvaged and cached
+        service = RoutingService(
+            cache=RunCache(tmp),
+            config=ServiceConfig(
+                workers=1, max_retries=1, backoff_s=0.01,
+                fault_plan=plan_name, fault_seed=args.fault_seed,
+            ),
+        )
+        with ServiceHost(service) as host:
+            with ServiceClient(host.host, host.port) as client:
+                status, payload = client.route(dict(body))
+                if status != 200:
+                    print(f"FAIL: retry did not salvage ({status} {payload})")
+                    return 1
+                attempts = payload.get("attempts", 1)
+                status2, payload2 = client.route(dict(body))
+                if status2 != 200 or not payload2.get("cached"):
+                    print("FAIL: salvaged run did not land in the cache")
+                    return 1
+        print(f"ok: retry salvaged the flaky point (attempts={attempts}), replayed from cache")
+    print("service chaos scenario passed")
+    return 0
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Route under a named fault plan and print the containment report.
 
@@ -821,6 +952,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 
     if args.smoke:
         return _chaos_smoke(args)
+    if args.service:
+        return _chaos_service(args)
     plan = make_plan(args.plan, args.nprocs, args.fault_seed)
     engine_level = any(
         isinstance(f, (CacheIOFault, PointFault))
@@ -958,6 +1091,40 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the routing service until SIGINT or ``POST /shutdown``."""
+    import asyncio
+
+    from repro.exec import RunCache
+    from repro.service import RoutingService, ServiceConfig, serve_forever
+
+    cache = None if args.no_cache else (
+        RunCache(args.cache_dir) if args.cache_dir else RunCache()
+    )
+    service = RoutingService(
+        cache=cache,
+        config=ServiceConfig(
+            workers=args.workers,
+            max_retries=args.max_retries,
+            request_timeout_s=args.request_timeout,
+            fault_plan=args.fault_plan,
+            fault_seed=args.fault_seed,
+        ),
+    )
+    if cache is not None:
+        log.info("run cache: %s", cache.root)
+    if args.fault_plan:
+        log.info("chaos mode: fault plan %r (seed %d)", args.fault_plan, args.fault_seed)
+    try:
+        asyncio.run(serve_forever(
+            service, host=args.host, port=args.port,
+            allow_admin=not args.no_admin,
+        ))
+    except KeyboardInterrupt:
+        log.info("interrupted; service stopped")
+    return 0
+
+
 COMMANDS = {
     "circuits": cmd_circuits,
     "route": cmd_route,
@@ -971,6 +1138,7 @@ COMMANDS = {
     "experiment": cmd_experiment,
     "trends": cmd_trends,
     "metrics": cmd_metrics,
+    "serve": cmd_serve,
 }
 
 

@@ -32,6 +32,7 @@ from repro.exec.engine import (
     SweepPoint,
     execute_point,
     resolve_jobs,
+    retry_backoff_s,
     run_sweep,
     run_sweep_salvage,
 )
@@ -48,6 +49,7 @@ __all__ = [
     "cache_key",
     "execute_point",
     "resolve_jobs",
+    "retry_backoff_s",
     "run_sweep",
     "run_sweep_salvage",
 ]

@@ -28,6 +28,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
@@ -43,6 +44,78 @@ DEFAULT_CACHE_DIR = ".repro_cache"
 #: ``*.json`` name: ``__len__``/``clear`` glob ``*.json`` for records and
 #: must never count (or delete) the bookkeeping file.
 STATS_FILE = "_stats.meta"
+
+#: lockfile serializing the sidecar's read-modify-write (same non-JSON
+#: naming rule as :data:`STATS_FILE`)
+STATS_LOCK = "_stats.lock"
+
+#: a lock older than this is presumed left by a dead process and broken
+_LOCK_STALE_S = 10.0
+
+#: bounded acquisition: retries × sleep bounds the worst-case wait well
+#: under the stale threshold, so two healthy writers always interleave
+_LOCK_RETRIES = 200
+_LOCK_SLEEP_S = 0.005
+
+
+class _StatsLock:
+    """``O_CREAT|O_EXCL`` lockfile with bounded retry and stale-breaking.
+
+    Advisory and portable (no ``fcntl`` dependency): creation is atomic
+    on POSIX and NT, so exactly one process holds the lock at a time.
+    A crash between create and unlink leaves a stale file; any waiter
+    that sees it older than :data:`_LOCK_STALE_S` removes it and retries.
+    Failing to acquire within the retry budget degrades to proceeding
+    unlocked — advisory counters must never wedge a sweep — and the
+    caller reports whether the lock was actually held.
+    """
+
+    def __init__(self, path: Path) -> None:
+        self._path = path
+        self._held = False
+
+    def acquire(self) -> bool:
+        for _ in range(_LOCK_RETRIES):
+            try:
+                fd = os.open(
+                    self._path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+                )
+            except FileExistsError:
+                try:
+                    age = time.time() - self._path.stat().st_mtime
+                except OSError:
+                    continue  # holder released between open and stat
+                if age > _LOCK_STALE_S:
+                    try:
+                        self._path.unlink()
+                    except OSError:
+                        pass
+                    continue
+                time.sleep(_LOCK_SLEEP_S)
+                continue
+            except OSError:
+                return False  # unwritable root: no serialization possible
+            try:
+                os.write(fd, str(os.getpid()).encode("ascii"))
+            finally:
+                os.close(fd)
+            self._held = True
+            return True
+        return False
+
+    def release(self) -> None:
+        if self._held:
+            self._held = False
+            try:
+                self._path.unlink()
+            except OSError:
+                pass
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.release()
 
 
 def cache_key(spec: Dict[str, Any], salt: str = CODE_SALT) -> str:
@@ -165,32 +238,45 @@ class RunCache:
     def persist_stats(self) -> Dict[str, int]:
         """Fold this instance's tallies into the on-disk sidecar.
 
-        Read-modify-write with an atomic replace; concurrent CLI
-        invocations may lose a delta to last-write-wins, which is
-        acceptable for advisory counters.  Safe to call repeatedly — only
-        the delta since the last persist is added.
+        The read-modify-write (load ``lifetime_stats``, add this
+        instance's unflushed delta, atomic replace) is serialized with a
+        lockfile (:class:`_StatsLock`): concurrent writers — service
+        workers, ``--jobs N`` sweeps, parallel CLI invocations — merge
+        their deltas instead of last-write-wins dropping each other's
+        tallies.  Safe to call repeatedly; only the delta since the last
+        persist is added.  If the lock cannot be acquired within its
+        bounded retry budget (pathological contention or an unwritable
+        root) the fold still happens — one delta racing beats wedging
+        the run for advisory counters.
         """
         delta = (
             self.hits - self._flushed[0],
             self.misses - self._flushed[1],
             self.stores - self._flushed[2],
         )
-        life = self.lifetime_stats()
-        life["hits"] += delta[0]
-        life["misses"] += delta[1]
-        life["stores"] += delta[2]
         self.root.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(life, fh, separators=(",", ":"))
-            os.replace(tmp, self._stats_path)
-        except BaseException:
+        with _StatsLock(self.root / STATS_LOCK) as locked:
+            if not locked:
+                from repro.obs.metrics import REGISTRY
+
+                REGISTRY.counter("cache.stats_lock_timeouts").inc()
+            # merge against the latest on-disk totals *while holding the
+            # lock*, so the window between read and replace is exclusive
+            life = self.lifetime_stats()
+            life["hits"] += delta[0]
+            life["misses"] += delta[1]
+            life["stores"] += delta[2]
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    json.dump(life, fh, separators=(",", ":"))
+                os.replace(tmp, self._stats_path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
         self._flushed = (self.hits, self.misses, self.stores)
         return life
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 import dataclasses
 import logging
 import os
+import random
 import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -45,6 +46,33 @@ JOBS_ENV = "REPRO_JOBS"
 #: distinct from success (0) and from hard failure (1) so callers can
 #: script around partial results
 DEGRADED_EXIT = 3
+
+#: ceiling on one retry sleep; exponential growth stops here so a flaky
+#: point can never stall a sweep (or a service worker) for minutes
+DEFAULT_BACKOFF_CAP_S = 2.0
+
+
+def retry_backoff_s(
+    backoff_s: float,
+    attempt: int,
+    cap_s: float = DEFAULT_BACKOFF_CAP_S,
+    jitter_key: str = "",
+) -> float:
+    """Host-seconds to sleep before retry ``attempt`` (2-based).
+
+    Exponential (``backoff_s`` doubling per retry) but *capped* at
+    ``cap_s``, then spread by deterministic jitter in ``[0.5x, 1.5x]``
+    drawn from ``(jitter_key, attempt)``.  The jitter is a pure function
+    of its inputs — no global RNG, no wall clock — so seeded chaos
+    replays sleep bit-identically, while N coalesced clients retrying
+    the same flaky point (distinct jitter keys) fan out instead of
+    thundering in lockstep.
+    """
+    if backoff_s <= 0:
+        return 0.0
+    base = min(backoff_s * (2 ** (attempt - 2)), max(cap_s, backoff_s))
+    rnd = random.Random(f"{jitter_key}:retry{attempt}").random()
+    return base * (0.5 + rnd)
 
 log = logging.getLogger("repro.exec")
 
@@ -531,13 +559,16 @@ def run_sweep_salvage(
     faults: Optional[Any] = None,
     max_retries: int = 2,
     backoff_s: float = 0.05,
+    backoff_cap_s: float = DEFAULT_BACKOFF_CAP_S,
 ) -> SweepOutcome:
     """Execute a batch of points, containing per-point failures.
 
     Unlike :func:`run_sweep` — which lets the first worker exception
     abort the whole batch — this variant retries each failed point up to
     ``max_retries`` more times (exponential backoff starting at
-    ``backoff_s`` host-seconds) and then salvages everything else: the
+    ``backoff_s`` host-seconds, capped at ``backoff_cap_s`` and spread
+    with deterministic per-point jitter — see :func:`retry_backoff_s`)
+    and then salvages everything else: the
     returned :class:`SweepOutcome` carries all surviving records plus a
     :class:`PointFailure` ledger, and ``outcome.exit_code`` is
     :data:`DEGRADED_EXIT` when anything was lost.
@@ -588,7 +619,10 @@ def run_sweep_salvage(
             attempt += 1
             retries += 1
             REGISTRY.counter("engine.retries").inc()
-            time.sleep(backoff_s * (2 ** (attempt - 2)))
+            time.sleep(retry_backoff_s(
+                backoff_s, attempt, cap_s=backoff_cap_s,
+                jitter_key=point.key(),
+            ))
             out = _salvage_attempt(point, baseline_dict, attempt, faults)
         if out[0] == "err":
             failures[i] = PointFailure(

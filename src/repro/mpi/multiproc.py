@@ -566,55 +566,72 @@ def run_multiprocess(
 
     wall_start = time.perf_counter()
     procs: List[mp.process.BaseProcess] = []
-    for rank in range(nprocs):
-        p = ctx.Process(
-            target=_child_main,
-            args=(
-                rank, nprocs, fn, tuple(args), dict(kwargs), machine,
-                deadlock_timeout, want_trace, want_obs, plan_spec,
-                msg_pipes, res_pipes,
-            ),
-            name=f"spmd-rank-{rank}",
-        )
-        p.start()
-        procs.append(p)
-    # the children own the channels now; parent copies must close so
-    # pipe EOFs propagate when a rank exits
-    for rconn, wconn in msg_pipes.values():
-        rconn.close()
-        wconn.close()
-    for _, wres in res_pipes.values():
-        wres.close()
-
     reports: Dict[int, Optional[Dict[str, Any]]] = {}
-    waiting: Dict[Connection, int] = {
-        rres: rank for rank, (rres, _) in res_pipes.items()
-    }
-    hard_deadline = time.monotonic() + deadlock_timeout + _PARENT_GRACE_S
-    while waiting and time.monotonic() < hard_deadline:
-        ready = _conn_wait(list(waiting), timeout=0.5)
-        for conn in ready:
-            rank = waiting.pop(conn)
-            try:
-                reports[rank] = conn.recv()
-            except (EOFError, OSError):
-                reports[rank] = None  # died without reporting
-            conn.close()
-        for conn in list(waiting):
-            rank = waiting[conn]
-            if not procs[rank].is_alive() and not conn.poll(0):
-                del waiting[conn]
-                reports[rank] = None
+    # Child lifecycle is try/finally-scoped: a KeyboardInterrupt or any
+    # parent-side exception raised between the first start() and the
+    # normal join path used to orphan every rank process still running.
+    # Children are additionally daemonic (fork-safe here: rank programs
+    # spawn threads, never processes), so even a parent hard-kill that
+    # skips `finally` cannot leave ranks behind.
+    try:
+        for rank in range(nprocs):
+            p = ctx.Process(
+                target=_child_main,
+                args=(
+                    rank, nprocs, fn, tuple(args), dict(kwargs), machine,
+                    deadlock_timeout, want_trace, want_obs, plan_spec,
+                    msg_pipes, res_pipes,
+                ),
+                name=f"spmd-rank-{rank}",
+                daemon=True,
+            )
+            p.start()
+            procs.append(p)
+        # the children own the channels now; parent copies must close so
+        # pipe EOFs propagate when a rank exits
+        for rconn, wconn in msg_pipes.values():
+            rconn.close()
+            wconn.close()
+        for _, wres in res_pipes.values():
+            wres.close()
+
+        waiting: Dict[Connection, int] = {
+            rres: rank for rank, (rres, _) in res_pipes.items()
+        }
+        hard_deadline = time.monotonic() + deadlock_timeout + _PARENT_GRACE_S
+        while waiting and time.monotonic() < hard_deadline:
+            ready = _conn_wait(list(waiting), timeout=0.5)
+            for conn in ready:
+                rank = waiting.pop(conn)
+                try:
+                    reports[rank] = conn.recv()
+                except (EOFError, OSError):
+                    reports[rank] = None  # died without reporting
                 conn.close()
-    for conn, rank in list(waiting.items()):
-        reports[rank] = None  # hung past the parent grace deadline
-        conn.close()
-    measured_wall_s = time.perf_counter() - wall_start
-    for rank, p in enumerate(procs):
-        p.join(timeout=5.0)
-        if p.is_alive():
-            p.terminate()
+            for conn in list(waiting):
+                rank = waiting[conn]
+                if not procs[rank].is_alive() and not conn.poll(0):
+                    del waiting[conn]
+                    reports[rank] = None
+                    conn.close()
+        for conn, rank in list(waiting.items()):
+            reports[rank] = None  # hung past the parent grace deadline
+            conn.close()
+        measured_wall_s = time.perf_counter() - wall_start
+        for rank, p in enumerate(procs):
             p.join(timeout=5.0)
+    finally:
+        # no-op on the clean path (every rank already joined); on an
+        # interrupted or failing path this reaps all surviving children
+        for p in procs:
+            if p.is_alive():
+                p.terminate()
+        for p in procs:
+            if p.is_alive():
+                p.join(timeout=5.0)
+            if p.is_alive():
+                p.kill()
+                p.join(timeout=1.0)
 
     # merge shipped fired-injection logs into the caller's plan so chaos
     # replay comparisons and summaries see one coherent record

@@ -172,3 +172,64 @@ class TestPersistentStats:
         assert stats["hit_rate"] == pytest.approx(2 / 3)
         assert stats["lifetime"] == {"hits": 2, "misses": 1, "stores": 1}
         assert stats["lifetime_hit_rate"] == pytest.approx(2 / 3)
+
+
+def _persist_worker(root: str, rounds: int, barrier) -> None:
+    """One concurrent writer: `rounds` interleaved delta persists."""
+    cache = RunCache(root)
+    barrier.wait()
+    for _ in range(rounds):
+        cache.hits += 1
+        cache.misses += 1
+        cache.stores += 1
+        cache.persist_stats()
+
+
+class TestConcurrentPersist:
+    """persist_stats must never drop a concurrent writer's delta."""
+
+    def test_two_processes_interleaving_deltas_sum_exactly(self, tmp_path):
+        import multiprocessing as mp
+
+        root = tmp_path / "c"
+        nprocs, rounds = 2, 25
+        ctx = mp.get_context()
+        barrier = ctx.Barrier(nprocs)
+        procs = [
+            ctx.Process(target=_persist_worker, args=(str(root), rounds, barrier))
+            for _ in range(nprocs)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(60)
+            assert p.exitcode == 0
+        expected = nprocs * rounds
+        life = RunCache(root).lifetime_stats()
+        assert life == {
+            "hits": expected, "misses": expected, "stores": expected
+        }
+
+    def test_no_lock_droppings_after_persist(self, tmp_path):
+        from repro.exec.cache import STATS_LOCK
+
+        cache = RunCache(tmp_path / "c")
+        cache.hits += 1
+        cache.persist_stats()
+        assert not (cache.root / STATS_LOCK).exists()
+
+    def test_stale_lock_is_broken(self, tmp_path):
+        import os
+        import time as _time
+
+        from repro.exec.cache import STATS_LOCK, _LOCK_STALE_S
+
+        cache = RunCache(tmp_path / "c")
+        cache.root.mkdir(parents=True, exist_ok=True)
+        lock = cache.root / STATS_LOCK
+        lock.write_text("0", encoding="utf-8")  # orphan from a dead pid
+        old = _time.time() - (_LOCK_STALE_S + 5.0)
+        os.utime(lock, (old, old))
+        cache.hits += 1
+        assert cache.persist_stats() == {"hits": 1, "misses": 0, "stores": 0}
+        assert not lock.exists()

@@ -152,3 +152,44 @@ def test_cache_write_error_without_salvage_propagates(tmp_path):
         cache.put("deadbeef", {"x": 1})
     cache.put("deadbeef", {"x": 1})  # transient: second write lands
     assert cache.get("deadbeef") == {"x": 1}
+
+
+class TestRetryBackoff:
+    """Capped, deterministically jittered retry sleeps."""
+
+    def test_backoff_is_capped(self):
+        from repro.exec import retry_backoff_s
+
+        # without the cap, attempt 12 of a 50 ms base would be ~51 s
+        delay = retry_backoff_s(0.05, 12, cap_s=2.0, jitter_key="k")
+        assert delay <= 2.0 * 1.5
+
+    def test_backoff_is_deterministic_per_key_and_attempt(self):
+        from repro.exec import retry_backoff_s
+
+        a = retry_backoff_s(0.05, 3, jitter_key="point-a")
+        assert a == retry_backoff_s(0.05, 3, jitter_key="point-a")
+        assert a != retry_backoff_s(0.05, 3, jitter_key="point-b")
+        assert a != retry_backoff_s(0.05, 4, jitter_key="point-a")
+
+    def test_backoff_jitter_stays_in_band(self):
+        from repro.exec import retry_backoff_s
+
+        for attempt in range(2, 8):
+            base = min(0.05 * (2 ** (attempt - 2)), 2.0)
+            delay = retry_backoff_s(0.05, attempt, jitter_key=f"p{attempt}")
+            assert 0.5 * base <= delay <= 1.5 * base
+
+    def test_zero_backoff_never_sleeps(self):
+        from repro.exec import retry_backoff_s
+
+        assert retry_backoff_s(0.0, 5, jitter_key="k") == 0.0
+
+    def test_jittered_retries_do_not_thunder_in_lockstep(self):
+        from repro.exec import retry_backoff_s
+
+        delays = {
+            round(retry_backoff_s(0.05, 2, jitter_key=f"client{i}"), 9)
+            for i in range(8)
+        }
+        assert len(delays) == 8  # every coalesced client sleeps differently

@@ -1,0 +1,65 @@
+"""Interrupted multiprocess runs must never orphan rank processes.
+
+The regression this guards: ``run_multiprocess`` used to terminate
+children only on the normal join path, so a ``KeyboardInterrupt`` (or
+any parent exception) raised while ranks were still routing leaked one
+OS process per rank.  The scenario needs a real signal landing in a
+real parent mid-run, so it executes a small driver script in a
+subprocess and inspects what survives.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+# The driver SIGINTs itself while three ranks sleep mid-"route"; after
+# run_multiprocess unwinds, any still-alive child is an orphan.  Rank
+# pids are printed so the test can double-check against the OS, not
+# just multiprocessing's own bookkeeping.
+_DRIVER = """
+import multiprocessing as mp
+import os, signal, sys, threading, time
+
+from repro.mpi.multiproc import run_multiprocess
+
+
+def rank_fn(comm):
+    time.sleep(120.0)  # far longer than the test; SIGINT must cut in
+    return comm.rank
+
+
+def fire_sigint():
+    time.sleep(1.5)  # let every rank start and enter its sleep
+    os.kill(os.getpid(), signal.SIGINT)
+
+
+threading.Thread(target=fire_sigint, daemon=True).start()
+try:
+    run_multiprocess(3, rank_fn, deadlock_timeout=300.0)
+    print("NO-INTERRUPT")  # the signal never landed: test is invalid
+except KeyboardInterrupt:
+    pass
+
+survivors = [p for p in mp.active_children() if p.is_alive()]
+print("SURVIVORS", len(survivors))
+for p in survivors:
+    print("ORPHAN", p.name, p.pid)
+"""
+
+
+def test_sigint_mid_route_leaves_no_child_processes():
+    proc = subprocess.run(
+        [sys.executable, "-c", _DRIVER],
+        capture_output=True,
+        text=True,
+        timeout=90,
+        env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+    )
+    out = proc.stdout
+    assert "NO-INTERRUPT" not in out, out
+    assert "SURVIVORS 0" in out, (out, proc.stderr)
+    assert proc.returncode == 0, (out, proc.stderr)
